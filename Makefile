@@ -1,0 +1,26 @@
+# Convenience targets; see README.md for the full story.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples report clean-cache
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+report:
+	$(PYTHON) -m repro report
+
+clean-cache:
+	rm -rf ~/.cache/repro-gcn-test results

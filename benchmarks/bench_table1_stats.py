@@ -1,0 +1,32 @@
+"""Table 1: benchmark statistics.
+
+Regenerates the paper's Table 1 for the synthetic B1-B4 suite: node count,
+edge count, positive (difficult-to-observe) and negative node counts.
+
+Paper values (1.4 M-node industrial designs): ~0.65 % positive rate and an
+edge/node ratio of ~1.5; the shapes to check here are the sub-percent-to-
+few-percent imbalance and the matching edge/node ratio.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import collect_statistics, format_statistics
+from repro.experiments.common import write_result
+
+
+def bench_table1_statistics(benchmark, suite):
+    rows = benchmark.pedantic(
+        collect_statistics, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    print(format_statistics(suite))
+    write_result(
+        "table1",
+        {"headers": ["design", "nodes", "edges", "pos", "neg", "rate"], "rows": rows},
+    )
+    assert len(rows) == 4
+    for row in rows:
+        _, nodes, edges, pos, neg, _ = row
+        assert pos + neg == nodes
+        assert 1.2 < edges / nodes < 2.2  # paper's ~1.5 edge/node shape
+        assert pos < 0.15 * nodes  # heavy class imbalance

@@ -1,0 +1,45 @@
+"""repro: reproduction of "High Performance Graph Convolutional Networks
+with Applications in Testability Analysis" (Ma et al., DAC 2019).
+
+The package is organised as:
+
+* :mod:`repro.circuit` — gate-level netlist substrate (cells, containers,
+  ``.bench`` I/O, synthetic industrial-design generation);
+* :mod:`repro.testability` — SCOAP/COP measures and the
+  difficult-to-observe labelling;
+* :mod:`repro.atpg` — bit-parallel simulation, exact observability
+  analysis, fault simulation and PODEM test generation;
+* :mod:`repro.nn` — a from-scratch autograd micro-framework;
+* :mod:`repro.core` — the paper's GCN: aggregators, encoders, classifier,
+  multi-stage cascade, fast sparse inference and the recursive baseline;
+* :mod:`repro.baselines` — LR/RF/SVM/MLP comparison models;
+* :mod:`repro.features` — hand-crafted cone features for the baselines;
+* :mod:`repro.flow` — the iterative OP-insertion flow and the
+  commercial-tool-style baseline flow;
+* :mod:`repro.data` — benchmark designs B1-B4, caching and splits.
+
+Quick start::
+
+    from repro.circuit import generate_design
+    from repro.testability import label_nodes
+    from repro.core import GraphData, GCN, Trainer, TrainConfig
+
+    netlist = generate_design(2000, seed=0)
+    labels = label_nodes(netlist)
+    graph = GraphData.from_netlist(netlist, labels=labels.labels)
+    model = GCN()
+    Trainer(model, TrainConfig(epochs=100)).fit([graph])
+"""
+
+from repro.metrics import accuracy, confusion, f1_score, precision, recall
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "accuracy",
+    "confusion",
+    "f1_score",
+    "precision",
+    "recall",
+]

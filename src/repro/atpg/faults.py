@@ -1,0 +1,83 @@
+"""Single-stuck-at fault model and equivalence collapsing.
+
+The fault universe is stuck-at-0/1 on every cell output (plus primary
+inputs), the standard collapsed starting point: input faults of a gate are
+equivalent or dominant to output faults of its drivers for the fanout-free
+case, and the checkpoint theorem keeps output+branch faults sufficient for
+coverage accounting.  Structural equivalence collapsing then merges faults
+across inverter/buffer chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.cells import GateType
+from repro.circuit.netlist import Netlist
+
+__all__ = ["Fault", "full_fault_list", "collapse_faults"]
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """A single stuck-at fault on the output net of ``node``."""
+
+    node: int
+    stuck_value: int  #: 0 or 1
+
+    def __post_init__(self) -> None:
+        if self.stuck_value not in (0, 1):
+            raise ValueError("stuck_value must be 0 or 1")
+
+    def __str__(self) -> str:
+        return f"n{self.node}/sa{self.stuck_value}"
+
+
+def full_fault_list(netlist: Netlist, include_observation_cells: bool = False) -> list[Fault]:
+    """Both stuck-at faults on every cell output.
+
+    ``OBS`` cells are test infrastructure, excluded by default so inserting
+    observation points does not inflate the fault universe being graded.
+    """
+    faults: list[Fault] = []
+    for v in netlist.nodes():
+        if not include_observation_cells and netlist.gate_type(v) is GateType.OBS:
+            continue
+        faults.append(Fault(v, 0))
+        faults.append(Fault(v, 1))
+    return faults
+
+
+def collapse_faults(netlist: Netlist, faults: list[Fault] | None = None) -> list[Fault]:
+    """Equivalence-collapse ``faults`` across BUF/NOT chains.
+
+    A fault on a buffer output is equivalent to the same fault on its input
+    net; on an inverter output, to the opposite fault on its input.  Each
+    equivalence class is represented by its most-upstream member.  For
+    single-fanout nets the gate-output/gate-input equivalences
+    (AND output sa0 = any input sa0, etc.) are intentionally *not* folded:
+    we only model output faults, so those classes are already collapsed.
+    """
+    if faults is None:
+        faults = full_fault_list(netlist)
+
+    def representative(fault: Fault) -> Fault:
+        node, value = fault.node, fault.stuck_value
+        while True:
+            t = netlist.gate_type(node)
+            if t is GateType.BUF and len(netlist.fanouts(netlist.fanins(node)[0])) == 1:
+                node = netlist.fanins(node)[0]
+            elif t is GateType.NOT and len(netlist.fanouts(netlist.fanins(node)[0])) == 1:
+                node = netlist.fanins(node)[0]
+                value = 1 - value
+            else:
+                return Fault(node, value)
+
+    seen: set[Fault] = set()
+    collapsed: list[Fault] = []
+    for fault in faults:
+        rep = representative(fault)
+        if rep not in seen:
+            seen.add(rep)
+            collapsed.append(rep)
+    return collapsed

@@ -1,0 +1,94 @@
+"""Weighted-random test generation.
+
+Plain random patterns drive every input to 0/1 with probability 1/2; deep
+AND/OR funnels then almost never activate, which is exactly why
+random-resistant (difficult-to-observe/control) nodes exist.  The classic
+remedy before deterministic ATPG is *weighted* random patterns: bias each
+input's probability so internal signal distributions flatten out.
+
+The weight computation here is the standard one-pass heuristic: for each
+primary input, average the COP-gradient demand of the hard faults in its
+fanout cone — inputs feeding AND-dominated logic get pulled towards 1,
+OR-dominated towards 0 — then clamp to ``[w_min, 1 - w_min]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.cells import GateType
+from repro.circuit.levelize import topological_order
+from repro.circuit.netlist import Netlist
+from repro.testability.cop import compute_cop
+from repro.utils.rng import as_rng
+
+__all__ = ["WeightedPatternConfig", "compute_input_weights", "weighted_pattern_words"]
+
+
+@dataclass
+class WeightedPatternConfig:
+    """Weighting parameters."""
+
+    w_min: float = 0.1  #: clamp, keeps every value reachable
+    hard_threshold: float = 0.05  #: detection probability defining "hard"
+
+
+def compute_input_weights(
+    netlist: Netlist, config: WeightedPatternConfig | None = None
+) -> np.ndarray:
+    """Per-source probability of driving a 1, aligned with ``netlist.sources``.
+
+    Backward demand propagation: each hard-to-detect node asks its fanin
+    cone for the value that would activate/propagate it more often; demands
+    average through the cone down to the sources.
+    """
+    config = config or WeightedPatternConfig()
+    cop = compute_cop(netlist)
+    d0, d1 = cop.detection_probability()
+    hard = np.minimum(d0, d1) < config.hard_threshold
+
+    # demand[v] in [0,1]: the signal probability the cone above v "wants".
+    demand_sum = np.zeros(netlist.num_nodes)
+    demand_count = np.zeros(netlist.num_nodes)
+
+    order = topological_order(netlist)
+    for v in reversed(order):
+        t = netlist.gate_type(v)
+        own = None
+        if hard[v]:
+            # Want the rare value more often: target its complement prob.
+            own = 1.0 - cop.p1[v]
+        pulled = demand_sum[v] / demand_count[v] if demand_count[v] else None
+        if own is None and pulled is None:
+            continue
+        mix = np.mean([x for x in (own, pulled) if x is not None])
+        for u in netlist.fanins(v):
+            tu = netlist.gate_type(v)
+            # Through inverting gates the demanded polarity flips.
+            if tu in (GateType.NOT, GateType.NAND, GateType.NOR):
+                demand_sum[u] += 1.0 - mix
+            else:
+                demand_sum[u] += mix
+            demand_count[u] += 1
+
+    weights = np.full(len(netlist.sources), 0.5)
+    for i, s in enumerate(netlist.sources):
+        if demand_count[s]:
+            weights[i] = demand_sum[s] / demand_count[s]
+    return np.clip(weights, config.w_min, 1.0 - config.w_min)
+
+
+def weighted_pattern_words(
+    weights: np.ndarray, n_words: int, rng: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Packed random patterns where source ``i`` is 1 w.p. ``weights[i]``."""
+    rng = as_rng(rng)
+    n_sources = len(weights)
+    bits = rng.random((n_sources, n_words * 64)) < weights[:, None]
+    words = np.zeros((n_sources, n_words), dtype=np.uint64)
+    for b in range(64):
+        chunk = bits[:, b::64]
+        words |= chunk.astype(np.uint64) << np.uint64(b)
+    return words

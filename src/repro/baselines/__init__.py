@@ -1,0 +1,20 @@
+"""Classical ML baselines (Table 2): LR, RF, SVM, MLP — from scratch."""
+
+from repro.baselines.base import Estimator, Standardizer
+from repro.baselines.logistic import LogisticRegression
+from repro.baselines.svm import LinearSVM
+from repro.baselines.forest import DecisionTree, RandomForest
+from repro.baselines.mlp import MLP
+from repro.baselines.node2vec import Node2Vec, Node2VecConfig
+
+__all__ = [
+    "Node2Vec",
+    "Node2VecConfig",
+    "Estimator",
+    "Standardizer",
+    "LogisticRegression",
+    "LinearSVM",
+    "DecisionTree",
+    "RandomForest",
+    "MLP",
+]

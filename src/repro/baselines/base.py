@@ -1,0 +1,58 @@
+"""Shared estimator interface and preprocessing for the classical baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Estimator", "Standardizer"]
+
+
+class Estimator:
+    """Minimal fit/predict contract all baselines implement."""
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "Estimator":
+        raise NotImplementedError
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """(n, 2) class probabilities; default from hard predictions."""
+        pred = self.predict(features)
+        proba = np.zeros((len(pred), 2))
+        proba[np.arange(len(pred)), pred] = 1.0
+        return proba
+
+    @staticmethod
+    def _check_xy(features: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if labels.shape != (features.shape[0],):
+            raise ValueError("labels must be 1-D and match features rows")
+        return features, labels
+
+
+class Standardizer:
+    """Column-wise zero-mean/unit-variance scaling (fit on training data)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "Standardizer":
+        features = np.asarray(features, dtype=np.float64)
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std < 1e-12] = 1.0  # constant columns pass through
+        self.scale_ = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("standardizer has not been fitted")
+        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,189 @@
+"""CART decision trees and a bootstrap-aggregated random forest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import Estimator
+from repro.utils.rng import as_rng
+
+__all__ = ["DecisionTree", "RandomForest"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class distribution."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    proba: np.ndarray | None = None  #: set on leaves
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.proba is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return 1.0 - float((p * p).sum())
+
+
+class DecisionTree(Estimator):
+    """Binary-split CART classifier with Gini impurity."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = as_rng(seed)
+        self.root_: _Node | None = None
+        self.n_classes_: int = 2
+
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        features, labels = self._check_xy(features, labels)
+        self.n_classes_ = max(2, int(labels.max()) + 1)
+        self.root_ = self._grow(features, labels, depth=0)
+        return self
+
+    def _leaf(self, labels: np.ndarray) -> _Node:
+        counts = np.bincount(labels, minlength=self.n_classes_).astype(np.float64)
+        return _Node(proba=counts / counts.sum())
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        n, d = features.shape
+        if (
+            depth >= self.max_depth
+            or n < 2 * self.min_samples_leaf
+            or len(np.unique(labels)) == 1
+        ):
+            return self._leaf(labels)
+
+        n_try = self.max_features or max(1, int(np.sqrt(d)))
+        candidates = self._rng.choice(d, size=min(n_try, d), replace=False)
+        best = (np.inf, -1, 0.0)  # (weighted impurity, feature, threshold)
+        for f in candidates:
+            column = features[:, f]
+            split = self._best_split(column, labels)
+            if split is not None and split[0] < best[0]:
+                best = (split[0], int(f), split[1])
+        if best[1] < 0:
+            return self._leaf(labels)
+
+        _, feature, threshold = best
+        go_left = features[:, feature] <= threshold
+        if (
+            go_left.sum() < self.min_samples_leaf
+            or (~go_left).sum() < self.min_samples_leaf
+        ):
+            return self._leaf(labels)
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._grow(features[go_left], labels[go_left], depth + 1),
+            right=self._grow(features[~go_left], labels[~go_left], depth + 1),
+        )
+
+    def _best_split(
+        self, column: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, float] | None:
+        """Best (impurity, threshold) for one feature, scanned in sort order."""
+        order = np.argsort(column, kind="stable")
+        col = column[order]
+        lab = labels[order]
+        n = len(lab)
+        # Cumulative class counts left of each boundary position.
+        one_hot = np.zeros((n, self.n_classes_))
+        one_hot[np.arange(n), lab] = 1.0
+        left_counts = np.cumsum(one_hot, axis=0)
+        total = left_counts[-1]
+        # Valid boundaries: between distinct consecutive values.
+        boundaries = np.flatnonzero(col[:-1] < col[1:])
+        if len(boundaries) == 0:
+            return None
+        best_score = np.inf
+        best_threshold = 0.0
+        for i in boundaries:
+            lc = left_counts[i]
+            rc = total - lc
+            nl, nr = i + 1.0, n - i - 1.0
+            score = (nl * _gini(lc) + nr * _gini(rc)) / n
+            if score < best_score:
+                best_score = score
+                best_threshold = 0.5 * (col[i] + col[i + 1])
+        return best_score, best_threshold
+
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.root_ is None:
+            raise RuntimeError("model has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        out = np.empty((features.shape[0], self.n_classes_))
+        for i, row in enumerate(features):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.proba
+        return out
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=1)
+
+
+class RandomForest(Estimator):
+    """Bootstrap-aggregated decision trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = as_rng(seed)
+        self.trees_: list[DecisionTree] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForest":
+        features, labels = self._check_xy(features, labels)
+        n = features.shape[0]
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            idx = self._rng.integers(0, n, size=n)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=self._rng,
+            )
+            tree.fit(features[idx], labels[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("model has not been fitted")
+        proba = self.trees_[0].predict_proba(features)
+        for tree in self.trees_[1:]:
+            proba += tree.predict_proba(features)
+        return proba / len(self.trees_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=1)

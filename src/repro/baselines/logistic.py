@@ -1,0 +1,55 @@
+"""Binary logistic regression (full-batch gradient descent, L2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Estimator
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression(Estimator):
+    """L2-regularised logistic regression trained by gradient descent."""
+
+    def __init__(
+        self,
+        lr: float = 0.1,
+        epochs: int = 300,
+        l2: float = 1e-4,
+    ) -> None:
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        features, labels = self._check_xy(features, labels)
+        n, d = features.shape
+        w = np.zeros(d)
+        b = 0.0
+        y = labels.astype(np.float64)
+        for _ in range(self.epochs):
+            z = features @ w + b
+            p = 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+            err = p - y
+            grad_w = features.T @ err / n + self.l2 * w
+            grad_b = float(err.mean())
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+        self.weights_ = w
+        self.bias_ = b
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("model has not been fitted")
+        return np.asarray(features, dtype=np.float64) @ self.weights_ + self.bias_
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.decision_function(features) >= 0.0).astype(np.int64)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        p = 1.0 / (1.0 + np.exp(-np.clip(self.decision_function(features), -60, 60)))
+        return np.stack([1.0 - p, p], axis=1)

@@ -1,0 +1,85 @@
+"""Multi-layer perceptron baseline.
+
+Per the paper, "the configuration of the network is the same as the
+classifier module in GCN" — four FC layers with widths (64, 64, 128, 2) —
+applied to the hand-crafted cone features instead of learned embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Estimator
+from repro.nn.functional import cross_entropy
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import as_rng
+
+__all__ = ["MLP"]
+
+
+class MLP(Estimator):
+    """FC classifier trained with Adam on softmax cross-entropy."""
+
+    def __init__(
+        self,
+        hidden_dims: tuple[int, ...] = (64, 64, 128),
+        n_classes: int = 2,
+        lr: float = 1e-3,
+        epochs: int = 120,
+        batch_size: int = 128,
+        weight_decay: float = 1e-5,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.hidden_dims = hidden_dims
+        self.n_classes = n_classes
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.weight_decay = weight_decay
+        self._rng = as_rng(seed)
+        self.network_: Sequential | None = None
+
+    def _build(self, in_dim: int) -> Sequential:
+        layers: list = []
+        prev = in_dim
+        for width in self.hidden_dims:
+            layers.append(Linear(prev, width, rng=self._rng))
+            layers.append(ReLU())
+            prev = width
+        layers.append(Linear(prev, self.n_classes, rng=self._rng))
+        return Sequential(*layers)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLP":
+        features, labels = self._check_xy(features, labels)
+        n = features.shape[0]
+        self.network_ = self._build(features.shape[1])
+        optimizer = Adam(
+            self.network_.parameters(), lr=self.lr, weight_decay=self.weight_decay
+        )
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                optimizer.zero_grad()
+                logits = self.network_(Tensor(features[idx]))
+                loss = cross_entropy(logits, labels[idx])
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def _logits(self, features: np.ndarray) -> np.ndarray:
+        if self.network_ is None:
+            raise RuntimeError("model has not been fitted")
+        with no_grad():
+            return self.network_(Tensor(np.asarray(features, dtype=np.float64))).data
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self._logits(features), axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        logits = self._logits(features)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

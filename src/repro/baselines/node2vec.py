@@ -1,0 +1,171 @@
+"""Transductive node-embedding baseline (DeepWalk/node2vec family).
+
+Section 2.1 of the paper contrasts two embedding families: *transductive*
+methods (node2vec [16]) that "directly optimize the embedding for each
+node, thus they require all nodes to be present during training, and hence
+cannot generalize to unseen graphs", and *inductive* ones (the paper's
+GCN).  This module implements the transductive representative so the
+distinction can be measured: biased second-order random walks + skip-gram
+with negative sampling, trained per graph.
+
+The embeddings are only meaningful *within* the graph they were fitted on
+— there is no correspondence between embedding spaces of two separately
+fitted graphs — which the inductive-vs-transductive ablation demonstrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.utils.rng import as_rng
+
+__all__ = ["Node2VecConfig", "Node2Vec"]
+
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Node2VecConfig:
+    """Walk and skip-gram hyper-parameters (defaults sized for ~3k nodes)."""
+
+    dim: int = 32
+    walks_per_node: int = 4
+    walk_length: int = 15
+    window: int = 2
+    negatives: int = 4
+    epochs: int = 2
+    lr: float = 0.05
+    batch_size: int = 1024
+    p: float = 1.0  #: return parameter (1.0 == DeepWalk)
+    q: float = 1.0  #: in-out parameter
+
+
+class Node2Vec:
+    """Per-graph random-walk embeddings with skip-gram training."""
+
+    def __init__(
+        self,
+        config: Node2VecConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.config = config or Node2VecConfig()
+        self._rng = as_rng(seed)
+        self.embeddings_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, netlist: Netlist) -> "Node2Vec":
+        """Learn embeddings for every node of ``netlist``."""
+        neighbours = self._undirected_adjacency(netlist)
+        walks = self._generate_walks(neighbours)
+        pairs = self._skip_gram_pairs(walks)
+        self.embeddings_ = self._train(netlist.num_nodes, pairs)
+        return self
+
+    def transform(self) -> np.ndarray:
+        if self.embeddings_ is None:
+            raise RuntimeError("model has not been fitted")
+        return self.embeddings_
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _undirected_adjacency(netlist: Netlist) -> list[np.ndarray]:
+        neighbours: list[set[int]] = [set() for _ in netlist.nodes()]
+        for driver, sink in netlist.iter_edges():
+            neighbours[driver].add(sink)
+            neighbours[sink].add(driver)
+        return [np.array(sorted(ns), dtype=np.int64) for ns in neighbours]
+
+    def _generate_walks(self, neighbours: list[np.ndarray]) -> list[np.ndarray]:
+        cfg = self.config
+        rng = self._rng
+        n = len(neighbours)
+        walks = []
+        use_bias = not (cfg.p == 1.0 and cfg.q == 1.0)
+        for _ in range(cfg.walks_per_node):
+            order = rng.permutation(n)
+            for start in order:
+                if len(neighbours[start]) == 0:
+                    continue
+                walk = [int(start)]
+                while len(walk) < cfg.walk_length:
+                    current = walk[-1]
+                    options = neighbours[current]
+                    if len(options) == 0:
+                        break
+                    if use_bias and len(walk) >= 2:
+                        nxt = self._biased_step(
+                            neighbours, walk[-2], current, options, rng
+                        )
+                    else:
+                        nxt = int(options[rng.integers(0, len(options))])
+                    walk.append(nxt)
+                walks.append(np.array(walk, dtype=np.int64))
+        return walks
+
+    def _biased_step(
+        self,
+        neighbours: list[np.ndarray],
+        previous: int,
+        current: int,
+        options: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        cfg = self.config
+        prev_nbrs = neighbours[previous]
+        weights = np.empty(len(options))
+        for i, x in enumerate(options):
+            if x == previous:
+                weights[i] = 1.0 / cfg.p
+            elif np.searchsorted(prev_nbrs, x) < len(prev_nbrs) and prev_nbrs[
+                np.searchsorted(prev_nbrs, x)
+            ] == x:
+                weights[i] = 1.0
+            else:
+                weights[i] = 1.0 / cfg.q
+        weights /= weights.sum()
+        return int(options[rng.choice(len(options), p=weights)])
+
+    def _skip_gram_pairs(self, walks: list[np.ndarray]) -> np.ndarray:
+        cfg = self.config
+        pairs = []
+        for walk in walks:
+            length = len(walk)
+            for i in range(length):
+                lo = max(0, i - cfg.window)
+                hi = min(length, i + cfg.window + 1)
+                for j in range(lo, hi):
+                    if i != j:
+                        pairs.append((walk[i], walk[j]))
+        return np.array(pairs, dtype=np.int64)
+
+    def _train(self, n_nodes: int, pairs: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        rng = self._rng
+        scale = 0.5 / cfg.dim
+        emb_in = rng.uniform(-scale, scale, size=(n_nodes, cfg.dim))
+        emb_out = np.zeros((n_nodes, cfg.dim))
+        for _ in range(cfg.epochs):
+            order = rng.permutation(len(pairs))
+            for start in range(0, len(order), cfg.batch_size):
+                batch = pairs[order[start : start + cfg.batch_size]]
+                centers, contexts = batch[:, 0], batch[:, 1]
+                self._sgd_step(emb_in, emb_out, centers, contexts, 1.0)
+                for _ in range(cfg.negatives):
+                    fakes = rng.integers(0, n_nodes, size=len(batch))
+                    self._sgd_step(emb_in, emb_out, centers, fakes, 0.0)
+        return emb_in
+
+    def _sgd_step(self, emb_in, emb_out, centers, contexts, target: float) -> None:
+        lr = self.config.lr
+        vec_in = emb_in[centers]
+        vec_out = emb_out[contexts]
+        score = 1.0 / (
+            1.0 + np.exp(-np.clip((vec_in * vec_out).sum(axis=1), -30, 30))
+        )
+        coeff = (target - score)[:, None] * lr
+        grad_in = coeff * vec_out
+        grad_out = coeff * vec_in
+        np.add.at(emb_in, centers, grad_in)
+        np.add.at(emb_out, contexts, grad_out)

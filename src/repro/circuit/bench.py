@@ -1,0 +1,183 @@
+"""ISCAS-85/89 ``.bench`` netlist reader and writer.
+
+The ``.bench`` format is the lingua franca of the open testability
+benchmarks (c432, s27, ...).  Supporting it lets the library run on the same
+public netlists the follow-on literature evaluates on, alongside the
+synthetic industrial-shaped designs from :mod:`repro.circuit.generator`.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+
+from repro.circuit.cells import GateType
+from repro.circuit.netlist import Netlist
+
+__all__ = ["parse_bench", "load_bench", "write_bench", "dump_bench", "BenchParseError"]
+
+
+class BenchParseError(ValueError):
+    """Raised on malformed ``.bench`` input, with a line number."""
+
+
+_GATE_NAMES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "DFF": GateType.DFF,
+}
+
+_TYPE_TO_BENCH = {
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+    GateType.DFF: "DFF",
+    GateType.OBS: "BUFF",
+}
+
+_ASSIGN_RE = re.compile(r"^(?P<lhs>[^=\s]+)\s*=\s*(?P<gate>\w+)\s*\((?P<args>[^)]*)\)$")
+_IO_RE = re.compile(r"^(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[^)]+)\)$", re.IGNORECASE)
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` text into a :class:`Netlist`.
+
+    Signals may be used before definition (the format permits any line
+    order), so parsing is two-pass: collect declarations, then build cells
+    in dependency order.
+    """
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: dict[str, tuple[GateType, list[str], int]] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            target = inputs if io_match["kind"].upper() == "INPUT" else outputs
+            target.append(io_match["name"].strip())
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if not assign:
+            raise BenchParseError(f"line {lineno}: cannot parse {line!r}")
+        gate_name = assign["gate"].upper()
+        if gate_name not in _GATE_NAMES:
+            raise BenchParseError(f"line {lineno}: unknown gate {gate_name!r}")
+        args = [a.strip() for a in assign["args"].split(",") if a.strip()]
+        signal = assign["lhs"].strip()
+        if signal in gates:
+            raise BenchParseError(f"line {lineno}: signal {signal!r} redefined")
+        gates[signal] = (_GATE_NAMES[gate_name], args, lineno)
+
+    netlist = Netlist(name)
+    ids: dict[str, int] = {}
+    for sig in inputs:
+        if sig in ids:
+            raise BenchParseError(f"input {sig!r} declared twice")
+        ids[sig] = netlist.add_input(sig)
+
+    building: set[str] = set()
+
+    def build(signal: str) -> int:
+        if signal in ids:
+            return ids[signal]
+        if signal not in gates:
+            raise BenchParseError(f"signal {signal!r} used but never defined")
+        if signal in building:
+            raise BenchParseError(f"combinational loop through {signal!r}")
+        building.add(signal)
+        gate_type, args, lineno = gates[signal]
+        if gate_type is GateType.DFF:
+            # Break the sequential cycle: create the flop as a source first,
+            # then wire its data input afterwards via a companion BUF.
+            node = netlist.add_cell(GateType.INPUT, (), signal)
+            netlist._types[node] = GateType.DFF  # promoted below
+            ids[signal] = node
+            data = build(args[0])
+            netlist._fanins[node] = [data]
+            netlist._fanouts[data].append(node)
+        else:
+            fanin_ids = [build(a) for a in args]
+            try:
+                ids[signal] = netlist.add_cell(gate_type, fanin_ids, signal)
+            except ValueError as exc:
+                raise BenchParseError(f"line {lineno}: {exc}") from exc
+        building.discard(signal)
+        return ids[signal]
+
+    for sig in gates:
+        build(sig)
+    for sig in outputs:
+        if sig not in ids:
+            raise BenchParseError(f"output {sig!r} is never driven")
+        netlist.mark_output(ids[sig])
+    return netlist
+
+
+def load_bench(path: str | Path) -> Netlist:
+    """Read a ``.bench`` file from ``path``."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(netlist: Netlist, stream: io.TextIOBase) -> None:
+    """Write ``netlist`` to ``stream`` in ``.bench`` syntax.
+
+    ``OBS`` cells are emitted as buffers that are also declared ``OUTPUT``,
+    which is the standard way observation points materialise in a scan
+    netlist export.
+    """
+    stream.write(f"# {netlist.name}: {netlist.num_nodes} cells\n")
+    for v in netlist.primary_inputs:
+        stream.write(f"INPUT({netlist.cell_name(v)})\n")
+    for v in netlist.primary_outputs:
+        stream.write(f"OUTPUT({netlist.cell_name(v)})\n")
+    for v in netlist.observation_points():
+        stream.write(f"OUTPUT({netlist.cell_name(v)})\n")
+    # ``.bench`` has no tie cells; constants become XOR/XNOR of any input
+    # with itself, the standard encoding.
+    tie_driver = None
+    if any(
+        netlist.gate_type(v) in (GateType.CONST0, GateType.CONST1)
+        for v in netlist.nodes()
+    ):
+        pis = netlist.primary_inputs
+        if not pis:
+            raise ValueError(
+                "cannot export constants to .bench without a primary input"
+            )
+        tie_driver = netlist.cell_name(pis[0])
+    for v in netlist.nodes():
+        gate_type = netlist.gate_type(v)
+        if gate_type is GateType.INPUT:
+            continue
+        if gate_type is GateType.CONST0:
+            stream.write(f"{netlist.cell_name(v)} = XOR({tie_driver}, {tie_driver})\n")
+            continue
+        if gate_type is GateType.CONST1:
+            stream.write(f"{netlist.cell_name(v)} = XNOR({tie_driver}, {tie_driver})\n")
+            continue
+        args = ", ".join(netlist.cell_name(u) for u in netlist.fanins(v))
+        stream.write(f"{netlist.cell_name(v)} = {_TYPE_TO_BENCH[gate_type]}({args})\n")
+
+
+def dump_bench(netlist: Netlist, path: str | Path) -> None:
+    """Write ``netlist`` to a ``.bench`` file at ``path``."""
+    with open(path, "w") as fh:
+        write_bench(netlist, fh)

@@ -1,0 +1,126 @@
+"""Cell library: gate types and their Boolean semantics.
+
+The library is the small set of primitives that gate-level test literature
+(SCOAP, COP, PODEM) is defined over.  Sequential elements are modelled for
+full-scan designs: a ``DFF`` output behaves as a pseudo primary input and its
+data input as a pseudo primary output, which is how test-point-insertion
+flows (including the paper's) treat them.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = [
+    "GateType",
+    "COMBINATIONAL",
+    "INVERTING",
+    "SOURCE_TYPES",
+    "controlling_value",
+    "inversion_parity",
+    "is_source",
+    "eval_gate_bool",
+]
+
+
+class GateType(IntEnum):
+    """Supported gate primitives.
+
+    ``INPUT`` is a primary input; ``CONST0``/``CONST1`` are tie cells;
+    ``OBS`` is an inserted observation point (a scan cell that makes its
+    single fanin directly observable).
+    """
+
+    INPUT = 0
+    BUF = 1
+    NOT = 2
+    AND = 3
+    NAND = 4
+    OR = 5
+    NOR = 6
+    XOR = 7
+    XNOR = 8
+    CONST0 = 9
+    CONST1 = 10
+    DFF = 11
+    OBS = 12
+
+
+#: Gate types that compute a Boolean function of their fanins.
+COMBINATIONAL = frozenset(
+    {
+        GateType.BUF,
+        GateType.NOT,
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+        GateType.OBS,
+    }
+)
+
+#: Gate types whose output inverts the "natural" AND/OR/parity term.
+INVERTING = frozenset({GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR})
+
+#: Gate types that source a value without combinational fanins.
+SOURCE_TYPES = frozenset(
+    {GateType.INPUT, GateType.CONST0, GateType.CONST1, GateType.DFF}
+)
+
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+
+def controlling_value(gate_type: GateType) -> int | None:
+    """Return the controlling input value of ``gate_type``.
+
+    A controlling value at any input determines the output regardless of the
+    other inputs.  XOR/XNOR, buffers and inverters have no controlling value
+    and yield ``None``.
+    """
+    return _CONTROLLING.get(gate_type)
+
+
+def inversion_parity(gate_type: GateType) -> int:
+    """Return 1 when the gate inverts its defining term, else 0."""
+    return 1 if gate_type in INVERTING else 0
+
+
+def is_source(gate_type: GateType) -> bool:
+    """Return True for gates that take no combinational fanin."""
+    return gate_type in SOURCE_TYPES
+
+
+def eval_gate_bool(gate_type: GateType, inputs: list[int]) -> int:
+    """Evaluate a gate on scalar 0/1 inputs (reference semantics).
+
+    The bit-parallel simulator in :mod:`repro.atpg.simulator` implements the
+    same truth tables on packed words; this scalar version is the oracle the
+    test-suite checks it against.
+    """
+    if gate_type in (GateType.BUF, GateType.OBS, GateType.DFF):
+        (value,) = inputs
+        return value
+    if gate_type is GateType.NOT:
+        (value,) = inputs
+        return 1 - value
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return 1
+    if gate_type in (GateType.AND, GateType.NAND):
+        value = int(all(inputs))
+        return 1 - value if gate_type is GateType.NAND else value
+    if gate_type in (GateType.OR, GateType.NOR):
+        value = int(any(inputs))
+        return 1 - value if gate_type is GateType.NOR else value
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        value = sum(inputs) % 2
+        return 1 - value if gate_type is GateType.XNOR else value
+    raise ValueError(f"cannot evaluate gate type {gate_type!r}")

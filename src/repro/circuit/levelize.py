@@ -1,0 +1,72 @@
+"""Topological ordering and logic-level computation.
+
+Logic level ``LL`` — the longest combinational path from any source — is the
+first component of the paper's four-dimensional node attribute
+``[LL, C0, C1, O]``.  Every analysis in the library (simulation, SCOAP,
+observability) walks the netlist in the topological order produced here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.circuit.cells import is_source
+from repro.circuit.netlist import Netlist
+
+__all__ = ["topological_order", "logic_levels", "CombinationalLoopError"]
+
+
+class CombinationalLoopError(ValueError):
+    """Raised when the netlist contains a combinational cycle."""
+
+
+def topological_order(netlist: Netlist) -> list[int]:
+    """Return node ids in topological (fanin-before-fanout) order.
+
+    ``DFF`` cells break cycles in the usual full-scan sense: they are sources
+    for ordering purposes (their data-input edge is not followed), so a
+    sequential loop through a flop is legal while a purely combinational loop
+    raises :class:`CombinationalLoopError`.
+    """
+    n = netlist.num_nodes
+    indegree = np.zeros(n, dtype=np.int64)
+    for v in netlist.nodes():
+        if is_source(netlist.gate_type(v)):
+            continue
+        indegree[v] = len(netlist.fanins(v))
+    queue = deque(v for v in netlist.nodes() if indegree[v] == 0)
+    order: list[int] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for w in netlist.fanouts(v):
+            if is_source(netlist.gate_type(w)):
+                continue
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                queue.append(w)
+    if len(order) != n:
+        stuck = [v for v in netlist.nodes() if indegree[v] > 0]
+        raise CombinationalLoopError(
+            f"combinational loop involving {len(stuck)} nodes "
+            f"(e.g. node {stuck[0]})"
+        )
+    return order
+
+
+def logic_levels(netlist: Netlist, order: list[int] | None = None) -> np.ndarray:
+    """Return per-node logic level: longest path length from a source.
+
+    Sources (PIs, constants, DFF outputs) are level 0; every other node is
+    ``1 + max(level of fanins)``.
+    """
+    if order is None:
+        order = topological_order(netlist)
+    levels = np.zeros(netlist.num_nodes, dtype=np.int64)
+    for v in order:
+        if is_source(netlist.gate_type(v)):
+            continue
+        levels[v] = 1 + max(levels[u] for u in netlist.fanins(v))
+    return levels

@@ -1,0 +1,275 @@
+"""Gate-level netlist container.
+
+A :class:`Netlist` is a directed graph whose nodes are cells and whose edges
+are wires, exactly the representation the paper feeds to the GCN.  The
+container is append-only (cells are never removed), which matches how the
+observation-point-insertion flow mutates a design and keeps node ids stable
+across insertions — a property the incremental COO update in
+:mod:`repro.flow.modify` relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.circuit.cells import GateType
+
+__all__ = ["Netlist"]
+
+
+class Netlist:
+    """A mutable gate-level netlist.
+
+    Nodes are dense integer ids assigned in creation order.  Primary outputs
+    are an explicit marking (any node, internal or not, may be observed).
+    In full-scan designs the data input of every ``DFF`` is a pseudo primary
+    output and the ``DFF`` output is a pseudo primary input; the accessor
+    properties fold both conventions in so downstream analyses never need to
+    special-case sequential cells.
+    """
+
+    def __init__(self, name: str = "design") -> None:
+        self.name = name
+        self._types: list[GateType] = []
+        self._fanins: list[list[int]] = []
+        self._fanouts: list[list[int]] = []
+        self._names: list[str | None] = []
+        self._po_marks: set[int] = set()
+        self._name_to_id: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_cell(
+        self,
+        gate_type: GateType,
+        fanins: Sequence[int] = (),
+        name: str | None = None,
+    ) -> int:
+        """Append a cell and return its node id.
+
+        Raises ``ValueError`` on arity violations or dangling fanin ids.
+        """
+        gate_type = GateType(gate_type)
+        fanins = list(fanins)
+        self._check_arity(gate_type, fanins)
+        for u in fanins:
+            if not 0 <= u < len(self._types):
+                raise ValueError(f"fanin id {u} does not exist")
+        node = len(self._types)
+        self._types.append(gate_type)
+        self._fanins.append(fanins)
+        self._fanouts.append([])
+        for u in fanins:
+            self._fanouts[u].append(node)
+        if name is not None:
+            if name in self._name_to_id:
+                raise ValueError(f"duplicate cell name {name!r}")
+            self._name_to_id[name] = node
+        self._names.append(name)
+        return node
+
+    def add_input(self, name: str | None = None) -> int:
+        """Append a primary input."""
+        return self.add_cell(GateType.INPUT, (), name)
+
+    def mark_output(self, node: int) -> None:
+        """Mark ``node`` as a primary output (idempotent)."""
+        self._validate_node(node)
+        self._po_marks.add(node)
+
+    @staticmethod
+    def _check_arity(gate_type: GateType, fanins: Sequence[int]) -> None:
+        n = len(fanins)
+        if gate_type in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            if n != 0:
+                raise ValueError(f"{gate_type.name} takes no fanins, got {n}")
+        elif gate_type in (GateType.BUF, GateType.NOT, GateType.DFF, GateType.OBS):
+            if n != 1:
+                raise ValueError(f"{gate_type.name} takes 1 fanin, got {n}")
+        else:
+            if n < 2:
+                raise ValueError(f"{gate_type.name} takes >=2 fanins, got {n}")
+
+    def _validate_node(self, node: int) -> None:
+        if not 0 <= node < len(self._types):
+            raise ValueError(f"node id {node} does not exist")
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._types)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._types)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(f) for f in self._fanins)
+
+    def gate_type(self, node: int) -> GateType:
+        return self._types[node]
+
+    def fanins(self, node: int) -> list[int]:
+        return self._fanins[node]
+
+    def fanouts(self, node: int) -> list[int]:
+        return self._fanouts[node]
+
+    def cell_name(self, node: int) -> str:
+        explicit = self._names[node]
+        return explicit if explicit is not None else f"n{node}"
+
+    def find(self, name: str) -> int:
+        """Return the node id carrying ``name``; raise ``KeyError`` if absent."""
+        return self._name_to_id[name]
+
+    def nodes(self) -> range:
+        return range(len(self._types))
+
+    def iter_edges(self) -> Iterable[tuple[int, int]]:
+        """Yield directed edges ``(driver, sink)``."""
+        for sink, fanins in enumerate(self._fanins):
+            for driver in fanins:
+                yield driver, sink
+
+    @property
+    def primary_inputs(self) -> list[int]:
+        """Primary inputs proper (``INPUT`` cells only)."""
+        return [v for v, t in enumerate(self._types) if t is GateType.INPUT]
+
+    @property
+    def sources(self) -> list[int]:
+        """Assignable value sources for simulation: PIs and DFF outputs.
+
+        Tie cells (``CONST0``/``CONST1``) are sources for ordering purposes
+        but carry fixed values, so they are not listed here.
+        """
+        return [
+            v
+            for v, t in enumerate(self._types)
+            if t in (GateType.INPUT, GateType.DFF)
+        ]
+
+    @property
+    def primary_outputs(self) -> list[int]:
+        """Explicitly marked primary outputs."""
+        return sorted(self._po_marks)
+
+    @property
+    def observation_sites(self) -> list[int]:
+        """All observed nodes: POs, DFF data inputs and OBS fanins.
+
+        These are the nodes whose values the tester sees; fault effects must
+        reach one of them to be detected.
+        """
+        observed = set(self._po_marks)
+        for v, t in enumerate(self._types):
+            if t in (GateType.DFF, GateType.OBS):
+                observed.add(self._fanins[v][0])
+        return sorted(observed)
+
+    def is_output(self, node: int) -> bool:
+        return node in self._po_marks
+
+    def observation_points(self) -> list[int]:
+        """Return ids of inserted ``OBS`` cells."""
+        return [v for v, t in enumerate(self._types) if t is GateType.OBS]
+
+    # ------------------------------------------------------------------ #
+    # Mutation used by the OPI flow
+    # ------------------------------------------------------------------ #
+    def insert_observation_point(self, target: int, name: str | None = None) -> int:
+        """Attach an ``OBS`` scan cell to ``target``; return the new node id.
+
+        This is the netlist-level counterpart of the paper's "add node ``p``
+        and edge ``v -> p``" graph update.
+        """
+        self._validate_node(target)
+        if self._types[target] is GateType.OBS:
+            raise ValueError("target is already an observation point cell")
+        if name is None:
+            name = f"op_{target}_{len(self._types)}"
+        return self.add_cell(GateType.OBS, (target,), name)
+
+    def replace_fanin(self, sink: int, old_driver: int, new_driver: int) -> None:
+        """Rewire one fanin pin of ``sink`` from ``old_driver`` to ``new_driver``.
+
+        Replaces the *first* occurrence (duplicate pins are rewired one at
+        a time).  Used by control-point insertion, which splices a gate
+        into an existing net.
+        """
+        self._validate_node(sink)
+        self._validate_node(new_driver)
+        fanins = self._fanins[sink]
+        try:
+            pin = fanins.index(old_driver)
+        except ValueError:
+            raise ValueError(
+                f"node {old_driver} does not drive node {sink}"
+            ) from None
+        fanins[pin] = new_driver
+        self._fanouts[old_driver].remove(sink)
+        self._fanouts[new_driver].append(sink)
+
+    def insert_control_point(
+        self, target: int, control_to: int, name: str | None = None
+    ) -> tuple[int, int]:
+        """Insert a test control point on the output net of ``target``.
+
+        ``control_to=1`` adds an OR-type CP (test input forces the net to
+        1), ``control_to=0`` an AND-type CP with an inverted enable (test
+        input forces 0; enable high = normal operation).  All existing
+        fanouts of ``target`` are rewired to the CP gate.  Returns
+        ``(control_input, cp_gate)``.
+        """
+        self._validate_node(target)
+        if control_to not in (0, 1):
+            raise ValueError("control_to must be 0 or 1")
+        if self._types[target] is GateType.OBS:
+            raise ValueError("cannot place a control point on an OBS cell")
+        base = name or f"cp_{target}_{len(self._types)}"
+        control = self.add_cell(GateType.INPUT, (), f"{base}_en")
+        sinks = list(self._fanouts[target])
+        if control_to == 1:
+            gate = self.add_cell(GateType.OR, (target, control), base)
+        else:
+            inv = self.add_cell(GateType.NOT, (control,), f"{base}_n")
+            gate = self.add_cell(GateType.AND, (target, inv), base)
+        for sink in sinks:
+            while target in self._fanins[sink]:
+                self.replace_fanin(sink, target, gate)
+        if target in self._po_marks:
+            self._po_marks.discard(target)
+            self._po_marks.add(gate)
+        return control, gate
+
+    # ------------------------------------------------------------------ #
+    # Copy / summary
+    # ------------------------------------------------------------------ #
+    def copy(self, name: str | None = None) -> "Netlist":
+        """Deep-copy the netlist (names and output marks included)."""
+        dup = Netlist(name if name is not None else self.name)
+        dup._types = list(self._types)
+        dup._fanins = [list(f) for f in self._fanins]
+        dup._fanouts = [list(f) for f in self._fanouts]
+        dup._names = list(self._names)
+        dup._po_marks = set(self._po_marks)
+        dup._name_to_id = dict(self._name_to_id)
+        return dup
+
+    def type_counts(self) -> dict[str, int]:
+        """Histogram of gate types by name, for reporting."""
+        counts: dict[str, int] = {}
+        for t in self._types:
+            counts[t.name] = counts.get(t.name, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, pis={len(self.primary_inputs)}, "
+            f"pos={len(self._po_marks)})"
+        )

@@ -1,0 +1,76 @@
+"""Structural netlist validation.
+
+Run before expensive analyses so malformed inputs fail with a precise
+message rather than a deep traceback from the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.cells import GateType, is_source
+from repro.circuit.levelize import CombinationalLoopError, topological_order
+from repro.circuit.netlist import Netlist
+
+__all__ = ["ValidationReport", "validate_netlist", "NetlistValidationError"]
+
+
+class NetlistValidationError(ValueError):
+    """Raised by :func:`validate_netlist` in strict mode."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_netlist`.
+
+    ``errors`` are structural violations that make analyses meaningless;
+    ``warnings`` are suspicious but analysable conditions (e.g. dangling
+    internal nodes, which synthesis tools would have swept).
+    """
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def validate_netlist(netlist: Netlist, strict: bool = False) -> ValidationReport:
+    """Check ``netlist`` for structural problems.
+
+    Checks: combinational loops, observability of the design (at least one
+    observation site), dangling non-observed sinks, unreachable observed
+    nodes, and fanin self-loops.
+
+    When ``strict`` is true, any error raises :class:`NetlistValidationError`.
+    """
+    report = ValidationReport()
+
+    if netlist.num_nodes == 0:
+        report.errors.append("netlist is empty")
+    else:
+        try:
+            topological_order(netlist)
+        except CombinationalLoopError as exc:
+            report.errors.append(str(exc))
+
+        for v in netlist.nodes():
+            if v in netlist.fanins(v):
+                report.errors.append(f"node {v} feeds itself combinationally")
+
+        observed = set(netlist.observation_sites)
+        if not observed:
+            report.errors.append("design has no observation sites (no POs/DFFs)")
+
+        for v in netlist.nodes():
+            t = netlist.gate_type(v)
+            if t is GateType.OBS:
+                continue
+            if not netlist.fanouts(v) and v not in observed:
+                kind = "source" if is_source(t) else "gate"
+                report.warnings.append(f"dangling {kind} {v} ({t.name}) is never observed")
+
+    if strict and report.errors:
+        raise NetlistValidationError("; ".join(report.errors))
+    return report

@@ -1,0 +1,229 @@
+"""Structural (gate-level) Verilog reader and writer.
+
+Supports the netlist subset that synthesis tools emit and test tooling
+consumes: one module of scalar nets, primitive gate instantiations
+(``and``/``or``/``nand``/``nor``/``xor``/``xnor``/``not``/``buf`` with the
+output as the first terminal), ``dff`` instances (``dff name (q, d);``),
+simple alias assigns (``assign a = b;``), and ``1'b0``/``1'b1`` constants.
+Vectors, behavioural blocks and hierarchies are out of scope — flatten
+first.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.cells import GateType
+from repro.circuit.netlist import Netlist
+
+__all__ = ["parse_verilog", "load_verilog", "write_verilog", "dump_verilog",
+           "VerilogParseError"]
+
+
+class VerilogParseError(ValueError):
+    """Raised on unsupported or malformed Verilog input."""
+
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "dff": GateType.DFF,
+}
+
+_TYPE_TO_PRIMITIVE = {v: k for k, v in _PRIMITIVES.items()}
+_TYPE_TO_PRIMITIVE[GateType.OBS] = "buf"
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>\w+)\s*(?:\((?P<ports>[^)]*)\))?\s*;", re.DOTALL
+)
+_STATEMENT_RE = re.compile(r"(?P<stmt>[^;]+);")
+_INSTANCE_RE = re.compile(
+    r"^(?P<prim>\w+)\s+(?:(?P<inst>[\w$]+)\s+)?\((?P<terms>[^)]*)\)$",
+    re.DOTALL,
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def parse_verilog(text: str, name: str | None = None) -> Netlist:
+    """Parse structural Verilog into a :class:`Netlist`."""
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if not module:
+        raise VerilogParseError("no module declaration found")
+    body_start = module.end()
+    end = text.find("endmodule", body_start)
+    if end < 0:
+        raise VerilogParseError("missing endmodule")
+    body = text[body_start:end]
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    instances: list[tuple[GateType, str | None, list[str], int]] = []
+    aliases: list[tuple[str, str]] = []
+
+    for index, match in enumerate(_STATEMENT_RE.finditer(body)):
+        stmt = " ".join(match.group("stmt").split())
+        if not stmt:
+            continue
+        keyword = stmt.split(None, 1)[0]
+        if keyword in ("input", "output", "wire"):
+            _, _, rest = stmt.partition(" ")
+            nets = [n.strip() for n in rest.split(",") if n.strip()]
+            for net in nets:
+                if not re.fullmatch(r"[\w$\\]+", net):
+                    raise VerilogParseError(
+                        f"unsupported net declaration {net!r} "
+                        "(vectors are not supported)"
+                    )
+            if keyword == "input":
+                inputs.extend(nets)
+            elif keyword == "output":
+                outputs.extend(nets)
+            continue
+        if keyword == "assign":
+            rhs_match = re.fullmatch(r"assign\s+([\w$\\]+)\s*=\s*([\w$\\']+)", stmt)
+            if not rhs_match:
+                raise VerilogParseError(
+                    f"only alias assigns are supported: {stmt!r}"
+                )
+            aliases.append((rhs_match.group(1), rhs_match.group(2)))
+            continue
+        instance = _INSTANCE_RE.match(stmt)
+        if not instance or instance.group("prim") not in _PRIMITIVES:
+            raise VerilogParseError(f"unsupported statement {stmt!r}")
+        terms = [t.strip() for t in instance.group("terms").split(",")]
+        if len(terms) < 2:
+            raise VerilogParseError(f"instance needs >=2 terminals: {stmt!r}")
+        instances.append(
+            (
+                _PRIMITIVES[instance.group("prim")],
+                instance.group("inst"),
+                terms,
+                index,
+            )
+        )
+
+    netlist = Netlist(name or module.group("name"))
+    ids: dict[str, int] = {}
+    for net in inputs:
+        if net in ids:
+            raise VerilogParseError(f"input {net!r} declared twice")
+        ids[net] = netlist.add_input(net)
+
+    drivers: dict[str, tuple[GateType, list[str]]] = {}
+    for gate_type, _, terms, _ in instances:
+        out_net = terms[0]
+        if out_net in drivers or out_net in ids:
+            raise VerilogParseError(f"net {out_net!r} has multiple drivers")
+        drivers[out_net] = (gate_type, terms[1:])
+    for lhs, rhs in aliases:
+        if lhs in drivers or lhs in ids:
+            raise VerilogParseError(f"net {lhs!r} has multiple drivers")
+        drivers[lhs] = (GateType.BUF, [rhs])
+
+    building: set[str] = set()
+
+    def build(net: str) -> int:
+        if net in ids:
+            return ids[net]
+        if net in ("1'b0", "1'h0"):
+            node = netlist.add_cell(GateType.CONST0, ())
+            return node
+        if net in ("1'b1", "1'h1"):
+            node = netlist.add_cell(GateType.CONST1, ())
+            return node
+        if net not in drivers:
+            raise VerilogParseError(f"net {net!r} is never driven")
+        if net in building:
+            raise VerilogParseError(f"combinational loop through {net!r}")
+        building.add(net)
+        gate_type, fanin_nets = drivers[net]
+        if gate_type is GateType.DFF:
+            node = netlist.add_cell(GateType.INPUT, (), net)
+            netlist._types[node] = GateType.DFF
+            ids[net] = node
+            data = build(fanin_nets[0])
+            netlist._fanins[node] = [data]
+            netlist._fanouts[data].append(node)
+        else:
+            fanin_ids = [build(f) for f in fanin_nets]
+            try:
+                ids[net] = netlist.add_cell(gate_type, fanin_ids, net)
+            except ValueError as exc:
+                raise VerilogParseError(f"net {net!r}: {exc}") from exc
+        building.discard(net)
+        return ids[net]
+
+    for net in drivers:
+        build(net)
+    for net in outputs:
+        if net not in ids:
+            raise VerilogParseError(f"output {net!r} is never driven")
+        netlist.mark_output(ids[net])
+    return netlist
+
+
+def load_verilog(path: str | Path) -> Netlist:
+    """Read a structural Verilog file."""
+    path = Path(path)
+    return parse_verilog(path.read_text(), name=path.stem)
+
+
+def write_verilog(netlist: Netlist, stream) -> None:
+    """Emit ``netlist`` as one structural Verilog module.
+
+    ``OBS`` cells become buffers driving dedicated output ports, the same
+    convention as the ``.bench`` exporter.
+    """
+    def net(v: int) -> str:
+        return netlist.cell_name(v)
+
+    pis = [net(v) for v in netlist.primary_inputs]
+    pos = [net(v) for v in netlist.primary_outputs]
+    pos += [net(v) for v in netlist.observation_points()]
+    ports = pis + pos
+    stream.write(f"module {netlist.name} ({', '.join(ports)});\n")
+    if pis:
+        stream.write(f"  input {', '.join(pis)};\n")
+    if pos:
+        stream.write(f"  output {', '.join(pos)};\n")
+    wires = [
+        net(v)
+        for v in netlist.nodes()
+        if netlist.gate_type(v) is not GateType.INPUT
+        and net(v) not in set(pos)
+    ]
+    if wires:
+        stream.write(f"  wire {', '.join(wires)};\n")
+    for v in netlist.nodes():
+        gate_type = netlist.gate_type(v)
+        if gate_type is GateType.INPUT:
+            continue
+        if gate_type is GateType.CONST0:
+            stream.write(f"  assign {net(v)} = 1'b0;\n")
+            continue
+        if gate_type is GateType.CONST1:
+            stream.write(f"  assign {net(v)} = 1'b1;\n")
+            continue
+        primitive = _TYPE_TO_PRIMITIVE[gate_type]
+        terms = ", ".join([net(v)] + [net(u) for u in netlist.fanins(v)])
+        stream.write(f"  {primitive} g{v} ({terms});\n")
+    stream.write("endmodule\n")
+
+
+def dump_verilog(netlist: Netlist, path: str | Path) -> None:
+    """Write ``netlist`` to a Verilog file at ``path``."""
+    with open(path, "w") as fh:
+        write_verilog(netlist, fh)

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate``   — emit a synthetic industrial-shaped netlist as ``.bench``;
+* ``analyze``    — SCOAP/COP/label summary for a ``.bench`` netlist;
+* ``atpg``       — run the random+PODEM ATPG on a ``.bench`` netlist;
+* ``experiment`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC'19 GCN testability-analysis reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic netlist")
+    gen.add_argument("output", help="output .bench path")
+    gen.add_argument("--gates", type=int, default=2000)
+    gen.add_argument("--seed", type=int, default=0)
+
+    ana = sub.add_parser("analyze", help="testability analysis of a netlist")
+    ana.add_argument("netlist", help="input .bench path")
+    ana.add_argument("--patterns", type=int, default=256)
+    ana.add_argument("--threshold", type=float, default=0.01)
+
+    atpg = sub.add_parser("atpg", help="run ATPG on a netlist")
+    atpg.add_argument("netlist", help="input .bench path")
+    atpg.add_argument("--max-random", type=int, default=2048)
+    atpg.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument(
+        "name",
+        choices=["table1", "table2", "table3", "figure8", "figure9", "figure10"],
+    )
+
+    sub.add_parser(
+        "report", help="summarise results/*.json from a previous benchmark run"
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.circuit import dump_bench, generate_design
+
+    netlist = generate_design(args.gates, seed=args.seed)
+    dump_bench(netlist, args.output)
+    print(f"wrote {netlist} to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.circuit import load_bench
+    from repro.testability import LabelConfig, compute_cop, compute_scoap, label_nodes
+
+    netlist = load_bench(args.netlist)
+    print(netlist)
+    scoap = compute_scoap(netlist)
+    cop = compute_cop(netlist)
+    labels = label_nodes(
+        netlist, LabelConfig(n_patterns=args.patterns, threshold=args.threshold)
+    )
+    print(f"SCOAP CO: median={np.median(scoap.co):.1f} max={scoap.co.max():.0f}")
+    print(f"COP obs:  median={np.median(cop.obs):.4f} min={cop.obs.min():.2e}")
+    print(
+        f"difficult-to-observe: {labels.n_positive}/{len(labels.labels)} "
+        f"({labels.positive_rate:.2%}) at threshold {args.threshold}"
+    )
+    worst = np.argsort(labels.observed_count)[:10]
+    names = ", ".join(netlist.cell_name(int(v)) for v in worst)
+    print(f"ten least-observed nodes: {names}")
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from repro.atpg import AtpgConfig, run_atpg
+    from repro.circuit import load_bench
+
+    netlist = load_bench(args.netlist)
+    result = run_atpg(
+        netlist,
+        config=AtpgConfig(max_random_patterns=args.max_random, seed=args.seed),
+    )
+    print(
+        f"faults={result.n_faults} coverage={result.fault_coverage:.2%} "
+        f"patterns={result.pattern_count} untestable={result.untestable} "
+        f"aborted={result.aborted}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.data.benchmarks import benchmark_scale
+    from repro.data.dataset import load_suite
+    from repro.experiments import (
+        experiment_label_config,
+        format_accuracy,
+        format_depth_sweep,
+        format_f1,
+        format_scalability,
+        format_statistics,
+        format_testability,
+        run_accuracy_comparison,
+        run_depth_sweep,
+        run_f1_comparison,
+        run_scalability,
+        run_testability_comparison,
+    )
+
+    if args.name == "figure10":
+        print(format_scalability(run_scalability()))
+        return 0
+    scale = benchmark_scale()
+    suite = load_suite(scale=scale, label_config=experiment_label_config())
+    if args.name == "table1":
+        print(format_statistics(suite))
+    elif args.name == "table2":
+        print(format_accuracy(run_accuracy_comparison(suite)))
+    elif args.name == "figure8":
+        print(format_depth_sweep(run_depth_sweep(suite)))
+    elif args.name == "figure9":
+        print(format_f1(run_f1_comparison(suite, scale)))
+    elif args.name == "table3":
+        print(format_testability(run_testability_comparison(suite, scale)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_report
+
+    print(render_report())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "analyze": _cmd_analyze,
+        "atpg": _cmd_atpg,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Model persistence: save/load trained GCNs and cascades to ``.npz``.
+
+A deployed OPI flow trains once and infers on every new design (the model
+is inductive), so models need to outlive the training process.  The format
+is a flat ``.npz``: a JSON-encoded config header plus one array per
+parameter, stable across sessions and numpy versions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import GCN, GCNConfig
+from repro.core.multistage import MultiStageConfig, MultiStageGCN
+from repro.core.trainer import TrainConfig
+
+__all__ = ["save_gcn", "load_gcn", "save_cascade", "load_cascade"]
+
+_FORMAT_VERSION = 1
+
+
+def _config_blob(config: GCNConfig) -> str:
+    data = asdict(config)
+    data["hidden_dims"] = list(data["hidden_dims"])
+    data["fc_dims"] = list(data["fc_dims"])
+    return json.dumps(data)
+
+
+def _config_from_blob(blob: str) -> GCNConfig:
+    data = json.loads(blob)
+    data["hidden_dims"] = tuple(data["hidden_dims"])
+    data["fc_dims"] = tuple(data["fc_dims"])
+    return GCNConfig(**data)
+
+
+def save_gcn(model: GCN, path: str | Path) -> Path:
+    """Serialise ``model`` (architecture + parameters) to ``path``."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload: dict[str, np.ndarray] = {
+        "__format__": np.array(_FORMAT_VERSION),
+        "__config__": np.array(_config_blob(model.config)),
+    }
+    for key, value in model.state_dict().items():
+        payload[f"param/{key}"] = value
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_gcn(path: str | Path) -> GCN:
+    """Reconstruct a :class:`GCN` saved by :func:`save_gcn`."""
+    stored = np.load(path, allow_pickle=False)
+    version = int(stored["__format__"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version}")
+    config = _config_from_blob(str(stored["__config__"]))
+    model = GCN(config)
+    state = {
+        key.split("/", 1)[1]: stored[key]
+        for key in stored.files
+        if key.startswith("param/")
+    }
+    model.load_state_dict(state)
+    return model
+
+
+def save_cascade(cascade: MultiStageGCN, path: str | Path) -> Path:
+    """Serialise a fitted multi-stage cascade to ``path``."""
+    if not cascade.stages:
+        raise ValueError("cascade has not been fitted")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload: dict[str, np.ndarray] = {
+        "__format__": np.array(_FORMAT_VERSION),
+        "__n_stages__": np.array(len(cascade.stages)),
+        "__filter_threshold__": np.array(cascade.config.filter_threshold),
+        "__config__": np.array(_config_blob(cascade.config.gcn)),
+    }
+    for k, stage in enumerate(cascade.stages):
+        payload[f"stage{k}/__config__"] = np.array(_config_blob(stage.config))
+        for key, value in stage.state_dict().items():
+            payload[f"stage{k}/param/{key}"] = value
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_cascade(path: str | Path) -> MultiStageGCN:
+    """Reconstruct a cascade saved by :func:`save_cascade`."""
+    stored = np.load(path, allow_pickle=False)
+    version = int(stored["__format__"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported cascade format version {version}")
+    n_stages = int(stored["__n_stages__"])
+    base_config = _config_from_blob(str(stored["__config__"]))
+    config = MultiStageConfig(
+        n_stages=n_stages,
+        gcn=base_config,
+        train=TrainConfig(),
+        filter_threshold=float(stored["__filter_threshold__"]),
+    )
+    cascade = MultiStageGCN(config)
+    cascade.stages = []
+    for k in range(n_stages):
+        stage_config = _config_from_blob(str(stored[f"stage{k}/__config__"]))
+        model = GCN(stage_config)
+        prefix = f"stage{k}/param/"
+        state = {
+            key[len(prefix):]: stored[key]
+            for key in stored.files
+            if key.startswith(prefix)
+        }
+        model.load_state_dict(state)
+        cascade.stages.append(model)
+    return cascade

@@ -1,0 +1,27 @@
+"""Benchmark designs, labelling cache and dataset splits."""
+
+from repro.data.benchmarks import (
+    BENCHMARK_SPECS,
+    DesignSpec,
+    benchmark_names,
+    benchmark_scale,
+    default_cache_dir,
+    generate_benchmark,
+    load_benchmark,
+)
+from repro.data.dataset import BenchmarkDataset, load_suite
+from repro.data.splits import balanced_indices, leave_one_out
+
+__all__ = [
+    "BENCHMARK_SPECS",
+    "DesignSpec",
+    "benchmark_names",
+    "benchmark_scale",
+    "default_cache_dir",
+    "generate_benchmark",
+    "load_benchmark",
+    "BenchmarkDataset",
+    "load_suite",
+    "balanced_indices",
+    "leave_one_out",
+]

@@ -1,0 +1,59 @@
+"""Dataset assembly: benchmark suite -> labelled :class:`GraphData` objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.core.attributes import AttributeConfig
+from repro.core.graphdata import GraphData
+from repro.data.benchmarks import benchmark_names, load_benchmark
+from repro.data.splits import balanced_indices
+from repro.testability.labels import LabelConfig, LabelResult
+
+__all__ = ["BenchmarkDataset", "load_suite"]
+
+
+@dataclass
+class BenchmarkDataset:
+    """One labelled benchmark design, in both netlist and graph form."""
+
+    name: str
+    netlist: Netlist
+    labels: LabelResult
+    graph: GraphData
+
+    def balanced_graph(
+        self, seed: int | np.random.Generator | None = 0, ratio: float = 1.0
+    ) -> GraphData:
+        """The graph with its training mask restricted to a balanced set."""
+        idx = balanced_indices(self.labels.labels, seed=seed, ratio=ratio)
+        return self.graph.subset(idx)
+
+
+def load_suite(
+    names: list[str] | None = None,
+    scale: float | None = None,
+    label_config: LabelConfig | None = None,
+    attribute_config: AttributeConfig | None = None,
+    cache: bool = True,
+) -> dict[str, BenchmarkDataset]:
+    """Load (generating + labelling on first use) the benchmark suite."""
+    names = names or benchmark_names()
+    suite: dict[str, BenchmarkDataset] = {}
+    for name in names:
+        netlist, labels = load_benchmark(
+            name, scale=scale, label_config=label_config, cache=cache
+        )
+        graph = GraphData.from_netlist(
+            netlist,
+            labels=labels.labels,
+            attribute_config=attribute_config,
+            name=name,
+        )
+        suite[name] = BenchmarkDataset(
+            name=name, netlist=netlist, labels=labels, graph=graph
+        )
+    return suite

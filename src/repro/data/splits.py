@@ -1,0 +1,46 @@
+"""Dataset splits: balanced sampling and leave-one-design-out.
+
+Table 2 of the paper evaluates on *balanced* per-design datasets (all
+positives plus an equal random sample of negatives) under leave-one-design-
+out cross-validation ("each time we use three designs for training and the
+remaining one for testing").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["balanced_indices", "leave_one_out"]
+
+
+def balanced_indices(
+    labels: np.ndarray,
+    seed: int | np.random.Generator | None = 0,
+    ratio: float = 1.0,
+) -> np.ndarray:
+    """All positive indices plus ``ratio`` times as many random negatives.
+
+    Returns a shuffled index array.  Raises if either class is absent —
+    a balanced set is meaningless then.
+    """
+    rng = as_rng(seed)
+    labels = np.asarray(labels)
+    pos = np.flatnonzero(labels == 1)
+    neg = np.flatnonzero(labels == 0)
+    if len(pos) == 0 or len(neg) == 0:
+        raise ValueError("both classes must be present to balance")
+    take = min(len(neg), max(1, int(round(ratio * len(pos)))))
+    sampled = rng.choice(neg, size=take, replace=False)
+    idx = np.concatenate([pos, sampled])
+    rng.shuffle(idx)
+    return idx
+
+
+def leave_one_out(names: Sequence[str]) -> Iterator[tuple[list[str], str]]:
+    """Yield ``(train_names, test_name)`` for each held-out design."""
+    for held_out in names:
+        yield [n for n in names if n != held_out], held_out

@@ -1,0 +1,13 @@
+"""Design-for-test infrastructure: scan chains and test cost models."""
+
+from repro.dft.scan import ScanChains, build_scan_chains, scan_cells
+from repro.dft.cost import TestCost, evaluate_test_cost, gate_equivalents
+
+__all__ = [
+    "ScanChains",
+    "build_scan_chains",
+    "scan_cells",
+    "TestCost",
+    "evaluate_test_cost",
+    "gate_equivalents",
+]

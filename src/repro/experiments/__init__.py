@@ -1,0 +1,58 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.common import (
+    default_gcn_config,
+    default_multistage_config,
+    default_train_config,
+    experiment_label_config,
+    fit_cascade_cached,
+    full_mode,
+    results_dir,
+    write_result,
+)
+from repro.experiments.table1 import collect_statistics, format_statistics
+from repro.experiments.table2 import (
+    AccuracyComparison,
+    format_accuracy,
+    run_accuracy_comparison,
+)
+from repro.experiments.figure8 import DepthSweep, format_depth_sweep, run_depth_sweep
+from repro.experiments.figure9 import F1Comparison, format_f1, run_f1_comparison
+from repro.experiments.figure10 import (
+    ScalabilityResult,
+    format_scalability,
+    run_scalability,
+)
+from repro.experiments.table3 import (
+    TestabilityComparison,
+    format_testability,
+    run_testability_comparison,
+)
+
+__all__ = [
+    "default_gcn_config",
+    "default_multistage_config",
+    "default_train_config",
+    "experiment_label_config",
+    "fit_cascade_cached",
+    "full_mode",
+    "results_dir",
+    "write_result",
+    "collect_statistics",
+    "format_statistics",
+    "AccuracyComparison",
+    "format_accuracy",
+    "run_accuracy_comparison",
+    "DepthSweep",
+    "format_depth_sweep",
+    "run_depth_sweep",
+    "F1Comparison",
+    "format_f1",
+    "run_f1_comparison",
+    "ScalabilityResult",
+    "format_scalability",
+    "run_scalability",
+    "TestabilityComparison",
+    "format_testability",
+    "run_testability_comparison",
+]

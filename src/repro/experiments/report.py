@@ -1,0 +1,156 @@
+"""Assemble a human-readable summary from the benchmark result files.
+
+``pytest benchmarks/ --benchmark-only`` writes one JSON per experiment to
+``results/``; this module renders them back into the paper's tables so a
+run can be reviewed (or diffed against EXPERIMENTS.md) without re-running
+anything: ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.common import results_dir
+from repro.utils.tables import format_table
+
+__all__ = ["load_results", "render_report"]
+
+
+def load_results(directory: Path | None = None) -> dict[str, dict]:
+    """Read every ``results/*.json`` into a name -> payload mapping."""
+    directory = directory or results_dir()
+    out: dict[str, dict] = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            out[path.stem] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+    return out
+
+
+def _render_table1(data: dict) -> str:
+    return format_table(
+        [h.upper() for h in data["headers"]],
+        data["rows"],
+        title="Table 1 — benchmark statistics",
+    )
+
+
+def _render_table2(data: dict) -> str:
+    models = data["models"]
+    rows = []
+    for design in sorted(data["per_design"]):
+        per = data["per_design"][design]
+        rows.append([design] + [round(per[m], 3) for m in models])
+    rows.append(["Average"] + [round(data["averages"][m], 3) for m in models])
+    return format_table(
+        ["Design"] + models, rows, title="Table 2 — balanced accuracy"
+    )
+
+
+def _render_figure8(data: dict) -> str:
+    lines = ["Figure 8 — final test accuracy by depth"]
+    for variant, payload in data.items():
+        finals = {
+            depth: series["test_accuracy"][-1]
+            for depth, series in payload.items()
+            if series.get("test_accuracy")
+        }
+        rendered = "  ".join(f"{d}:{a:.3f}" for d, a in sorted(finals.items()))
+        lines.append(f"  {variant}: {rendered}")
+    return "\n".join(lines)
+
+
+def _render_figure9(data: dict) -> str:
+    rows = [
+        [design, round(data["single"][design], 3), round(data["multi"][design], 3)]
+        for design in sorted(data["single"])
+    ]
+    return format_table(
+        ["Design", "GCN-S", "GCN-M"], rows, title="Figure 9 — F1 on imbalanced data"
+    )
+
+
+def _render_figure10(data: dict) -> str:
+    rows = []
+    for i, n in enumerate(data["sizes"]):
+        speedup = data["recursive_seconds"][i] / max(data["fast_seconds"][i], 1e-12)
+        rows.append(
+            [
+                n,
+                round(data["recursive_seconds"][i], 3),
+                round(data["fast_seconds"][i], 5),
+                f"{speedup:.0f}x",
+            ]
+        )
+    return format_table(
+        ["#Nodes", "Recursive (s)", "Ours (s)", "Speedup"],
+        rows,
+        title="Figure 10 — inference runtime",
+    )
+
+
+def _render_table3(data: dict) -> str:
+    rows = []
+    for design in sorted(data["baseline"]):
+        b, g = data["baseline"][design], data["gcn"][design]
+        rows.append(
+            [
+                design,
+                b["n_ops"],
+                b["n_patterns"],
+                f"{b['coverage']:.2%}",
+                g["n_ops"],
+                g["n_patterns"],
+                f"{g['coverage']:.2%}",
+            ]
+        )
+    rows.append(
+        [
+            "Ratio",
+            "1.00",
+            "1.00",
+            "-",
+            f"{data['op_ratio']:.2f}",
+            f"{data['pattern_ratio']:.2f}",
+            "-",
+        ]
+    )
+    return format_table(
+        ["Design", "Base OPs", "Base PAs", "Base Cov",
+         "GCN OPs", "GCN PAs", "GCN Cov"],
+        rows,
+        title="Table 3 — testability comparison",
+    )
+
+
+_RENDERERS = {
+    "table1": _render_table1,
+    "table2": _render_table2,
+    "figure8": _render_figure8,
+    "figure9": _render_figure9,
+    "figure10": _render_figure10,
+    "table3": _render_table3,
+}
+
+
+def render_report(directory: Path | None = None) -> str:
+    """Render every known result file; list the rest by name."""
+    results = load_results(directory)
+    if not results:
+        return "no results found — run `pytest benchmarks/ --benchmark-only` first"
+    sections = []
+    extras = []
+    for name, payload in results.items():
+        renderer = _RENDERERS.get(name)
+        if renderer is None:
+            extras.append(name)
+            continue
+        try:
+            sections.append(renderer(payload))
+        except (KeyError, TypeError, IndexError):
+            extras.append(f"{name} (unrenderable)")
+    if extras:
+        sections.append("other result files: " + ", ".join(sorted(extras)))
+    return "\n\n".join(sections)

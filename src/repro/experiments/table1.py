@@ -1,0 +1,33 @@
+"""Table 1: benchmark statistics (#nodes, #edges, #POS, #NEG)."""
+
+from __future__ import annotations
+
+from repro.data.dataset import BenchmarkDataset
+from repro.utils.tables import format_table
+
+__all__ = ["collect_statistics", "format_statistics"]
+
+HEADERS = ["Design", "#Nodes", "#Edges", "#POS", "#NEG", "POS rate"]
+
+
+def collect_statistics(suite: dict[str, BenchmarkDataset]) -> list[list]:
+    """One row per design, mirroring the paper's Table 1 columns."""
+    rows = []
+    for name, dataset in suite.items():
+        rows.append(
+            [
+                name,
+                dataset.netlist.num_nodes,
+                dataset.netlist.num_edges,
+                dataset.labels.n_positive,
+                dataset.labels.n_negative,
+                f"{dataset.labels.positive_rate:.3%}",
+            ]
+        )
+    return rows
+
+
+def format_statistics(suite: dict[str, BenchmarkDataset]) -> str:
+    return format_table(
+        HEADERS, collect_statistics(suite), title="Table 1: Statistics of benchmarks"
+    )

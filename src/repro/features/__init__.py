@@ -1,0 +1,5 @@
+"""Hand-crafted features for the classical-model baselines."""
+
+from repro.features.cone import ConeFeatureConfig, ConeFeatureExtractor
+
+__all__ = ["ConeFeatureConfig", "ConeFeatureExtractor"]

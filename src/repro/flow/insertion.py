@@ -1,0 +1,134 @@
+"""The iterative GCN-guided observation-point-insertion flow (Figure 7).
+
+Loop: predict difficult-to-observe nodes with the trained (multi-stage)
+classifier -> evaluate each positive's impact -> insert OPs at the
+top-ranked locations -> incrementally update the graph -> re-predict.
+Exit when no positive predictions remain (or safety limits trigger).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.cells import GateType
+from repro.circuit.netlist import Netlist
+from repro.core.attributes import AttributeConfig
+from repro.core.graphdata import GraphData
+from repro.flow.impact import ImpactEvaluator
+from repro.flow.modify import IncrementalDesign
+
+__all__ = ["OpiConfig", "OpiResult", "run_gcn_opi"]
+
+Predictor = Callable[[GraphData], np.ndarray]
+
+
+@dataclass
+class OpiConfig:
+    """Flow parameters."""
+
+    #: fraction of ranked candidates inserted per iteration
+    select_fraction: float = 0.3
+    #: at least this many insertions per iteration (when candidates exist)
+    min_per_iteration: int = 1
+    #: hard cap on total OPs (None = no cap; the paper's exit is
+    #: "no positive predictions left")
+    max_ops: int | None = None
+    max_iterations: int = 20
+    #: candidates with impact below this are skipped this iteration
+    min_impact: int = 1
+    #: evaluate impact (True, the paper's flow) or insert at every positive
+    use_impact: bool = True
+    verbose: bool = False
+
+
+@dataclass
+class OpiResult:
+    """Outcome of the insertion flow."""
+
+    netlist: Netlist
+    inserted: list[int] = field(default_factory=list)  #: targets, in order
+    iterations: int = 0
+    positives_history: list[int] = field(default_factory=list)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.inserted)
+
+
+def run_gcn_opi(
+    netlist: Netlist,
+    predictor: Predictor,
+    config: OpiConfig | None = None,
+    attribute_config: AttributeConfig | None = None,
+) -> OpiResult:
+    """Run the iterative OPI flow on a copy of ``netlist``.
+
+    ``predictor`` maps a :class:`GraphData` to a 0/1 array over nodes
+    (1 = difficult-to-observe), e.g. ``MultiStageGCN.predict`` or
+    ``FastInference.predict`` of a trained model.
+    """
+    config = config or OpiConfig()
+    design = IncrementalDesign(netlist.copy(), attribute_config)
+    evaluator = ImpactEvaluator(design, predictor)
+    result = OpiResult(netlist=design.netlist)
+
+    for iteration in range(1, config.max_iterations + 1):
+        predictions = np.asarray(predictor(design.graph))
+        candidates = _positive_candidates(design.netlist, predictions)
+        result.positives_history.append(len(candidates))
+        if config.verbose:
+            print(
+                f"iteration {iteration}: {len(candidates)} positive predictions, "
+                f"{result.n_ops} OPs so far"
+            )
+        if not candidates:
+            break
+        result.iterations = iteration
+
+        if config.use_impact:
+            ranked = evaluator.rank(candidates, predictions)
+            ranked = [(c, imp) for c, imp in ranked if imp >= config.min_impact]
+            if not ranked:
+                # No candidate helps its cone; observe the hardest directly.
+                ranked = [(c, 0) for c in candidates]
+        else:
+            ranked = [(c, 0) for c in candidates]
+
+        take = max(
+            config.min_per_iteration,
+            int(round(config.select_fraction * len(ranked))),
+        )
+        selected = [c for c, _ in ranked[:take]]
+        for target in selected:
+            if config.max_ops is not None and result.n_ops >= config.max_ops:
+                break
+            design.insert_op(target)
+            result.inserted.append(target)
+        if config.max_ops is not None and result.n_ops >= config.max_ops:
+            break
+
+    return result
+
+
+def _positive_candidates(netlist: Netlist, predictions: np.ndarray) -> list[int]:
+    """Positive predictions that are legal OP targets.
+
+    OBS cells themselves and nodes already carrying an OP are excluded —
+    re-observing an observed net is never useful.
+    """
+    has_op = {
+        netlist.fanins(p)[0] for p in netlist.observation_points()
+    }
+    observed = set(netlist.observation_sites)
+    out = []
+    for v in np.flatnonzero(predictions == 1):
+        v = int(v)
+        if netlist.gate_type(v) is GateType.OBS:
+            continue
+        if v in has_op or v in observed:
+            continue
+        out.append(v)
+    return out

@@ -1,0 +1,80 @@
+"""Classification and testability metrics used across the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "confusion",
+    "ConfusionMatrix",
+]
+
+
+@dataclass
+class ConfusionMatrix:
+    """Binary confusion counts (positive class = 1)."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.tn + self.fn
+        return (self.tp + self.tn) / total if total else float("nan")
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def confusion(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionMatrix:
+    """Binary confusion matrix; inputs are 0/1 arrays of equal length."""
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_pred = np.asarray(y_pred).astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    return ConfusionMatrix(
+        tp=int(((y_true == 1) & (y_pred == 1)).sum()),
+        fp=int(((y_true == 0) & (y_pred == 1)).sum()),
+        tn=int(((y_true == 0) & (y_pred == 0)).sum()),
+        fn=int(((y_true == 1) & (y_pred == 0)).sum()),
+    )
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of matching predictions."""
+    return confusion(y_true, y_pred).accuracy
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Positive predictive value."""
+    return confusion(y_true, y_pred).precision
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """True positive rate."""
+    return confusion(y_true, y_pred).recall
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall (Figure 9's metric)."""
+    return confusion(y_true, y_pred).f1

@@ -1,0 +1,36 @@
+"""Weight initialisers.
+
+Xavier/Glorot uniform is the default for the GCN encoders and FC layers,
+matching common PyTorch defaults for the architectures the paper uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "zeros"]
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Glorot uniform init for a ``(fan_in, fan_out)`` weight matrix."""
+    rng = as_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(
+    fan_in: int, fan_out: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """He uniform init, appropriate ahead of ReLU nonlinearities."""
+    rng = as_rng(rng)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """Zero init (biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,59 @@
+"""Learning-rate schedules for the optimisers."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["StepLR", "CosineLR"]
+
+
+class _Scheduler:
+    """Base: wraps an optimiser and rewrites ``optimizer.lr`` per step."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        lr = self._lr_at(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def _lr_at(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class StepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(_Scheduler):
+    """Cosine annealing from the base rate down to ``lr_min``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, lr_min: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.total_epochs = total_epochs
+        self.lr_min = lr_min
+
+    def _lr_at(self, epoch: int) -> float:
+        t = min(epoch, self.total_epochs) / self.total_epochs
+        return self.lr_min + 0.5 * (self.base_lr - self.lr_min) * (
+            1 + math.cos(math.pi * t)
+        )

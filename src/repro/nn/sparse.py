@@ -1,0 +1,199 @@
+"""Sparse COO matrix with incremental construction.
+
+The paper's fast inference hinges on two properties of the adjacency matrix
+(Section 3.4): it is > 99.95 % sparse, so it must be stored in coordinate
+(COO) format, and the OPI flow grows it one node at a time, so COO's cheap
+append matters.  :class:`COOMatrix` provides exactly that: amortised O(1)
+appends with capacity doubling, plus matmul through a lazily-built (and
+invalidated-on-append) CSR cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A growable sparse matrix in coordinate format.
+
+    ``values[k]`` sits at ``(rows[k], cols[k])``.  Duplicate coordinates are
+    summed when materialised, matching scipy semantics.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        values: np.ndarray | None = None,
+        rows: np.ndarray | None = None,
+        cols: np.ndarray | None = None,
+    ) -> None:
+        self._shape = (int(shape[0]), int(shape[1]))
+        if values is None:
+            values = np.empty(0, dtype=np.float64)
+            rows = np.empty(0, dtype=np.int64)
+            cols = np.empty(0, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if not (len(values) == len(rows) == len(cols)):
+            raise ValueError("values/rows/cols must have equal length")
+        self._check_bounds(rows, cols)
+        self._n = len(values)
+        capacity = max(16, self._n)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._rows = np.empty(capacity, dtype=np.int64)
+        self._cols = np.empty(capacity, dtype=np.int64)
+        self._values[: self._n] = values
+        self._rows[: self._n] = rows
+        self._cols[: self._n] = cols
+        self._csr: sp.csr_matrix | None = None
+        self._csc: sp.csc_matrix | None = None
+
+    # ------------------------------------------------------------------ #
+    def _check_bounds(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        if len(rows) and (
+            rows.min() < 0
+            or cols.min() < 0
+            or rows.max() >= self._shape[0]
+            or cols.max() >= self._shape[1]
+        ):
+            raise ValueError("coordinate out of bounds for shape "
+                             f"{self._shape}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return self._n
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values[: self._n]
+
+    @property
+    def rows(self) -> np.ndarray:
+        return self._rows[: self._n]
+
+    @property
+    def cols(self) -> np.ndarray:
+        return self._cols[: self._n]
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero entries (1.0 for an empty matrix)."""
+        cells = self._shape[0] * self._shape[1]
+        if cells == 0:
+            return 1.0
+        return 1.0 - self.nnz / cells
+
+    # ------------------------------------------------------------------ #
+    # Incremental construction (the OPI flow's A update)
+    # ------------------------------------------------------------------ #
+    def resize(self, shape: tuple[int, int]) -> None:
+        """Grow the logical shape (shrinking below existing entries fails)."""
+        shape = (int(shape[0]), int(shape[1]))
+        if self._n and (
+            shape[0] <= self.rows.max() or shape[1] <= self.cols.max()
+        ):
+            raise ValueError(
+                f"cannot shrink to {shape}: existing entries out of bounds"
+            )
+        self._shape = shape
+        self._invalidate()
+
+    def append(self, value: float, row: int, col: int) -> None:
+        """Append one ``(value, row, col)`` tuple — amortised O(1)."""
+        if self._n == len(self._values):
+            new_cap = 2 * len(self._values)
+            self._values = np.resize(self._values, new_cap)
+            self._rows = np.resize(self._rows, new_cap)
+            self._cols = np.resize(self._cols, new_cap)
+        if not (0 <= row < self._shape[0] and 0 <= col < self._shape[1]):
+            raise ValueError(f"coordinate ({row}, {col}) out of bounds for "
+                             f"shape {self._shape}")
+        self._values[self._n] = value
+        self._rows[self._n] = row
+        self._cols[self._n] = col
+        self._n += 1
+        self._invalidate()
+
+    def extend(self, values, rows, cols) -> None:
+        """Append multiple tuples at once."""
+        for value, row, col in zip(values, rows, cols):
+            self.append(float(value), int(row), int(col))
+
+    def truncate(self, nnz: int, shape: tuple[int, int] | None = None) -> None:
+        """Roll back to the first ``nnz`` entries (O(1)).
+
+        Used by the impact evaluator to undo a tentative OP insertion
+        without copying the matrix.  Optionally also restores ``shape``.
+        """
+        if not 0 <= nnz <= self._n:
+            raise ValueError(f"cannot truncate to {nnz} entries (have {self._n})")
+        self._n = nnz
+        if shape is not None:
+            self._shape = (int(shape[0]), int(shape[1]))
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._csr = None
+        self._csc = None
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def to_scipy(self) -> sp.csr_matrix:
+        """Materialise (and cache) a CSR copy; duplicates are summed."""
+        if self._csr is None:
+            coo = sp.coo_matrix(
+                (self.values, (self.rows, self.cols)), shape=self._shape
+            )
+            self._csr = coo.tocsr()
+        return self._csr
+
+    def _to_csc(self) -> sp.csc_matrix:
+        if self._csc is None:
+            self._csc = self.to_scipy().tocsc()
+        return self._csc
+
+    def matmul(self, dense: np.ndarray) -> np.ndarray:
+        """Compute ``A @ dense``."""
+        return np.asarray(self.to_scipy() @ dense)
+
+    def rmatmul(self, dense: np.ndarray) -> np.ndarray:
+        """Compute ``A.T @ dense`` (the backward pass of :meth:`matmul`)."""
+        return np.asarray(self._to_csc().T @ dense)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise a dense copy (tests/small matrices only)."""
+        return self.to_scipy().toarray()
+
+    def transpose(self) -> "COOMatrix":
+        """Return a transposed copy."""
+        return COOMatrix(
+            (self._shape[1], self._shape[0]),
+            self.values.copy(),
+            self.cols.copy(),
+            self.rows.copy(),
+        )
+
+    def copy(self) -> "COOMatrix":
+        return COOMatrix(
+            self._shape, self.values.copy(), self.rows.copy(), self.cols.copy()
+        )
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "COOMatrix":
+        coo = matrix.tocoo()
+        return cls(coo.shape, coo.data, coo.row, coo.col)
+
+    def __repr__(self) -> str:
+        return (
+            f"COOMatrix(shape={self._shape}, nnz={self.nnz}, "
+            f"sparsity={self.sparsity:.4%})"
+        )

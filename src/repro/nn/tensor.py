@@ -1,0 +1,335 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+The paper implements its GCN in PyTorch; with no deep-learning framework
+available offline, this module provides the minimal autograd engine the GCN
+needs: dense ops with broadcasting, a sparse-dense matmul whose forward pass
+is the paper's Equation (3), and stable fused losses.
+
+The design is the classic define-by-run tape: every op builds a ``Tensor``
+holding its inputs and a backward closure; :meth:`Tensor.backward` walks the
+tape in reverse topological order accumulating gradients.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.sparse import COOMatrix
+
+__all__ = ["Tensor", "spmm", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling tape construction (inference mode)."""
+
+    def __enter__(self) -> None:
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """An n-dimensional array node on the autograd tape."""
+
+    __array_priority__ = 100  # make numpy defer to our __rmul__ etc.
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self.name = name
+        self._parents = tuple(_parents) if _GRAD_ENABLED else ()
+        self._backward = _backward if _GRAD_ENABLED else None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Accumulate gradients into every reachable ``requires_grad`` leaf."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and not node._parents:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward is not None:
+                node._grad_sink = grads  # type: ignore[attr-defined]
+                node._backward(node_grad)
+                del node._grad_sink
+
+    def _accumulate(self, parent: "Tensor", grad: np.ndarray) -> None:
+        """Route ``grad`` to ``parent`` during the current backward walk."""
+        sink: dict[int, np.ndarray] = self._grad_sink  # type: ignore[attr-defined]
+        key = id(parent)
+        if key in sink:
+            sink[key] = sink[key] + grad
+        else:
+            sink[key] = grad
+        if parent.requires_grad and parent._parents:
+            pass  # interior nodes get .grad only via their own leaves
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic ops
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _binary(self, other, forward, backward_self, backward_other) -> "Tensor":
+        other = self._lift(other)
+        data = forward(self.data, other.data)
+        needs = self.requires_grad or other.requires_grad
+        if not (_GRAD_ENABLED and needs):
+            return Tensor(data)
+        out = Tensor(data, requires_grad=True, _parents=(self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad or self._parents:
+                out._accumulate(
+                    self, _unbroadcast(backward_self(grad), self.data.shape)
+                )
+            if other.requires_grad or other._parents:
+                out._accumulate(
+                    other, _unbroadcast(backward_other(grad), other.data.shape)
+                )
+
+        out._backward = _backward
+        return out
+
+    def __add__(self, other) -> "Tensor":
+        o = self._lift(other)
+        return self._binary(o, lambda a, b: a + b, lambda g: g, lambda g: g)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        o = self._lift(other)
+        return self._binary(o, lambda a, b: a - b, lambda g: g, lambda g: -g)
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        o = self._lift(other)
+        return self._binary(
+            o,
+            lambda a, b: a * b,
+            lambda g: g * o.data,
+            lambda g: g * self.data,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        o = self._lift(other)
+        return self._binary(
+            o,
+            lambda a, b: a / b,
+            lambda g: g / o.data,
+            lambda g: -g * self.data / (o.data**2),
+        )
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        exponent = float(exponent)
+        data = self.data**exponent
+        if not (_GRAD_ENABLED and (self.requires_grad or self._parents)):
+            return Tensor(data)
+        out = Tensor(data, requires_grad=True, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data @ other.data
+        needs = self.requires_grad or other.requires_grad or self._parents or other._parents
+        if not (_GRAD_ENABLED and needs):
+            return Tensor(data)
+        out = Tensor(data, requires_grad=True, _parents=(self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad @ other.data.T)
+            out._accumulate(other, self.data.T @ grad)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Shape / reduction ops
+    # ------------------------------------------------------------------ #
+    def _unary(self, data: np.ndarray, backward) -> "Tensor":
+        if not (_GRAD_ENABLED and (self.requires_grad or self._parents)):
+            return Tensor(data)
+        out = Tensor(data, requires_grad=True, _parents=(self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            out._accumulate(self, backward(grad))
+
+        out._backward = _backward
+        return out
+
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> np.ndarray:
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            return np.broadcast_to(grad, self.data.shape).copy()
+
+        return self._unary(data, backward)
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        data = self.data.reshape(*shape)
+        return self._unary(data, lambda g: g.reshape(self.data.shape))
+
+    @property
+    def T(self) -> "Tensor":
+        return self._unary(self.data.T, lambda g: g.T)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return self._unary(self.data * mask, lambda g: g * mask)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+        return self._unary(data, lambda g: g * (1.0 - data**2))
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+        return self._unary(data, lambda g: g * data * (1.0 - data))
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+        return self._unary(data, lambda g: g * data)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows; backward scatter-adds into the source rows."""
+        indices = np.asarray(indices, dtype=np.int64)
+        data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(self.data)
+            np.add.at(out, indices, grad)
+            return out
+
+        return self._unary(data, backward)
+
+    def log(self) -> "Tensor":
+        return self._unary(np.log(self.data), lambda g: g / self.data)
+
+
+def spmm(matrix: COOMatrix, dense: Tensor) -> Tensor:
+    """Sparse-dense product ``matrix @ dense`` on the autograd tape.
+
+    The matrix itself carries no gradient (the learnable aggregation weights
+    ``w_pr``/``w_su`` multiply the *result*, see
+    :class:`repro.core.model.SumAggregator`); the backward pass for the dense
+    operand is ``A.T @ grad``.
+    """
+    data = matrix.matmul(dense.data)
+    if not (_GRAD_ENABLED and (dense.requires_grad or dense._parents)):
+        return Tensor(data)
+    out = Tensor(data, requires_grad=True, _parents=(dense,))
+
+    def _backward(grad: np.ndarray) -> None:
+        out._accumulate(dense, matrix.rmatmul(grad))
+
+    out._backward = _backward
+    return out

@@ -1,0 +1,19 @@
+"""Testability measures: SCOAP, COP, incremental updates and labelling."""
+
+from repro.testability.scoap import SCOAP_INF, ScoapResult, compute_scoap
+from repro.testability.cop import CopResult, compute_cop
+from repro.testability.incremental import refresh_observability, update_scoap_after_op
+from repro.testability.labels import LabelConfig, LabelResult, label_nodes
+
+__all__ = [
+    "SCOAP_INF",
+    "ScoapResult",
+    "compute_scoap",
+    "CopResult",
+    "compute_cop",
+    "refresh_observability",
+    "update_scoap_after_op",
+    "LabelConfig",
+    "LabelResult",
+    "label_nodes",
+]

@@ -1,0 +1,7 @@
+"""Shared utilities: RNG handling, timing, and table formatting."""
+
+from repro.utils.rng import as_rng, derive_rng
+from repro.utils.timing import Timer, time_call
+from repro.utils.tables import format_table
+
+__all__ = ["as_rng", "derive_rng", "Timer", "time_call", "format_table"]

@@ -1,0 +1,44 @@
+"""Small timing helpers used by the scalability experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "time_call"]
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed += time.perf_counter() - self._start
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+
+
+def time_call(fn, *args, repeat: int = 1, **kwargs):
+    """Call ``fn`` ``repeat`` times; return ``(best_seconds, last_result)``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result

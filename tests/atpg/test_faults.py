@@ -1,0 +1,76 @@
+"""Stuck-at fault lists and equivalence collapsing."""
+
+import pytest
+
+from repro.atpg.faults import Fault, collapse_faults, full_fault_list
+from repro.circuit import GateType, Netlist
+
+
+class TestFault:
+    def test_valid_values(self):
+        assert Fault(3, 0).stuck_value == 0
+        with pytest.raises(ValueError):
+            Fault(3, 2)
+
+    def test_str(self):
+        assert str(Fault(7, 1)) == "n7/sa1"
+
+    def test_hashable_and_ordered(self):
+        faults = {Fault(1, 0), Fault(1, 0), Fault(1, 1)}
+        assert len(faults) == 2
+        assert Fault(1, 0) < Fault(1, 1) < Fault(2, 0)
+
+
+class TestFullFaultList:
+    def test_two_per_node(self, c17):
+        faults = full_fault_list(c17)
+        assert len(faults) == 2 * c17.num_nodes
+
+    def test_obs_cells_excluded_by_default(self, c17):
+        c17.insert_observation_point(c17.find("G11"))
+        faults = full_fault_list(c17)
+        assert len(faults) == 2 * (c17.num_nodes - 1)
+        included = full_fault_list(c17, include_observation_cells=True)
+        assert len(included) == 2 * c17.num_nodes
+
+
+class TestCollapse:
+    def test_buffer_chain_collapses_to_head(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b1 = nl.add_cell(GateType.BUF, (a,))
+        b2 = nl.add_cell(GateType.BUF, (b1,))
+        nl.mark_output(b2)
+        collapsed = collapse_faults(nl)
+        assert set(collapsed) == {Fault(a, 0), Fault(a, 1)}
+
+    def test_inverter_flips_polarity(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        inv = nl.add_cell(GateType.NOT, (a,))
+        nl.mark_output(inv)
+        collapsed = set(collapse_faults(nl))
+        # inv/sa0 == a/sa1 and inv/sa1 == a/sa0: only the PI pair remains.
+        assert collapsed == {Fault(a, 0), Fault(a, 1)}
+
+    def test_fanout_stem_not_collapsed(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_cell(GateType.BUF, (a,))
+        c = nl.add_cell(GateType.NOT, (a,))  # a now has two fanouts
+        nl.mark_output(b)
+        nl.mark_output(c)
+        collapsed = set(collapse_faults(nl))
+        # Buffer/inverter faults do NOT fold into the stem across a fanout.
+        assert Fault(b, 0) in collapsed
+        assert Fault(c, 0) in collapsed
+
+    def test_collapse_reduces_on_generated(self, small_design):
+        full = full_fault_list(small_design)
+        collapsed = collapse_faults(small_design)
+        assert len(collapsed) <= len(full)
+        assert len(set(collapsed)) == len(collapsed)
+
+    def test_collapse_of_explicit_list(self, c17):
+        some = [Fault(c17.find("G10"), 0)]
+        assert collapse_faults(c17, some) == some

@@ -1,0 +1,152 @@
+"""PODEM: three-valued simulation and test generation correctness."""
+
+import numpy as np
+import pytest
+
+from repro.atpg.faults import Fault, full_fault_list
+from repro.atpg.podem import VAL_X, Podem, ThreeValuedSimulator
+from repro.atpg.podem import TestCube as Cube
+from repro.atpg.simulator import LogicSimulator, pack_patterns
+from repro.atpg.fault_sim import FaultSimulator
+from repro.circuit import GateType, Netlist, generate_design
+from tests.helpers import exhaustive_fault_detection
+
+
+class TestThreeValuedSimulator:
+    def test_fully_specified_matches_binary(self, c17, rng):
+        sim3 = ThreeValuedSimulator(LogicSimulator(c17))
+        fsim = FaultSimulator(c17)
+        n = len(c17.sources)
+        for _ in range(5):
+            bits = rng.integers(0, 2, size=n).astype(np.uint8)
+            out3 = sim3.run(bits)
+            words = pack_patterns(bits[None, :])
+            values = fsim.good_values(words)
+            for v in c17.nodes():
+                assert out3[v] == int(values[v][0] & np.uint64(1))
+
+    def test_all_x_inputs_give_x_outputs(self, c17):
+        sim3 = ThreeValuedSimulator(LogicSimulator(c17))
+        out = sim3.run(np.full(len(c17.sources), VAL_X, dtype=np.uint8))
+        for po in c17.primary_outputs:
+            assert out[po] == VAL_X
+
+    def test_controlling_value_dominates_x(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        g_and = nl.add_cell(GateType.AND, (a, b))
+        g_or = nl.add_cell(GateType.OR, (a, b))
+        nl.mark_output(g_and)
+        nl.mark_output(g_or)
+        sim3 = ThreeValuedSimulator(LogicSimulator(nl))
+        out = sim3.run(np.array([0, VAL_X], dtype=np.uint8))
+        assert out[g_and] == 0  # AND with a 0 input is 0 regardless of X
+        assert out[g_or] == VAL_X
+        out = sim3.run(np.array([1, VAL_X], dtype=np.uint8))
+        assert out[g_and] == VAL_X
+        assert out[g_or] == 1
+
+    def test_xor_with_x(self, xor_pair):
+        sim3 = ThreeValuedSimulator(LogicSimulator(xor_pair))
+        out = sim3.run(np.array([1, 0, VAL_X], dtype=np.uint8))
+        assert out[xor_pair.find("x1")] == 1
+        assert out[xor_pair.find("x2")] == VAL_X
+
+    def test_fault_injection_forces_value(self, c17):
+        sim3 = ThreeValuedSimulator(LogicSimulator(c17))
+        g10 = c17.find("G10")
+        bits = np.ones(len(c17.sources), dtype=np.uint8)
+        faulty = sim3.run(bits, fault=Fault(g10, 1))
+        assert faulty[g10] == 1  # NAND(1,1)=0 but stuck at 1
+
+    def test_fault_on_source(self, c17):
+        sim3 = ThreeValuedSimulator(LogicSimulator(c17))
+        g1 = c17.find("G1")
+        bits = np.ones(len(c17.sources), dtype=np.uint8)
+        faulty = sim3.run(bits, fault=Fault(g1, 0))
+        assert faulty[g1] == 0
+
+
+class TestCubeOps:
+    def test_compatible_and_merge(self):
+        a = Cube(np.array([0, VAL_X, 1], dtype=np.uint8))
+        b = Cube(np.array([VAL_X, 1, 1], dtype=np.uint8))
+        assert a.compatible(b)
+        merged = a.merge(b)
+        assert merged.values.tolist() == [0, 1, 1]
+
+    def test_incompatible(self):
+        a = Cube(np.array([0], dtype=np.uint8))
+        b = Cube(np.array([1], dtype=np.uint8))
+        assert not a.compatible(b)
+
+    def test_fill_random_specifies_everything(self, rng):
+        cube = Cube(np.array([VAL_X, 0, VAL_X], dtype=np.uint8))
+        filled = cube.fill_random(rng)
+        assert set(np.unique(filled)) <= {0, 1}
+        assert filled[1] == 0
+
+    def test_specified_count(self):
+        cube = Cube(np.array([VAL_X, 0, 1], dtype=np.uint8))
+        assert cube.specified_count() == 2
+
+
+class TestPodemGeneration:
+    def _verify_cube_detects(self, netlist, fault, cube):
+        """Fault-simulate the cube (X filled with 0) against the fault."""
+        pattern = cube.values.copy()
+        pattern[pattern == VAL_X] = 0
+        fsim = FaultSimulator(netlist)
+        words = pack_patterns(pattern[None, :].astype(np.uint8))
+        result = fsim.simulate_batch([fault], words, n_patterns=1)
+        return fault in set(result.detected)
+
+    @pytest.mark.parametrize("fixture", ["c17", "mux2", "and_chain", "xor_pair"])
+    def test_detected_cubes_really_detect(self, fixture, request):
+        nl = request.getfixturevalue(fixture)
+        podem = Podem(nl, max_backtracks=50)
+        for fault in full_fault_list(nl):
+            result = podem.generate(fault)
+            if result.status == "detected":
+                # PODEM leaves unassigned inputs X; the D-propagation it
+                # found must survive any fill of true X-paths — verify with
+                # the 0-fill (detection is guaranteed for the found cube
+                # since detection was established on the 3-valued sim).
+                assert self._verify_cube_detects(nl, fault, result.cube), str(fault)
+
+    @pytest.mark.parametrize("fixture", ["c17", "mux2", "and_chain", "xor_pair"])
+    def test_agrees_with_exhaustive_detectability(self, fixture, request):
+        nl = request.getfixturevalue(fixture)
+        podem = Podem(nl, max_backtracks=500)
+        for fault in full_fault_list(nl):
+            result = podem.generate(fault)
+            testable = exhaustive_fault_detection(nl, fault.node, fault.stuck_value)
+            if result.status == "detected":
+                assert testable, f"{fault}: PODEM found a test but none exists"
+            elif result.status == "untestable":
+                assert not testable, f"{fault}: declared untestable but testable"
+
+    def test_redundant_fault_untestable(self, reconvergent):
+        # m = AND(s, NOT s) is constant 0 -> m/sa0 is undetectable.
+        m = reconvergent.find("m")
+        podem = Podem(reconvergent, max_backtracks=500)
+        assert podem.generate(Fault(m, 0)).status == "untestable"
+
+    def test_backtrack_limit_aborts(self):
+        # A wide redundant structure forces exhaustive search; with a tiny
+        # backtrack budget PODEM must abort rather than loop forever.
+        nl = generate_design(300, seed=21)
+        podem = Podem(nl, max_backtracks=1)
+        statuses = set()
+        for fault in full_fault_list(nl)[:60]:
+            statuses.add(podem.generate(fault).status)
+        assert statuses <= {"detected", "untestable", "aborted"}
+
+    def test_controllability_guidance_accepted(self, c17):
+        from repro.testability import compute_scoap
+
+        scoap = compute_scoap(c17)
+        podem = Podem(c17, controllability=(scoap.cc0, scoap.cc1))
+        fault = Fault(c17.find("G16"), 0)
+        assert podem.generate(fault).status == "detected"

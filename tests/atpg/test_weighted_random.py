@@ -1,0 +1,79 @@
+"""Weighted-random pattern generation."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import (
+    FaultSimulator,
+    WeightedPatternConfig,
+    collapse_faults,
+    compute_input_weights,
+    weighted_pattern_words,
+)
+from repro.circuit import GateType, Netlist, generate_design
+
+
+@pytest.fixture
+def and_funnel():
+    nl = Netlist("funnel")
+    pis = [nl.add_input(f"i{k}") for k in range(8)]
+    node = pis[0]
+    for k in range(1, 8):
+        node = nl.add_cell(GateType.AND, (node, pis[k]), f"a{k}")
+    nl.mark_output(node)
+    return nl
+
+
+class TestComputeInputWeights:
+    def test_range(self, and_funnel):
+        weights = compute_input_weights(and_funnel)
+        assert (weights >= 0.1).all() and (weights <= 0.9).all()
+        assert len(weights) == len(and_funnel.sources)
+
+    def test_and_funnel_pulls_towards_one(self, and_funnel):
+        weights = compute_input_weights(
+            and_funnel, WeightedPatternConfig(hard_threshold=0.2)
+        )
+        # Every input feeds the AND funnel whose rare value is 1.
+        assert weights.mean() > 0.55
+
+    def test_easy_design_stays_near_half(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        g = nl.add_cell(GateType.XOR, (a, b))
+        nl.mark_output(g)
+        weights = compute_input_weights(nl)
+        assert np.allclose(weights, 0.5, atol=0.15)
+
+
+class TestWeightedPatternWords:
+    def test_bias_realised(self, rng):
+        weights = np.array([0.9, 0.1, 0.5])
+        words = weighted_pattern_words(weights, n_words=64, rng=0)
+        density = np.bitwise_count(words).sum(axis=1) / (64 * 64)
+        assert abs(density[0] - 0.9) < 0.05
+        assert abs(density[1] - 0.1) < 0.05
+        assert abs(density[2] - 0.5) < 0.05
+
+    def test_shape_and_determinism(self):
+        weights = np.full(5, 0.5)
+        a = weighted_pattern_words(weights, 2, rng=3)
+        b = weighted_pattern_words(weights, 2, rng=3)
+        assert a.shape == (5, 2)
+        assert np.array_equal(a, b)
+
+    def test_weighted_beats_uniform_on_funnel(self, and_funnel):
+        """The classic result: weighting detects funnel faults sooner."""
+        faults = collapse_faults(and_funnel)
+        fsim = FaultSimulator(and_funnel)
+        uniform = fsim.simulator.random_source_words(
+            2, np.random.default_rng(11)
+        )
+        cov_uniform, _ = fsim.fault_coverage(faults, [uniform])
+        weights = compute_input_weights(
+            and_funnel, WeightedPatternConfig(hard_threshold=0.2)
+        )
+        weighted = weighted_pattern_words(weights, 2, rng=11)
+        cov_weighted, _ = fsim.fault_coverage(faults, [weighted])
+        assert cov_weighted >= cov_uniform

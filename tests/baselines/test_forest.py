@@ -1,0 +1,85 @@
+"""Decision tree and random forest baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DecisionTree, RandomForest
+
+from tests.baselines.test_logistic import separable_data
+
+
+def xor_data(rng, n=400):
+    """Non-linearly-separable XOR-quadrant data."""
+    x = rng.normal(size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_xor(self, rng):
+        x, y = xor_data(rng)
+        tree = DecisionTree(max_depth=6, max_features=2).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.9
+
+    def test_pure_leaf_shortcut(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTree().fit(x, y)
+        assert tree.root_.is_leaf
+        assert (tree.predict(x) == 1).all()
+
+    def test_max_depth_zero_gives_majority(self, rng):
+        x, y = separable_data(rng)
+        tree = DecisionTree(max_depth=0).fit(x, y)
+        majority = int(np.bincount(y).argmax())
+        assert (tree.predict(x) == majority).all()
+
+    def test_min_samples_leaf_respected(self, rng):
+        x, y = xor_data(rng, n=40)
+        tree = DecisionTree(max_depth=20, min_samples_leaf=10).fit(x, y)
+
+        def leaf_sizes(node, x_sub, y_sub):
+            if node.is_leaf:
+                return [len(y_sub)]
+            mask = x_sub[:, node.feature] <= node.threshold
+            return leaf_sizes(node.left, x_sub[mask], y_sub[mask]) + leaf_sizes(
+                node.right, x_sub[~mask], y_sub[~mask]
+            )
+
+        assert min(leaf_sizes(tree.root_, x, y)) >= 10
+
+    def test_constant_features_yield_leaf(self):
+        x = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTree(max_features=3).fit(x, y)
+        assert tree.root_.is_leaf
+
+    def test_proba_sums_to_one(self, rng):
+        x, y = xor_data(rng)
+        tree = DecisionTree(max_features=2).fit(x, y)
+        proba = tree.predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestRandomForest:
+    def test_fits_xor_better_than_stump(self, rng):
+        x, y = xor_data(rng)
+        forest = RandomForest(n_trees=20, max_depth=6, max_features=2, seed=0)
+        forest.fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.9
+
+    def test_proba_averages_trees(self, rng):
+        x, y = xor_data(rng, n=100)
+        forest = RandomForest(n_trees=5, seed=0).fit(x, y)
+        manual = sum(t.predict_proba(x) for t in forest.trees_) / 5
+        assert np.allclose(forest.predict_proba(x), manual)
+
+    def test_deterministic_for_seed(self, rng):
+        x, y = xor_data(rng, n=100)
+        a = RandomForest(n_trees=5, seed=9).fit(x, y).predict(x)
+        b = RandomForest(n_trees=5, seed=9).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(np.zeros((1, 2)))

@@ -1,0 +1,74 @@
+"""Logistic regression baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LogisticRegression, Standardizer
+
+
+def separable_data(rng, n=200, d=5, margin=2.0):
+    w = rng.normal(size=d)
+    x = rng.normal(size=(n, d))
+    y = (x @ w > 0).astype(np.int64)
+    x += margin * 0.1 * np.outer(2 * y - 1, w)  # widen the margin
+    return x, y
+
+
+class TestLogisticRegression:
+    def test_learns_separable(self, rng):
+        x, y = separable_data(rng)
+        model = LogisticRegression(epochs=500, lr=0.5)
+        model.fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_proba_calibration_shape(self, rng):
+        x, y = separable_data(rng)
+        model = LogisticRegression().fit(x, y)
+        proba = model.predict_proba(x)
+        assert proba.shape == (len(x), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.array_equal(model.predict(x), np.argmax(proba, axis=1))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_l2_shrinks_weights(self, rng):
+        x, y = separable_data(rng)
+        small = LogisticRegression(epochs=200, l2=0.0).fit(x, y)
+        large = LogisticRegression(epochs=200, l2=1.0).fit(x, y)
+        assert np.linalg.norm(large.weights_) < np.linalg.norm(small.weights_)
+
+    def test_input_validation(self):
+        model = LogisticRegression()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_standardizer_helps_scaled_features(self, rng):
+        x, y = separable_data(rng)
+        x_scaled = x * np.array([1e3, 1e-3, 1, 1, 1])
+        std = Standardizer()
+        model = LogisticRegression(epochs=300)
+        model.fit(std.fit_transform(x_scaled), y)
+        acc = (model.predict(std.transform(x_scaled)) == y).mean()
+        assert acc > 0.9
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_variance(self, rng):
+        x = rng.normal(loc=5, scale=3, size=(100, 4))
+        std = Standardizer()
+        z = std.fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_passthrough(self, rng):
+        x = np.column_stack([rng.normal(size=10), np.full(10, 7.0)])
+        z = Standardizer().fit_transform(x)
+        assert np.allclose(z[:, 1], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.zeros((2, 2)))

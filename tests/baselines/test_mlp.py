@@ -1,0 +1,42 @@
+"""MLP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MLP
+
+from tests.baselines.test_forest import xor_data
+from tests.baselines.test_logistic import separable_data
+
+
+class TestMLP:
+    def test_learns_nonlinear_xor(self, rng):
+        x, y = xor_data(rng)
+        model = MLP(hidden_dims=(16, 16), epochs=150, lr=5e-3, seed=0)
+        model.fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_learns_separable(self, rng):
+        x, y = separable_data(rng)
+        model = MLP(hidden_dims=(8,), epochs=200, lr=3e-3, seed=0).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_paper_architecture_default(self):
+        assert MLP().hidden_dims == (64, 64, 128)
+
+    def test_proba(self, rng):
+        x, y = separable_data(rng, n=50)
+        model = MLP(hidden_dims=(8,), epochs=20, seed=0).fit(x, y)
+        proba = model.predict_proba(x)
+        assert proba.shape == (50, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLP().predict(np.zeros((1, 2)))
+
+    def test_deterministic_for_seed(self, rng):
+        x, y = separable_data(rng, n=60)
+        a = MLP(hidden_dims=(8,), epochs=10, seed=4).fit(x, y).predict(x)
+        b = MLP(hidden_dims=(8,), epochs=10, seed=4).fit(x, y).predict(x)
+        assert np.array_equal(a, b)

@@ -1,0 +1,86 @@
+"""Transductive node2vec baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LogisticRegression, Node2Vec, Node2VecConfig
+from repro.circuit import generate_design
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    netlist = generate_design(200, seed=73)
+    model = Node2Vec(Node2VecConfig(dim=16, epochs=2), seed=0)
+    model.fit(netlist)
+    return netlist, model
+
+
+class TestNode2Vec:
+    def test_embedding_shape(self, fitted):
+        netlist, model = fitted
+        emb = model.transform()
+        assert emb.shape == (netlist.num_nodes, 16)
+        assert np.isfinite(emb).all()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            Node2Vec().transform()
+
+    def test_neighbours_closer_than_strangers(self, fitted):
+        """Connected nodes should embed closer (on average) than random pairs."""
+        netlist, model = fitted
+        emb = model.transform()
+        norm = emb / (np.linalg.norm(emb, axis=1, keepdims=True) + 1e-12)
+        edges = list(netlist.iter_edges())[:300]
+        edge_sim = np.mean([norm[a] @ norm[b] for a, b in edges])
+        rng = np.random.default_rng(0)
+        rand_pairs = rng.integers(0, netlist.num_nodes, size=(300, 2))
+        rand_sim = np.mean([norm[a] @ norm[b] for a, b in rand_pairs])
+        assert edge_sim > rand_sim + 0.05
+
+    def test_deterministic_for_seed(self):
+        netlist = generate_design(100, seed=74)
+        config = Node2VecConfig(dim=8, epochs=1, walks_per_node=2)
+        a = Node2Vec(config, seed=5).fit(netlist).transform()
+        b = Node2Vec(config, seed=5).fit(netlist).transform()
+        assert np.allclose(a, b)
+
+    def test_biased_walks_run(self):
+        netlist = generate_design(80, seed=75)
+        config = Node2VecConfig(dim=8, epochs=1, walks_per_node=2, p=0.5, q=2.0)
+        emb = Node2Vec(config, seed=1).fit(netlist).transform()
+        assert emb.shape[0] == netlist.num_nodes
+
+
+class TestTransductiveLimitation:
+    """The paper's Section-2.1 point, measured."""
+
+    def test_within_graph_predictive_but_no_transfer(self):
+        """Structure-derived labels: learnable within the fitted graph,
+        meaningless across independently fitted embedding spaces."""
+        from repro.circuit import logic_levels
+        from repro.metrics import accuracy
+
+        nl_a = generate_design(600, seed=76)
+        nl_b = generate_design(600, seed=77)
+        # A purely topological label node2vec can express: deep vs shallow.
+        levels_a = logic_levels(nl_a)
+        levels_b = logic_levels(nl_b)
+        labels_a = (levels_a > np.median(levels_a)).astype(np.int64)
+        labels_b = (levels_b > np.median(levels_b)).astype(np.int64)
+
+        emb_a = Node2Vec(Node2VecConfig(dim=16), seed=0).fit(nl_a).transform()
+        emb_b = Node2Vec(Node2VecConfig(dim=16), seed=0).fit(nl_b).transform()
+
+        rng = np.random.default_rng(0)
+        order = rng.permutation(nl_a.num_nodes)
+        half = len(order) // 2
+        clf = LogisticRegression(epochs=400, lr=0.5)
+        clf.fit(emb_a[order[:half]], labels_a[order[:half]])
+
+        within = accuracy(labels_a[order[half:]], clf.predict(emb_a[order[half:]]))
+        across = accuracy(labels_b, clf.predict(emb_b))
+        # Within the fitted graph the embeddings carry signal; on a fresh
+        # graph's independently fitted embedding space they cannot.
+        assert within > 0.65
+        assert across < within - 0.1

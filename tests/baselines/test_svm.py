@@ -1,0 +1,37 @@
+"""Linear SVM baseline (squared-hinge gradient descent)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearSVM
+
+from tests.baselines.test_logistic import separable_data
+
+
+class TestLinearSVM:
+    def test_learns_separable(self, rng):
+        x, y = separable_data(rng)
+        model = LinearSVM(epochs=60, seed=0).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_regularisation_shrinks_weights(self, rng):
+        x, y = separable_data(rng)
+        small = LinearSVM(lam=1e-4, epochs=200).fit(x, y)
+        large = LinearSVM(lam=1.0, epochs=200).fit(x, y)
+        assert np.linalg.norm(large.weights_) < np.linalg.norm(small.weights_)
+
+    def test_decision_function_sign_matches_predict(self, rng):
+        x, y = separable_data(rng)
+        model = LinearSVM(epochs=30, seed=0).fit(x, y)
+        scores = model.decision_function(x)
+        assert np.array_equal(model.predict(x), (scores >= 0).astype(np.int64))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+    def test_deterministic_for_seed(self, rng):
+        x, y = separable_data(rng)
+        a = LinearSVM(epochs=10, seed=3).fit(x, y)
+        b = LinearSVM(epochs=10, seed=3).fit(x, y)
+        assert np.allclose(a.weights_, b.weights_)

@@ -1,0 +1,78 @@
+"""Gate semantics: truth tables, controlling values, parities."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.cells import (
+    GateType,
+    controlling_value,
+    eval_gate_bool,
+    inversion_parity,
+    is_source,
+)
+
+
+class TestEvalGateBool:
+    @pytest.mark.parametrize(
+        "gate,table",
+        [
+            (GateType.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            (GateType.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateType.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            (GateType.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+            (GateType.XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateType.XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ],
+    )
+    def test_two_input_truth_tables(self, gate, table):
+        for inputs, expected in table.items():
+            assert eval_gate_bool(gate, list(inputs)) == expected
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_not(self, value):
+        assert eval_gate_bool(GateType.NOT, [value]) == 1 - value
+
+    @pytest.mark.parametrize("gate", [GateType.BUF, GateType.OBS, GateType.DFF])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_identity_gates(self, gate, value):
+        assert eval_gate_bool(gate, [value]) == value
+
+    def test_constants(self):
+        assert eval_gate_bool(GateType.CONST0, []) == 0
+        assert eval_gate_bool(GateType.CONST1, []) == 1
+
+    @pytest.mark.parametrize("gate", [GateType.AND, GateType.OR, GateType.XOR])
+    def test_three_input_matches_fold(self, gate):
+        for bits in itertools.product((0, 1), repeat=3):
+            folded = eval_gate_bool(
+                gate, [eval_gate_bool(gate, list(bits[:2])), bits[2]]
+            )
+            assert eval_gate_bool(gate, list(bits)) == folded
+
+    def test_input_gate_cannot_be_evaluated(self):
+        with pytest.raises(ValueError):
+            eval_gate_bool(GateType.INPUT, [])
+
+
+class TestGateProperties:
+    def test_controlling_values(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+        assert controlling_value(GateType.XOR) is None
+        assert controlling_value(GateType.BUF) is None
+
+    def test_inversion_parity(self):
+        for gate in (GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR):
+            assert inversion_parity(gate) == 1
+        for gate in (GateType.BUF, GateType.AND, GateType.OR, GateType.XOR):
+            assert inversion_parity(gate) == 0
+
+    def test_sources(self):
+        assert is_source(GateType.INPUT)
+        assert is_source(GateType.DFF)
+        assert is_source(GateType.CONST0)
+        assert not is_source(GateType.NAND)
+        assert not is_source(GateType.OBS)

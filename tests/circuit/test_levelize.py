@@ -1,0 +1,82 @@
+"""Topological ordering and logic levels."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    CombinationalLoopError,
+    GateType,
+    Netlist,
+    logic_levels,
+    topological_order,
+)
+
+
+class TestTopologicalOrder:
+    def test_fanins_precede_fanouts(self, c17):
+        order = topological_order(c17)
+        position = {v: i for i, v in enumerate(order)}
+        for driver, sink in c17.iter_edges():
+            assert position[driver] < position[sink]
+
+    def test_all_nodes_present_once(self, medium_design):
+        order = topological_order(medium_design)
+        assert sorted(order) == list(medium_design.nodes())
+
+    def test_combinational_loop_detected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        n1 = nl.add_cell(GateType.NOT, (a,))
+        n2 = nl.add_cell(GateType.NOT, (n1,))
+        # rewire n1's fanin from a to n2: a clean 2-gate loop
+        nl._fanins[n1] = [n2]
+        nl._fanouts[a].remove(n1)
+        nl._fanouts[n2].append(n1)
+        with pytest.raises(CombinationalLoopError):
+            topological_order(nl)
+
+    def test_dff_breaks_sequential_loop(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        d = nl.add_cell(GateType.DFF, (a,))  # placeholder data
+        g = nl.add_cell(GateType.AND, (a, d))
+        nl._fanins[d][0] = g  # loop g -> d -> g, through the flop
+        nl._fanouts[a].remove(d)
+        nl._fanouts[g].append(d)
+        nl.mark_output(g)
+        order = topological_order(nl)
+        assert sorted(order) == [a, d, g]
+
+
+class TestLogicLevels:
+    def test_sources_are_level_zero(self, c17):
+        levels = logic_levels(c17)
+        for v in c17.primary_inputs:
+            assert levels[v] == 0
+
+    def test_c17_levels(self, c17):
+        levels = logic_levels(c17)
+        assert levels[c17.find("G10")] == 1
+        assert levels[c17.find("G11")] == 1
+        assert levels[c17.find("G16")] == 2
+        assert levels[c17.find("G22")] == 3
+        assert levels[c17.find("G23")] == 3
+
+    def test_level_is_longest_path(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        n1 = nl.add_cell(GateType.NOT, (a,))
+        n2 = nl.add_cell(GateType.NOT, (n1,))
+        g = nl.add_cell(GateType.AND, (a, n2))  # short path 0, long path 2
+        nl.mark_output(g)
+        assert logic_levels(nl)[g] == 3
+
+    def test_levels_strictly_increase_along_edges(self, medium_design):
+        levels = logic_levels(medium_design)
+        for driver, sink in medium_design.iter_edges():
+            if medium_design.gate_type(sink) is GateType.DFF:
+                continue
+            assert levels[sink] > levels[driver]
+
+    def test_levels_dtype(self, c17):
+        assert logic_levels(c17).dtype == np.int64

@@ -1,0 +1,135 @@
+"""Netlist container: construction, arity checks, mutation, copying."""
+
+import pytest
+
+from repro.circuit import GateType, Netlist
+
+
+class TestConstruction:
+    def test_add_input_and_gate(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        g = nl.add_cell(GateType.AND, (a, b), "g")
+        assert nl.num_nodes == 3
+        assert nl.num_edges == 2
+        assert nl.gate_type(g) is GateType.AND
+        assert nl.fanins(g) == [a, b]
+        assert nl.fanouts(a) == [g]
+
+    def test_ids_are_dense_and_ordered(self):
+        nl = Netlist()
+        ids = [nl.add_input() for _ in range(5)]
+        assert ids == list(range(5))
+
+    @pytest.mark.parametrize(
+        "gate,fanins",
+        [
+            (GateType.INPUT, (0,)),
+            (GateType.NOT, ()),
+            (GateType.NOT, (0, 0)),
+            (GateType.AND, (0,)),
+            (GateType.DFF, ()),
+        ],
+    )
+    def test_arity_violations(self, gate, fanins):
+        nl = Netlist()
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_cell(gate, fanins)
+
+    def test_dangling_fanin_rejected(self):
+        nl = Netlist()
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_cell(GateType.NOT, (7,))
+
+    def test_duplicate_name_rejected(self):
+        nl = Netlist()
+        nl.add_input("x")
+        with pytest.raises(ValueError):
+            nl.add_input("x")
+
+    def test_find_by_name(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        assert nl.find("a") == a
+        with pytest.raises(KeyError):
+            nl.find("missing")
+
+    def test_default_cell_name(self):
+        nl = Netlist()
+        a = nl.add_input()
+        assert nl.cell_name(a) == f"n{a}"
+
+
+class TestOutputsAndObservation:
+    def test_mark_output_idempotent(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.mark_output(a)
+        nl.mark_output(a)
+        assert nl.primary_outputs == [a]
+
+    def test_mark_output_validates(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            nl.mark_output(0)
+
+    def test_observation_sites_include_dff_data(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_cell(GateType.NOT, (a,))
+        nl.add_cell(GateType.DFF, (g,))
+        assert g in nl.observation_sites
+        assert a not in nl.observation_sites
+
+    def test_observation_point_insertion(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_cell(GateType.NOT, (a,))
+        nl.mark_output(g)
+        p = nl.insert_observation_point(a)
+        assert nl.gate_type(p) is GateType.OBS
+        assert nl.observation_points() == [p]
+        assert a in nl.observation_sites
+
+    def test_observation_point_on_obs_rejected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_cell(GateType.NOT, (a,))
+        nl.mark_output(g)
+        p = nl.insert_observation_point(a)
+        with pytest.raises(ValueError, match="already an observation"):
+            nl.insert_observation_point(p)
+
+    def test_sources_include_dff_outputs(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        d = nl.add_cell(GateType.DFF, (a,))
+        assert set(nl.sources) == {a, d}
+        assert nl.primary_inputs == [a]
+
+
+class TestCopyAndIteration:
+    def test_copy_is_deep(self, c17):
+        dup = c17.copy()
+        dup.add_input("new_pi")
+        dup.mark_output(0)
+        assert dup.num_nodes == c17.num_nodes + 1
+        assert not c17.is_output(0)
+
+    def test_iter_edges_matches_counts(self, c17):
+        edges = list(c17.iter_edges())
+        assert len(edges) == c17.num_edges
+        for driver, sink in edges:
+            assert driver in c17.fanins(sink)
+
+    def test_type_counts(self, c17):
+        counts = c17.type_counts()
+        assert counts["INPUT"] == 5
+        assert counts["NAND"] == 6
+
+    def test_repr_mentions_sizes(self, c17):
+        text = repr(c17)
+        assert "nodes=11" in text and "edges=12" in text

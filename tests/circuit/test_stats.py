@@ -1,0 +1,33 @@
+"""Netlist statistics."""
+
+from repro.circuit import GateType, compute_stats, generate_design
+
+
+class TestComputeStats:
+    def test_c17(self, c17):
+        stats = compute_stats(c17)
+        assert stats.n_nodes == 11
+        assert stats.n_edges == 12
+        assert stats.n_inputs == 5
+        assert stats.n_outputs == 2
+        assert stats.max_logic_level == 3
+        assert stats.gate_mix["NAND"] == 6
+
+    def test_counts_ops_and_flops(self, c17):
+        nl = c17.copy()
+        nl.insert_observation_point(nl.find("G11"))
+        nl.add_cell(GateType.DFF, (nl.find("G10"),))
+        stats = compute_stats(nl)
+        assert stats.n_observation_points == 1
+        assert stats.n_flops == 1
+
+    def test_generated_matches_paper_shape(self):
+        stats = compute_stats(generate_design(2000, seed=1))
+        assert 1.3 < stats.edge_node_ratio < 2.2
+        assert stats.sparsity > 0.99
+        assert stats.max_fanout >= stats.fanout_p99
+
+    def test_summary_renders(self, c17):
+        text = compute_stats(c17).summary()
+        assert "nodes=11" in text
+        assert "NAND=6" in text

@@ -1,0 +1,141 @@
+"""Netlist transforms: constant propagation, dead sweep, equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.atpg.simulator import LogicSimulator
+from repro.circuit import (
+    GateType,
+    Netlist,
+    generate_design,
+    propagate_constants,
+    simplify,
+    sweep_dead_logic,
+    validate_netlist,
+)
+
+
+@pytest.fixture
+def const_heavy():
+    """Circuit with a provably constant branch: AND(a, CONST0) == 0."""
+    nl = Netlist("consty")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    c0 = nl.add_cell(GateType.CONST0, ())
+    dead_and = nl.add_cell(GateType.AND, (a, c0), "dead_and")  # always 0
+    keep = nl.add_cell(GateType.OR, (dead_and, b), "keep")  # == b
+    out = nl.add_cell(GateType.XOR, (keep, a), "out")
+    nl.mark_output(out)
+    return nl
+
+
+def _simulate_pos(netlist, source_bits_by_name):
+    sim = LogicSimulator(netlist)
+    words = np.zeros((sim.n_sources, 1), dtype=np.uint64)
+    for i, s in enumerate(netlist.sources):
+        if source_bits_by_name.get(netlist.cell_name(s)):
+            words[i] = np.uint64(1)
+    values = sim.simulate(words)
+    return {
+        netlist.cell_name(po): int(values[po][0] & np.uint64(1))
+        for po in netlist.primary_outputs
+    }
+
+
+class TestPropagateConstants:
+    def test_constant_gate_folds(self, const_heavy):
+        folded, node_map = propagate_constants(const_heavy)
+        dead = node_map[const_heavy.find("dead_and")]
+        assert folded.gate_type(dead) is GateType.CONST0
+
+    def test_po_behaviour_preserved(self, const_heavy):
+        folded, _ = propagate_constants(const_heavy)
+        for a in (0, 1):
+            for b in (0, 1):
+                bits = {"a": a, "b": b}
+                assert _simulate_pos(const_heavy, bits) == _simulate_pos(folded, bits)
+
+    def test_fixpoint_through_chains(self):
+        nl = Netlist()
+        c1 = nl.add_cell(GateType.CONST1, ())
+        n1 = nl.add_cell(GateType.NOT, (c1,))     # 0
+        n2 = nl.add_cell(GateType.NOR, (n1, n1))  # 1
+        a = nl.add_input("a")
+        out = nl.add_cell(GateType.AND, (a, n2), "out")  # == a
+        nl.mark_output(out)
+        folded, node_map = propagate_constants(nl)
+        assert folded.gate_type(node_map[n2]) is GateType.CONST1
+
+    def test_inputs_never_folded(self, const_heavy):
+        folded, node_map = propagate_constants(const_heavy)
+        for pi in const_heavy.primary_inputs:
+            assert folded.gate_type(node_map[pi]) is GateType.INPUT
+
+    def test_dff_survives(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        d = nl.add_cell(GateType.DFF, (a,), "ff")
+        g = nl.add_cell(GateType.BUF, (d,), "g")
+        nl.mark_output(g)
+        folded, node_map = propagate_constants(nl)
+        new_d = node_map[d]
+        assert folded.gate_type(new_d) is GateType.DFF
+        assert folded.fanins(new_d) == [node_map[a]]
+
+
+class TestSweepDeadLogic:
+    def test_unobservable_logic_removed(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        live = nl.add_cell(GateType.NOT, (a,), "live")
+        nl.add_cell(GateType.BUF, (a,), "dangling")
+        nl.mark_output(live)
+        swept, node_map = sweep_dead_logic(nl)
+        assert swept.num_nodes == 2  # just a and live
+        assert "dangling" not in [swept.cell_name(v) for v in swept.nodes()]
+
+    def test_live_logic_untouched(self, c17):
+        swept, _ = sweep_dead_logic(c17)
+        assert swept.num_nodes == c17.num_nodes
+        assert swept.num_edges == c17.num_edges
+
+    def test_dff_fanin_cone_kept(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_cell(GateType.NOT, (a,), "g")
+        nl.add_cell(GateType.DFF, (g,), "ff")
+        swept, node_map = sweep_dead_logic(nl)
+        assert g in node_map
+
+
+class TestSimplify:
+    def test_combined(self, const_heavy):
+        simplified, node_map = simplify(const_heavy)
+        assert validate_netlist(simplified).ok
+        for a in (0, 1):
+            for b in (0, 1):
+                bits = {"a": a, "b": b}
+                assert (
+                    _simulate_pos(const_heavy, bits)
+                    == _simulate_pos(simplified, bits)
+                )
+
+    def test_generated_design_round_trip_equivalence(self, rng):
+        nl = generate_design(150, seed=79)
+        simplified, node_map = simplify(nl)
+        assert validate_netlist(simplified).ok
+        # Random-pattern equivalence on mapped POs.
+        sim1, sim2 = LogicSimulator(nl), LogicSimulator(simplified)
+        words1 = sim1.random_source_words(1, np.random.default_rng(0))
+        # map source values by name
+        words2 = np.zeros((sim2.n_sources, 1), dtype=np.uint64)
+        name_to_val = {
+            nl.cell_name(s): words1[i] for i, s in enumerate(nl.sources)
+        }
+        for i, s in enumerate(simplified.sources):
+            words2[i] = name_to_val.get(simplified.cell_name(s), np.uint64(0))
+        v1, v2 = sim1.simulate(words1), sim2.simulate(words2)
+        for po in nl.primary_outputs:
+            if po not in node_map:
+                continue
+            assert np.array_equal(v1[po], v2[node_map[po]])

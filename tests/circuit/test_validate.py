@@ -1,0 +1,55 @@
+"""Netlist validation: errors, warnings, strict mode."""
+
+import pytest
+
+from repro.circuit import (
+    GateType,
+    Netlist,
+    NetlistValidationError,
+    validate_netlist,
+)
+
+
+class TestValidate:
+    def test_clean_design_passes(self, c17):
+        report = validate_netlist(c17)
+        assert report.ok
+        assert report.errors == []
+
+    def test_empty_netlist_fails(self):
+        report = validate_netlist(Netlist())
+        assert not report.ok
+        assert "empty" in report.errors[0]
+
+    def test_no_observation_sites(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_cell(GateType.NOT, (a,))
+        report = validate_netlist(nl)
+        assert any("no observation sites" in e for e in report.errors)
+
+    def test_dangling_gate_warns(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_cell(GateType.NOT, (a,), "used")
+        nl.add_cell(GateType.NOT, (a,), "dangling")
+        nl.mark_output(g)
+        report = validate_netlist(nl)
+        assert report.ok
+        assert any("dangling" in w for w in report.warnings)
+
+    def test_unused_pi_is_not_an_error(self):
+        nl = Netlist()
+        nl.add_input("unused")
+        a = nl.add_input("a")
+        g = nl.add_cell(GateType.BUF, (a,))
+        nl.mark_output(g)
+        assert validate_netlist(nl).ok
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(NetlistValidationError):
+            validate_netlist(Netlist(), strict=True)
+
+    def test_generated_designs_validate(self, small_design, medium_design):
+        assert validate_netlist(small_design).ok
+        assert validate_netlist(medium_design).ok

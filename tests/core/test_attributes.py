@@ -1,0 +1,57 @@
+"""Node attribute construction and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import logic_levels
+from repro.core.attributes import (
+    AttributeConfig,
+    OP_ATTRIBUTES,
+    build_attributes,
+    normalize_attributes,
+)
+from repro.testability import compute_scoap
+
+
+class TestBuildAttributes:
+    def test_shape_and_columns_raw(self, c17):
+        raw = build_attributes(c17, config=AttributeConfig(normalize=False))
+        assert raw.shape == (c17.num_nodes, 4)
+        levels = logic_levels(c17)
+        scoap = compute_scoap(c17)
+        assert np.array_equal(raw[:, 0], levels)
+        assert np.array_equal(raw[:, 1], scoap.cc0)
+        assert np.array_equal(raw[:, 2], scoap.cc1)
+        assert np.array_equal(raw[:, 3], scoap.co)
+
+    def test_normalized_bounded(self, medium_design):
+        attrs = build_attributes(medium_design)
+        assert np.isfinite(attrs).all()
+        assert attrs[:, 1:].max() <= 2.1  # log1p(SCOAP_INF)/7 ~= 1.98
+
+    def test_accepts_precomputed_scoap(self, c17):
+        scoap = compute_scoap(c17)
+        a = build_attributes(c17, scoap=scoap)
+        b = build_attributes(c17)
+        assert np.allclose(a, b)
+
+    def test_normalization_is_fixed_not_fitted(self, c17, small_design):
+        # The same raw value must map to the same feature on any design —
+        # the inductive requirement.
+        config = AttributeConfig()
+        row = np.array([[10.0, 5.0, 7.0, 3.0]])
+        assert np.allclose(
+            normalize_attributes(row, config), normalize_attributes(row.copy(), config)
+        )
+
+    def test_normalize_formula(self):
+        config = AttributeConfig(level_scale=50.0, scoap_scale=7.0)
+        raw = np.array([[25.0, 1.0, 2.0, 0.0]])
+        out = normalize_attributes(raw, config)
+        assert out[0, 0] == pytest.approx(0.5)
+        assert out[0, 1] == pytest.approx(np.log1p(1.0) / 7.0)
+        assert out[0, 3] == pytest.approx(0.0)
+
+    def test_op_attributes_match_paper(self):
+        # The paper sets a fresh observation point's attributes to [0,1,1,0].
+        assert OP_ATTRIBUTES.tolist() == [0.0, 1.0, 1.0, 0.0]

@@ -1,0 +1,96 @@
+"""Prediction attribution and the receptive-field invariant."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_design
+from repro.core.explain import explain_node
+from repro.core.graphdata import GraphData
+from repro.core.model import GCN, GCNConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    netlist = generate_design(150, seed=63)
+    graph = GraphData.from_netlist(netlist)
+    model = GCN(GCNConfig(hidden_dims=(8, 16), fc_dims=(16,), seed=1))
+    rng = np.random.default_rng(0)
+    for p in model.parameters():
+        p.data = p.data + rng.normal(scale=0.1, size=p.data.shape)
+    return netlist, graph, model
+
+
+def _d_hop_neighbourhood(netlist, node, depth):
+    frontier = {node}
+    seen = {node}
+    for _ in range(depth):
+        nxt = set()
+        for v in frontier:
+            nxt.update(netlist.fanins(v))
+            nxt.update(netlist.fanouts(v))
+        nxt -= seen
+        seen |= nxt
+        frontier = nxt
+    return seen
+
+
+class TestExplainNode:
+    def test_margin_matches_model(self, setup):
+        _, graph, model = setup
+        attribution = explain_node(model, graph, 10)
+        logits = model.predict_proba(graph)  # probabilistic check instead
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            raw = model(graph).data
+        assert attribution.margin == pytest.approx(raw[10, 1] - raw[10, 0])
+
+    def test_receptive_field_invariant(self, setup):
+        """Attribution is exactly zero outside the D-hop neighbourhood."""
+        netlist, graph, model = setup
+        depth = model.config.depth
+        for node in (5, 40, 90):
+            attribution = explain_node(model, graph, node, multiply_by_input=False)
+            allowed = _d_hop_neighbourhood(netlist, node, depth)
+            outside = set(attribution.contributions) - allowed
+            assert not outside, f"node {node}: leakage to {sorted(outside)[:5]}"
+
+    def test_gradient_matches_numeric(self, setup):
+        netlist, graph, model = setup
+        node = 25
+        attribution = explain_node(model, graph, node, multiply_by_input=False)
+        # pick some contributing node and check one feature numerically
+        probe = max(attribution.contributions, key=lambda v: np.abs(
+            attribution.contributions[v]).max())
+        feature = int(np.abs(attribution.contributions[probe]).argmax())
+        eps = 1e-5
+
+        def margin_with(delta):
+            patched = graph.attributes.copy()
+            patched[probe, feature] += delta
+            g2 = GraphData(pred=graph.pred, succ=graph.succ, attributes=patched)
+            from repro.nn.tensor import no_grad
+
+            with no_grad():
+                raw = model(g2).data
+            return raw[node, 1] - raw[node, 0]
+
+        numeric = (margin_with(eps) - margin_with(-eps)) / (2 * eps)
+        assert numeric == pytest.approx(
+            attribution.contributions[probe][feature], rel=1e-3, abs=1e-6
+        )
+
+    def test_ranked_and_summary(self, setup):
+        netlist, graph, model = setup
+        attribution = explain_node(model, graph, 30)
+        ranked = attribution.ranked_nodes(3)
+        assert len(ranked) <= 3
+        assert all(b >= 0 for _, b in ranked)
+        text = attribution.summary(netlist)
+        assert "node 30" in text
+        assert 0.0 <= attribution.self_share() <= 1.0
+
+    def test_out_of_range_rejected(self, setup):
+        _, graph, model = setup
+        with pytest.raises(ValueError):
+            explain_node(model, graph, graph.num_nodes + 5)

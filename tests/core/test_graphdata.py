@@ -1,0 +1,42 @@
+"""GraphData container and masking."""
+
+import numpy as np
+import pytest
+
+from repro.core.graphdata import GraphData
+
+
+class TestFromNetlist:
+    def test_basic(self, c17):
+        g = GraphData.from_netlist(c17)
+        assert g.num_nodes == c17.num_nodes
+        assert g.num_edges == c17.num_edges
+        assert g.attributes.shape == (c17.num_nodes, 4)
+        assert g.name == "c17"
+
+    def test_labels_length_checked(self, c17):
+        with pytest.raises(ValueError):
+            GraphData.from_netlist(c17, labels=np.zeros(3))
+
+    def test_labels_cast_to_int(self, c17):
+        g = GraphData.from_netlist(c17, labels=np.zeros(c17.num_nodes, dtype=float))
+        assert g.labels.dtype == np.int64
+
+
+class TestMasking:
+    def test_default_mask_is_all(self, c17):
+        g = GraphData.from_netlist(c17)
+        assert np.array_equal(g.masked_indices(), np.arange(c17.num_nodes))
+
+    def test_subset_restricts_loss_not_graph(self, c17):
+        g = GraphData.from_netlist(c17, labels=np.zeros(c17.num_nodes))
+        sub = g.subset(np.array([1, 3, 5]))
+        assert sorted(sub.masked_indices().tolist()) == [1, 3, 5]
+        # graph structure untouched: aggregation still sees everything
+        assert sub.num_nodes == g.num_nodes
+        assert sub.pred is g.pred
+
+    def test_subset_of_subset(self, c17):
+        g = GraphData.from_netlist(c17, labels=np.zeros(c17.num_nodes))
+        sub = g.subset(np.array([1, 3, 5])).subset(np.array([3]))
+        assert sub.masked_indices().tolist() == [3]

@@ -1,0 +1,78 @@
+"""Incremental region inference vs full recomputation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_design
+from repro.core.incremental_inference import IncrementalInference
+from repro.core.inference import FastInference
+from repro.core.model import GCN
+from repro.experiments.common import default_gcn_config
+from repro.flow.modify import IncrementalDesign
+
+
+@pytest.fixture
+def weights():
+    model = GCN(default_gcn_config(seed=5))
+    rng = np.random.default_rng(1)
+    for p in model.parameters():
+        p.data = p.data + rng.normal(scale=0.05, size=p.data.shape)
+    return model.layer_weights()
+
+
+class TestIncrementalInference:
+    def test_full_pass_matches_fast_inference(self, weights):
+        design = IncrementalDesign(generate_design(300, seed=51))
+        engine = IncrementalInference(weights, design.graph)
+        logits = engine.full_pass()
+        reference = FastInference(weights).logits(design.graph)
+        assert np.allclose(logits, reference, atol=1e-10)
+
+    def test_update_after_op_matches_full(self, weights):
+        design = IncrementalDesign(generate_design(300, seed=51))
+        engine = IncrementalInference(weights, design.graph)
+        engine.full_pass()
+
+        target = 42
+        _, checkpoint = design.insert_op(target)
+        changed = [v for v, _ in checkpoint.changed_co] + [target]
+        engine.update(changed)
+        reference = FastInference(weights).logits(design.graph)
+        assert engine.logits.shape == reference.shape
+        assert np.allclose(engine.logits, reference, atol=1e-9)
+
+    def test_sequence_of_insertions(self, weights):
+        design = IncrementalDesign(generate_design(250, seed=53))
+        engine = IncrementalInference(weights, design.graph)
+        engine.full_pass()
+        for target in (10, 77, 150):
+            _, checkpoint = design.insert_op(target)
+            changed = [v for v, _ in checkpoint.changed_co] + [target]
+            engine.update(changed)
+        reference = FastInference(weights).logits(design.graph)
+        assert np.allclose(engine.logits, reference, atol=1e-9)
+
+    def test_affected_region_is_local(self, weights):
+        design = IncrementalDesign(generate_design(400, seed=57))
+        engine = IncrementalInference(weights, design.graph)
+        engine.full_pass()
+        _, checkpoint = design.insert_op(5)
+        changed = [v for v, _ in checkpoint.changed_co] + [5]
+        affected = engine.update(changed)
+        # the region must be a strict subset of the graph on any
+        # non-trivial design
+        assert 0 < len(affected) < design.graph.num_nodes
+
+    def test_update_before_full_pass_rejected(self, weights):
+        design = IncrementalDesign(generate_design(200, seed=59))
+        engine = IncrementalInference(weights, design.graph)
+        with pytest.raises(RuntimeError):
+            engine.update([0])
+        with pytest.raises(RuntimeError):
+            engine.predict()
+
+    def test_predict_matches_argmax(self, weights):
+        design = IncrementalDesign(generate_design(200, seed=59))
+        engine = IncrementalInference(weights, design.graph)
+        engine.full_pass()
+        assert np.array_equal(engine.predict(), np.argmax(engine.logits, axis=1))

@@ -1,0 +1,67 @@
+"""Model persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_design
+from repro.core import (
+    GCN,
+    GCNConfig,
+    GraphData,
+    MultiStageConfig,
+    MultiStageGCN,
+    TrainConfig,
+    load_cascade,
+    load_gcn,
+    save_cascade,
+    save_gcn,
+)
+
+
+@pytest.fixture
+def graph():
+    netlist = generate_design(150, seed=71)
+    labels = np.zeros(netlist.num_nodes, dtype=np.int64)
+    labels[::7] = 1
+    return GraphData.from_netlist(netlist, labels=labels)
+
+
+class TestGcnRoundTrip:
+    def test_predictions_preserved(self, graph, tmp_path):
+        model = GCN(GCNConfig(hidden_dims=(8, 16), fc_dims=(16,), seed=3))
+        rng = np.random.default_rng(0)
+        for p in model.parameters():
+            p.data = p.data + rng.normal(scale=0.1, size=p.data.shape)
+        path = save_gcn(model, tmp_path / "model.npz")
+        again = load_gcn(path)
+        assert again.config == model.config
+        with_original = model(graph).data
+        with_loaded = again(graph).data
+        assert np.allclose(with_original, with_loaded)
+
+    def test_suffix_added(self, graph, tmp_path):
+        model = GCN(GCNConfig(hidden_dims=(8,), fc_dims=(8,)))
+        path = save_gcn(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestCascadeRoundTrip:
+    def test_predictions_preserved(self, graph, tmp_path):
+        cascade = MultiStageGCN(
+            MultiStageConfig(
+                n_stages=2,
+                gcn=GCNConfig(hidden_dims=(8,), fc_dims=(8,)),
+                train=TrainConfig(epochs=15, eval_every=15),
+            )
+        )
+        cascade.fit([graph])
+        path = save_cascade(cascade, tmp_path / "cascade.npz")
+        again = load_cascade(path)
+        assert len(again.stages) == len(cascade.stages)
+        assert np.array_equal(again.predict(graph), cascade.predict(graph))
+
+    def test_unfitted_rejected(self, tmp_path):
+        cascade = MultiStageGCN()
+        with pytest.raises(ValueError):
+            save_cascade(cascade, tmp_path / "x.npz")

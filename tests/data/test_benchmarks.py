@@ -1,0 +1,66 @@
+"""Benchmark registry and label caching."""
+
+import numpy as np
+import pytest
+
+from repro.data.benchmarks import (
+    BENCHMARK_SPECS,
+    benchmark_names,
+    generate_benchmark,
+    load_benchmark,
+)
+from repro.testability.labels import LabelConfig
+
+
+class TestRegistry:
+    def test_four_designs(self):
+        assert benchmark_names() == ["B1", "B2", "B3", "B4"]
+
+    def test_designs_differ(self):
+        b1 = generate_benchmark("B1", scale=0.1)
+        b2 = generate_benchmark("B2", scale=0.1)
+        assert b1.name == "B1"
+        assert list(b1.iter_edges()) != list(b2.iter_edges())
+
+    def test_scale_changes_size(self):
+        small = generate_benchmark("B1", scale=0.1)
+        bigger = generate_benchmark("B1", scale=0.2)
+        assert bigger.num_nodes > small.num_nodes
+
+    def test_deterministic(self):
+        a = generate_benchmark("B3", scale=0.1)
+        b = generate_benchmark("B3", scale=0.1)
+        assert list(a.iter_edges()) == list(b.iter_edges())
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate_benchmark("B9")
+
+
+class TestLoadBenchmark:
+    def test_labels_and_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        config = LabelConfig(n_patterns=64)
+        netlist, labels = load_benchmark("B1", scale=0.08, label_config=config)
+        assert labels.labels.shape[0] == netlist.num_nodes
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        # Second load hits the cache and returns identical labels.
+        _, again = load_benchmark("B1", scale=0.08, label_config=config)
+        assert np.array_equal(labels.labels, again.labels)
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+    def test_cache_key_varies_with_config(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        load_benchmark("B1", scale=0.08, label_config=LabelConfig(n_patterns=64))
+        load_benchmark(
+            "B1", scale=0.08, label_config=LabelConfig(n_patterns=64, threshold=0.05)
+        )
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_cache_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        load_benchmark(
+            "B2", scale=0.08, label_config=LabelConfig(n_patterns=64), cache=False
+        )
+        assert not list(tmp_path.glob("*.npz"))

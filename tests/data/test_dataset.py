@@ -1,0 +1,47 @@
+"""Benchmark dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import load_suite
+from repro.testability.labels import LabelConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_suite(tmp_path_factory):
+    import os
+
+    cache = tmp_path_factory.mktemp("cache")
+    old = os.environ.get("REPRO_CACHE")
+    os.environ["REPRO_CACHE"] = str(cache)
+    try:
+        yield load_suite(
+            names=["B1", "B2"],
+            scale=0.08,
+            label_config=LabelConfig(n_patterns=64),
+        )
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_CACHE", None)
+        else:
+            os.environ["REPRO_CACHE"] = old
+
+
+class TestLoadSuite:
+    def test_suite_contents(self, tiny_suite):
+        assert set(tiny_suite) == {"B1", "B2"}
+        ds = tiny_suite["B1"]
+        assert ds.graph.num_nodes == ds.netlist.num_nodes
+        assert ds.graph.labels is not None
+        assert np.array_equal(ds.graph.labels, ds.labels.labels)
+
+    def test_balanced_graph_mask(self, tiny_suite):
+        ds = tiny_suite["B1"]
+        if ds.labels.n_positive == 0:
+            pytest.skip("no positives at this tiny scale")
+        bg = ds.balanced_graph(seed=0)
+        idx = bg.masked_indices()
+        assert ds.graph.labels[idx].sum() == ds.labels.n_positive
+
+    def test_graph_name_matches(self, tiny_suite):
+        assert tiny_suite["B2"].graph.name == "B2"

@@ -1,0 +1,57 @@
+"""Balanced sampling and leave-one-design-out splits."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import balanced_indices, leave_one_out
+
+
+class TestBalancedIndices:
+    def test_balanced_composition(self, rng):
+        labels = np.zeros(1000, dtype=np.int64)
+        labels[:37] = 1
+        idx = balanced_indices(labels, seed=0)
+        assert len(idx) == 74
+        assert labels[idx].sum() == 37
+
+    def test_ratio(self):
+        labels = np.zeros(1000, dtype=np.int64)
+        labels[:20] = 1
+        idx = balanced_indices(labels, seed=0, ratio=2.0)
+        assert len(idx) == 60
+        assert labels[idx].sum() == 20
+
+    def test_negatives_capped(self):
+        labels = np.ones(10, dtype=np.int64)
+        labels[0] = 0
+        idx = balanced_indices(labels, seed=0)
+        assert (labels[idx] == 0).sum() == 1
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            balanced_indices(np.zeros(10))
+        with pytest.raises(ValueError):
+            balanced_indices(np.ones(10))
+
+    def test_shuffled(self):
+        labels = np.zeros(500, dtype=np.int64)
+        labels[:50] = 1
+        idx = balanced_indices(labels, seed=1)
+        assert not np.array_equal(idx[:50], np.arange(50))
+
+    def test_deterministic(self):
+        labels = np.zeros(100, dtype=np.int64)
+        labels[:10] = 1
+        a = balanced_indices(labels, seed=7)
+        b = balanced_indices(labels, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestLeaveOneOut:
+    def test_all_splits(self):
+        splits = list(leave_one_out(["B1", "B2", "B3", "B4"]))
+        assert len(splits) == 4
+        for train, test in splits:
+            assert len(train) == 3
+            assert test not in train
+        assert {test for _, test in splits} == {"B1", "B2", "B3", "B4"}

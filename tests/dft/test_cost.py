@@ -1,0 +1,66 @@
+"""Test-cost models."""
+
+import pytest
+
+from repro.circuit import GateType, Netlist
+from repro.dft import evaluate_test_cost, gate_equivalents
+
+
+@pytest.fixture
+def design_with_dft(c17):
+    nl = c17.copy()
+    nl.insert_observation_point(nl.find("G10"))
+    nl.insert_observation_point(nl.find("G11"))
+    return nl
+
+
+class TestGateEquivalents:
+    def test_pure_functional(self, c17):
+        functional, dft = gate_equivalents(c17)
+        assert functional == pytest.approx(6.0)  # 6 NAND2
+        assert dft == 0.0
+
+    def test_ops_count_as_dft(self, design_with_dft):
+        functional, dft = gate_equivalents(design_with_dft)
+        assert functional == pytest.approx(6.0)
+        assert dft == pytest.approx(2 * 7.0)
+
+    def test_cp_infrastructure_counts_as_dft(self, c17):
+        nl = c17.copy()
+        nl.insert_control_point(nl.find("G10"), 1)
+        functional, dft = gate_equivalents(nl)
+        assert functional == pytest.approx(6.0)
+        assert dft > 6.0  # test flop + OR gate
+
+
+class TestEvaluateTestCost:
+    def test_cycle_formula(self, design_with_dft):
+        cost = evaluate_test_cost(design_with_dft, n_patterns=10, n_chains=1)
+        assert cost.max_chain_length == 2
+        assert cost.test_cycles == 11 * 2 + 10
+
+    def test_zero_patterns(self, design_with_dft):
+        assert evaluate_test_cost(design_with_dft, 0).test_cycles == 0
+
+    def test_negative_patterns_rejected(self, design_with_dft):
+        with pytest.raises(ValueError):
+            evaluate_test_cost(design_with_dft, -1)
+
+    def test_more_chains_cut_time(self, design_with_dft):
+        one = evaluate_test_cost(design_with_dft, 50, n_chains=1)
+        two = evaluate_test_cost(design_with_dft, 50, n_chains=2)
+        assert two.test_cycles < one.test_cycles
+
+    def test_area_overhead(self, design_with_dft):
+        cost = evaluate_test_cost(design_with_dft, 10)
+        assert cost.area_overhead == pytest.approx(14.0 / 6.0)
+
+    def test_fewer_ops_means_less_overhead(self, c17):
+        one = c17.copy()
+        one.insert_observation_point(one.find("G10"))
+        two = one.copy()
+        two.insert_observation_point(two.find("G11"))
+        assert (
+            evaluate_test_cost(one, 10).area_overhead
+            < evaluate_test_cost(two, 10).area_overhead
+        )

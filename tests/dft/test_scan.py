@@ -1,0 +1,60 @@
+"""Scan-chain construction."""
+
+import pytest
+
+from repro.circuit import GateType, Netlist
+from repro.dft import ScanChains, build_scan_chains, scan_cells
+
+
+@pytest.fixture
+def scanned_design(c17):
+    nl = c17.copy()
+    nl.insert_observation_point(nl.find("G10"))
+    nl.insert_observation_point(nl.find("G11"))
+    nl.insert_observation_point(nl.find("G16"))
+    nl.add_cell(GateType.DFF, (nl.find("G19"),))
+    return nl
+
+
+class TestScanCells:
+    def test_collects_dffs_and_ops(self, scanned_design):
+        cells = scan_cells(scanned_design)
+        assert len(cells) == 4
+        kinds = {scanned_design.gate_type(v) for v in cells}
+        assert kinds == {GateType.OBS, GateType.DFF}
+
+    def test_pure_combinational_has_none(self, c17):
+        assert scan_cells(c17) == []
+
+
+class TestBuildScanChains:
+    def test_single_chain(self, scanned_design):
+        chains = build_scan_chains(scanned_design, 1)
+        assert len(chains.chains) == 1
+        assert chains.n_cells == 4
+        assert chains.max_length == 4
+
+    def test_balanced_split(self, scanned_design):
+        chains = build_scan_chains(scanned_design, 2)
+        assert chains.n_cells == 4
+        assert chains.max_length == 2
+
+    def test_more_chains_than_cells(self, scanned_design):
+        chains = build_scan_chains(scanned_design, 10)
+        assert chains.n_cells == 4
+        assert chains.max_length == 1
+
+    def test_invalid_chain_count(self, c17):
+        with pytest.raises(ValueError):
+            build_scan_chains(c17, 0)
+
+    def test_chain_of(self, scanned_design):
+        chains = build_scan_chains(scanned_design, 2)
+        cell = chains.chains[0][0]
+        assert chains.chain_of(cell) == 0
+        with pytest.raises(ValueError):
+            chains.chain_of(0)
+
+    def test_empty_design(self, c17):
+        chains = build_scan_chains(c17, 3)
+        assert chains.max_length == 0

@@ -1,0 +1,97 @@
+"""Experiment infrastructure: result writing, cascade caching."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_design
+from repro.core.graphdata import GraphData
+from repro.core.model import GCNConfig
+from repro.core.multistage import MultiStageConfig
+from repro.core.trainer import TrainConfig
+from repro.experiments.common import (
+    fit_cascade_cached,
+    full_mode,
+    results_dir,
+    write_result,
+)
+from repro.testability import LabelConfig, label_nodes
+
+
+class TestResults:
+    def test_write_result_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path / "out"))
+        path = write_result(
+            "unit", {"x": np.int64(3), "y": np.float64(0.5), "z": np.arange(2)}
+        )
+        data = json.loads(path.read_text())
+        assert data == {"x": 3, "y": 0.5, "z": [0, 1]}
+
+    def test_results_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path / "r"))
+        assert results_dir() == tmp_path / "r"
+        assert (tmp_path / "r").exists()
+
+    def test_full_mode_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_mode()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not full_mode()
+
+
+@pytest.fixture
+def tiny_graphs():
+    graphs = []
+    for seed in (81, 82):
+        netlist = generate_design(200, seed=seed)
+        labels = label_nodes(netlist, LabelConfig(n_patterns=64, threshold=0.02))
+        graphs.append(
+            GraphData.from_netlist(netlist, labels=labels.labels, name=f"t{seed}")
+        )
+    return graphs
+
+
+class TestCascadeCache:
+    def test_round_trip(self, tiny_graphs, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        config = MultiStageConfig(
+            n_stages=2,
+            gcn=GCNConfig(hidden_dims=(8,), fc_dims=(8,)),
+            train=TrainConfig(epochs=10, eval_every=10),
+        )
+        first = fit_cascade_cached(tiny_graphs, config, scale=0.1)
+        files = list(tmp_path.glob("cascade_*.npz"))
+        assert len(files) == 1
+        second = fit_cascade_cached(tiny_graphs, config, scale=0.1)
+        assert len(second.stages) == len(first.stages)
+        for a, b in zip(first.stages, second.stages):
+            pred_a = a.predict(tiny_graphs[0])
+            pred_b = b.predict(tiny_graphs[0])
+            assert np.array_equal(pred_a, pred_b)
+
+    def test_cache_key_varies_with_config(self, tiny_graphs, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        base = MultiStageConfig(
+            n_stages=1,
+            gcn=GCNConfig(hidden_dims=(8,), fc_dims=(8,)),
+            train=TrainConfig(epochs=5, eval_every=5),
+        )
+        fit_cascade_cached(tiny_graphs, base, scale=0.1)
+        other = MultiStageConfig(
+            n_stages=1,
+            gcn=GCNConfig(hidden_dims=(8,), fc_dims=(8,)),
+            train=TrainConfig(epochs=6, eval_every=6),
+        )
+        fit_cascade_cached(tiny_graphs, other, scale=0.1)
+        assert len(list(tmp_path.glob("cascade_*.npz"))) == 2
+
+    def test_cache_disabled(self, tiny_graphs, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        config = MultiStageConfig(
+            n_stages=1,
+            gcn=GCNConfig(hidden_dims=(8,), fc_dims=(8,)),
+            train=TrainConfig(epochs=5, eval_every=5),
+        )
+        fit_cascade_cached(tiny_graphs, config, scale=0.1, cache=False)
+        assert not list(tmp_path.glob("cascade_*.npz"))

@@ -1,0 +1,82 @@
+"""Experiment drivers: formatting and small-scale smoke runs."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_design
+from repro.core.graphdata import GraphData
+from repro.data.dataset import BenchmarkDataset
+from repro.experiments.figure10 import run_scalability, format_scalability
+from repro.experiments.figure9 import F1Comparison, format_f1
+from repro.experiments.table1 import collect_statistics, format_statistics
+from repro.experiments.table2 import AccuracyComparison, MODEL_ORDER, format_accuracy
+from repro.experiments.table3 import FlowMetrics, TestabilityComparison, format_testability
+from repro.testability import LabelConfig, label_nodes
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    suite = {}
+    for name, seed in [("B1", 91), ("B2", 92)]:
+        netlist = generate_design(250, seed=seed)
+        labels = label_nodes(netlist, LabelConfig(n_patterns=64, threshold=0.02))
+        graph = GraphData.from_netlist(netlist, labels=labels.labels, name=name)
+        suite[name] = BenchmarkDataset(
+            name=name, netlist=netlist, labels=labels, graph=graph
+        )
+    return suite
+
+
+class TestTable1:
+    def test_rows_consistent(self, tiny_suite):
+        rows = collect_statistics(tiny_suite)
+        assert len(rows) == 2
+        for name, nodes, edges, pos, neg, rate in rows:
+            ds = tiny_suite[name]
+            assert nodes == ds.netlist.num_nodes
+            assert pos + neg == nodes
+
+    def test_format(self, tiny_suite):
+        text = format_statistics(tiny_suite)
+        assert "Table 1" in text and "B1" in text
+
+
+class TestResultFormatting:
+    def test_accuracy_rows_and_average(self):
+        result = AccuracyComparison(
+            accuracies={
+                "B1": {m: 0.8 for m in MODEL_ORDER},
+                "B2": {m: 0.9 for m in MODEL_ORDER},
+            }
+        )
+        assert result.average("GCN") == pytest.approx(0.85)
+        rows = result.rows()
+        assert rows[-1][0] == "Average"
+        assert "GCN" in format_accuracy(result)
+
+    def test_f1_rows(self):
+        result = F1Comparison(single={"B1": 0.1}, multi={"B1": 0.5})
+        assert result.rows() == [["B1", 0.1, 0.5]]
+        assert "Figure 9" in format_f1(result)
+
+    def test_testability_ratios(self):
+        result = TestabilityComparison(
+            baseline={"B1": FlowMetrics(100, 50, 0.99)},
+            gcn={"B1": FlowMetrics(89, 47, 0.99)},
+        )
+        assert result.ratio("n_ops") == pytest.approx(0.89)
+        assert result.ratio("n_patterns") == pytest.approx(0.94)
+        text = format_testability(result)
+        assert "Ratio" in text and "0.89" in text
+
+
+class TestScalabilitySmoke:
+    def test_tiny_sweep(self):
+        result = run_scalability(
+            sizes=[300, 600], recursive_exhaustive_cutoff=450, recursive_sample=20
+        )
+        assert len(result.sizes) == 2
+        assert all(t > 0 for t in result.fast_seconds)
+        assert all(r > f for r, f in zip(result.recursive_seconds, result.fast_seconds))
+        assert result.recursive_measured == [True, False]
+        assert "Figure 10" in format_scalability(result)

@@ -1,0 +1,59 @@
+"""Result-report rendering."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import load_results, render_report
+
+
+@pytest.fixture
+def results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+    (tmp_path / "table1.json").write_text(
+        json.dumps(
+            {
+                "headers": ["design", "nodes", "edges", "pos", "neg", "rate"],
+                "rows": [["B1", 100, 150, 5, 95, "5%"]],
+            }
+        )
+    )
+    (tmp_path / "figure9.json").write_text(
+        json.dumps({"single": {"B1": 0.3}, "multi": {"B1": 0.5}})
+    )
+    (tmp_path / "figure10.json").write_text(
+        json.dumps(
+            {
+                "sizes": [1000],
+                "fast_seconds": [0.01],
+                "recursive_seconds": [1.0],
+                "recursive_measured": [True],
+            }
+        )
+    )
+    (tmp_path / "custom_thing.json").write_text(json.dumps({"rows": []}))
+    (tmp_path / "broken.json").write_text("{not json")
+    return tmp_path
+
+
+class TestReport:
+    def test_load_skips_broken_files(self, results_dir):
+        results = load_results(results_dir)
+        assert "table1" in results
+        assert "broken" not in results
+
+    def test_render_known_sections(self, results_dir):
+        text = render_report(results_dir)
+        assert "Table 1" in text
+        assert "Figure 9" in text
+        assert "100x" in text  # figure10 speedup
+        assert "custom_thing" in text  # unknown files listed, not dropped
+
+    def test_empty_dir_message(self, tmp_path):
+        assert "no results" in render_report(tmp_path / "missing")
+
+    def test_cli_report(self, results_dir, capsys):
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Cone feature extraction for classical baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import build_attributes
+from repro.features import ConeFeatureConfig, ConeFeatureExtractor
+
+
+@pytest.fixture
+def extractor(c17):
+    attrs = build_attributes(c17)
+    return ConeFeatureExtractor(c17, attrs, ConeFeatureConfig(fanin_nodes=4, fanout_nodes=4))
+
+
+class TestConeFeatures:
+    def test_feature_dim(self, extractor):
+        assert extractor.config.feature_dim == (4 + 4 + 1) * 4
+        assert extractor.features(0).shape == (36,)
+
+    def test_paper_dimension_formula(self):
+        config = ConeFeatureConfig(fanin_nodes=500, fanout_nodes=500)
+        assert config.feature_dim == 4004  # the paper's (500+500+1)*4
+
+    def test_target_attributes_lead(self, c17, extractor):
+        attrs = build_attributes(c17)
+        g16 = c17.find("G16")
+        feats = extractor.features(g16)
+        assert np.allclose(feats[:4], attrs[g16])
+
+    def test_fanin_bfs_order(self, c17, extractor):
+        attrs = build_attributes(c17)
+        g22 = c17.find("G22")
+        feats = extractor.features(g22)
+        # BFS from G22 backwards: first visited are its direct fanins.
+        direct = c17.fanins(g22)
+        assert np.allclose(feats[4:8], attrs[direct[0]])
+        assert np.allclose(feats[8:12], attrs[direct[1]])
+
+    def test_padding_for_small_cones(self, c17, extractor):
+        g1 = c17.find("G1")  # PI: empty fan-in cone
+        feats = extractor.features(g1)
+        assert np.allclose(feats[4 : 4 + 16], 0.0)
+
+    def test_budget_truncates(self, medium_design):
+        attrs = build_attributes(medium_design)
+        tiny = ConeFeatureExtractor(
+            medium_design, attrs, ConeFeatureConfig(fanin_nodes=2, fanout_nodes=2)
+        )
+        assert tiny.features(medium_design.num_nodes - 1).shape == (20,)
+
+    def test_matrix_stacks(self, extractor, c17):
+        nodes = np.array([0, 3, 7])
+        m = extractor.matrix(nodes)
+        assert m.shape == (3, 36)
+        assert np.allclose(m[1], extractor.features(3))
+
+    def test_attribute_row_mismatch_rejected(self, c17):
+        with pytest.raises(ValueError):
+            ConeFeatureExtractor(c17, np.zeros((3, 4)))

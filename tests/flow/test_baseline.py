@@ -1,0 +1,66 @@
+"""The COP-greedy baseline OPI flow."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_design
+from repro.flow.baseline import BaselineOpiConfig, run_baseline_opi
+from repro.testability.cop import compute_cop
+
+
+@pytest.fixture
+def netlist():
+    return generate_design(250, seed=53)
+
+
+class TestBaselineOpi:
+    def test_clears_hard_nodes(self, netlist):
+        config = BaselineOpiConfig(detect_threshold=0.005, max_iterations=80)
+        result = run_baseline_opi(netlist, config)
+        assert result.hard_history[-1] == 0
+        cop = compute_cop(result.netlist)
+        d0, d1 = cop.detection_probability()
+        hard = np.minimum(d0, d1) < config.detect_threshold
+        # Only OBS infrastructure may remain below threshold.
+        from repro.circuit import GateType
+
+        for v in np.flatnonzero(hard):
+            assert (
+                result.netlist.gate_type(int(v)) is GateType.OBS
+                or int(v) in {
+                    result.netlist.fanins(p)[0]
+                    for p in result.netlist.observation_points()
+                }
+            )
+
+    def test_original_untouched(self, netlist):
+        n0 = netlist.num_nodes
+        run_baseline_opi(netlist, BaselineOpiConfig(max_iterations=5))
+        assert netlist.num_nodes == n0
+
+    def test_hard_count_decreases_overall(self, netlist):
+        result = run_baseline_opi(
+            netlist, BaselineOpiConfig(detect_threshold=0.005, max_iterations=80)
+        )
+        assert result.hard_history[0] >= result.hard_history[-1]
+
+    def test_budget_respected(self, netlist):
+        result = run_baseline_opi(
+            netlist, BaselineOpiConfig(max_ops=4, max_iterations=50)
+        )
+        assert result.n_ops <= 4
+
+    def test_no_duplicate_targets(self, netlist):
+        result = run_baseline_opi(
+            netlist, BaselineOpiConfig(detect_threshold=0.005, max_iterations=80)
+        )
+        assert len(set(result.inserted)) == len(result.inserted)
+
+    def test_tighter_threshold_needs_fewer_or_equal_ops(self, netlist):
+        strict = run_baseline_opi(
+            netlist, BaselineOpiConfig(detect_threshold=0.02, max_iterations=80)
+        )
+        loose = run_baseline_opi(
+            netlist, BaselineOpiConfig(detect_threshold=0.002, max_iterations=80)
+        )
+        assert loose.n_ops <= strict.n_ops

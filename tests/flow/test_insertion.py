@@ -1,0 +1,75 @@
+"""The iterative GCN-guided OPI flow (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import GateType, generate_design
+from repro.flow.insertion import OpiConfig, run_gcn_opi
+
+from tests.flow.test_impact import co_threshold_predictor
+
+
+@pytest.fixture
+def netlist():
+    return generate_design(200, seed=47)
+
+
+class TestRunGcnOpi:
+    def test_flow_terminates_with_no_positives(self, netlist):
+        predictor = co_threshold_predictor(threshold=6.0)
+        result = run_gcn_opi(netlist, predictor, OpiConfig(max_iterations=30))
+        # The toy predictor is purely attribute-driven: inserting OPs keeps
+        # lowering CO until nothing is positive.
+        assert result.positives_history[-1] == 0
+        assert result.n_ops > 0
+
+    def test_original_netlist_untouched(self, netlist):
+        n0 = netlist.num_nodes
+        predictor = co_threshold_predictor(threshold=6.0)
+        run_gcn_opi(netlist, predictor, OpiConfig(max_iterations=3))
+        assert netlist.num_nodes == n0
+        assert not netlist.observation_points()
+
+    def test_result_netlist_has_ops(self, netlist):
+        predictor = co_threshold_predictor(threshold=6.0)
+        result = run_gcn_opi(netlist, predictor, OpiConfig(max_iterations=30))
+        ops = result.netlist.observation_points()
+        assert len(ops) == result.n_ops
+        targets = {result.netlist.fanins(p)[0] for p in ops}
+        assert targets == set(result.inserted)
+
+    def test_max_ops_budget_respected(self, netlist):
+        predictor = co_threshold_predictor(threshold=6.0)
+        result = run_gcn_opi(
+            netlist, predictor, OpiConfig(max_iterations=30, max_ops=5)
+        )
+        assert result.n_ops <= 5
+
+    def test_positives_monotonically_handled(self, netlist):
+        predictor = co_threshold_predictor(threshold=6.0)
+        result = run_gcn_opi(netlist, predictor, OpiConfig(max_iterations=30))
+        # Not strictly monotone in general, but must reach zero and never
+        # insert an OP twice at one node.
+        assert len(set(result.inserted)) == len(result.inserted)
+
+    def test_without_impact_inserts_all_positives(self, netlist):
+        predictor = co_threshold_predictor(threshold=6.0)
+        with_impact = run_gcn_opi(
+            netlist, predictor, OpiConfig(max_iterations=40, select_fraction=0.5)
+        )
+        without = run_gcn_opi(
+            netlist,
+            predictor,
+            OpiConfig(max_iterations=40, use_impact=False, select_fraction=1.0),
+        )
+        # Impact-guided selection should not need MORE points than blanket
+        # insertion at every positive.
+        assert with_impact.positives_history[-1] == 0
+        assert without.positives_history[-1] == 0
+        assert with_impact.n_ops <= without.n_ops
+
+    def test_never_targets_obs_cells(self, netlist):
+        predictor = co_threshold_predictor(threshold=6.0)
+        result = run_gcn_opi(netlist, predictor, OpiConfig(max_iterations=30))
+        for target in result.inserted:
+            assert result.netlist.gate_type(target) is not GateType.OBS

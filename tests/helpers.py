@@ -1,0 +1,72 @@
+"""Shared test helpers (numeric differentiation, brute-force oracles)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import GateType, eval_gate_bool, topological_order
+from repro.circuit.netlist import Netlist
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at array ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = fn(x)
+        flat[i] = orig - eps
+        fm = fn(x)
+        flat[i] = orig
+        out[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def scalar_simulate(netlist: Netlist, source_bits: dict[int, int]) -> dict[int, int]:
+    """Reference scalar simulation via :func:`eval_gate_bool`."""
+    values = dict(source_bits)
+    for v in topological_order(netlist):
+        t = netlist.gate_type(v)
+        if t in (GateType.INPUT, GateType.DFF):
+            if v not in values:
+                raise ValueError(f"missing source value for node {v}")
+            continue
+        values[v] = eval_gate_bool(t, [values[u] for u in netlist.fanins(v)])
+    return values
+
+
+def exhaustive_fault_detection(
+    netlist: Netlist, node: int, stuck_value: int
+) -> bool:
+    """Brute-force: does ANY input pattern detect the fault? (small circuits)"""
+    sources = netlist.sources
+    observed = set(netlist.observation_sites) | set(netlist.observation_points())
+    n = len(sources)
+    if n > 16:
+        raise ValueError("circuit too large for exhaustive analysis")
+    for pattern in range(2**n):
+        bits = {s: (pattern >> i) & 1 for i, s in enumerate(sources)}
+        good = scalar_simulate(netlist, bits)
+        if good[node] == stuck_value:
+            continue  # not activated
+        faulty = _faulty_simulate(netlist, bits, node, stuck_value)
+        if any(good[o] != faulty[o] for o in observed):
+            return True
+    return False
+
+
+def _faulty_simulate(
+    netlist: Netlist, source_bits: dict[int, int], node: int, stuck_value: int
+) -> dict[int, int]:
+    values = dict(source_bits)
+    for v in topological_order(netlist):
+        t = netlist.gate_type(v)
+        if t in (GateType.INPUT, GateType.DFF):
+            pass
+        else:
+            values[v] = eval_gate_bool(t, [values[u] for u in netlist.fanins(v)])
+        if v == node:
+            values[v] = stuck_value
+    return values

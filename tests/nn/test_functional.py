@@ -1,0 +1,123 @@
+"""Functional ops: softmax family and weighted cross-entropy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import cross_entropy, log_softmax, one_hot, softmax
+from repro.nn.tensor import Tensor
+
+from tests.nn.test_tensor import numeric_grad
+
+
+class TestLogSoftmax:
+    def test_rows_normalize(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)))
+        p = softmax(x).data
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert (p > 0).all()
+
+    def test_stability_with_huge_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0, -1000.0]]))
+        out = log_softmax(x).data
+        assert np.isfinite(out).all()
+        assert np.allclose(np.exp(out).sum(), 1.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(4, 3))
+        a = log_softmax(Tensor(x)).data
+        b = log_softmax(Tensor(x + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_gradient(self, rng):
+        x_data = rng.normal(size=(4, 3))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        (log_softmax(x) * Tensor(np.arange(12.0).reshape(4, 3))).sum().backward()
+        expected = numeric_grad(
+            lambda d: (
+                log_softmax(Tensor(d)) * Tensor(np.arange(12.0).reshape(4, 3))
+            )
+            .sum()
+            .item(),
+            x_data.copy(),
+        )
+        assert np.allclose(x.grad, expected, atol=1e-6)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_formula(self, rng):
+        logits = rng.normal(size=(6, 3))
+        labels = np.array([0, 1, 2, 1, 0, 2])
+        loss = cross_entropy(Tensor(logits), labels).item()
+        logp = logits - logits.max(axis=1, keepdims=True)
+        logp = logp - np.log(np.exp(logp).sum(axis=1, keepdims=True))
+        manual = -logp[np.arange(6), labels].mean()
+        assert np.isclose(loss, manual)
+
+    def test_class_weights_reweight(self, rng):
+        logits = rng.normal(size=(4, 2))
+        labels = np.array([0, 0, 1, 1])
+        w = np.array([1.0, 3.0])
+        loss = cross_entropy(Tensor(logits), labels, w).item()
+        logp = logits - logits.max(axis=1, keepdims=True)
+        logp = logp - np.log(np.exp(logp).sum(axis=1, keepdims=True))
+        per = -logp[np.arange(4), labels]
+        manual = (per * w[labels]).sum() / w[labels].sum()
+        assert np.isclose(loss, manual)
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = np.array([[100.0, -100.0], [-100.0, 100.0]])
+        loss = cross_entropy(Tensor(logits), np.array([0, 1])).item()
+        assert loss < 1e-6
+
+    def test_gradient_unweighted(self, rng):
+        labels = np.array([0, 2, 1])
+        x_data = rng.normal(size=(3, 3))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        cross_entropy(x, labels).backward()
+        expected = numeric_grad(
+            lambda d: cross_entropy(Tensor(d), labels).item(), x_data.copy()
+        )
+        assert np.allclose(x.grad, expected, atol=1e-6)
+
+    def test_gradient_weighted(self, rng):
+        labels = np.array([0, 1, 1, 0])
+        w = np.array([1.0, 10.0])
+        x_data = rng.normal(size=(4, 2))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        cross_entropy(x, labels, w).backward()
+        expected = numeric_grad(
+            lambda d: cross_entropy(Tensor(d), labels, w).item(), x_data.copy()
+        )
+        assert np.allclose(x.grad, expected, atol=1e-6)
+
+    @pytest.mark.parametrize(
+        "labels,weights,err",
+        [
+            (np.array([[0, 1]]), None, "1-D"),
+            (np.array([0, 3]), None, "out of range"),
+            (np.array([0, 1]), np.array([1.0]), "per class"),
+            (np.array([0, 0]), np.array([0.0, 1.0]), "positive"),
+        ],
+    )
+    def test_input_validation(self, labels, weights, err):
+        logits = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match=err):
+            cross_entropy(logits, labels, weights)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 8))
+    def test_property_loss_nonnegative(self, seed, n):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(n, 2)) * 5
+        labels = rng.integers(0, 2, size=n)
+        assert cross_entropy(Tensor(logits), labels).item() >= 0.0
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )

@@ -1,0 +1,130 @@
+"""Modules: parameter discovery, linear layers, dropout, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import cross_entropy
+from repro.nn.layers import Dropout, Linear, Module, Parameter, ReLU, Sequential
+from repro.nn.tensor import Tensor
+
+
+class TestParameterDiscovery:
+    def test_linear_has_two_parameters(self):
+        layer = Linear(3, 4)
+        params = list(layer.parameters())
+        assert len(params) == 2
+        assert {p.data.shape for p in params} == {(3, 4), (4,)}
+
+    def test_no_bias(self):
+        layer = Linear(3, 4, bias=False)
+        assert len(list(layer.parameters())) == 1
+
+    def test_nested_discovery(self):
+        class Wrapper(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Sequential(Linear(2, 2), ReLU(), Linear(2, 2))
+                self.extra = [Linear(2, 1)]
+                self.table = {"w": Parameter(np.zeros(3))}
+
+        params = list(Wrapper().parameters())
+        assert len(params) == 2 + 2 + 2 + 1
+
+    def test_shared_parameter_yielded_once(self):
+        shared = Parameter(np.zeros(2))
+
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = shared
+                self.b = shared
+
+        assert len(list(M().parameters())) == 1
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLinear:
+    def test_affine_map(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients_flow_to_weights(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        loss = cross_entropy(layer(Tensor(rng.normal(size=(4, 3)))), np.array([0, 1, 0, 1]))
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert np.abs(layer.weight.grad).sum() > 0
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_train_mode_zeroes_and_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)
+
+    def test_p_zero_is_identity(self, rng):
+        drop = Dropout(0.0)
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSequentialAndModes:
+    def test_chaining(self, rng):
+        net = Sequential(Linear(3, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        out = net(Tensor(rng.normal(size=(5, 3))))
+        assert out.shape == (5, 2)
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+
+    def test_train_eval_propagate(self):
+        net = Sequential(Linear(2, 2), Dropout(0.5), ReLU())
+        net.eval()
+        assert not net.modules[1].training
+        net.train()
+        assert net.modules[1].training
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        net = Sequential(Linear(3, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        state = net.state_dict()
+        net2 = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        net2.load_state_dict(state)
+        x = Tensor(rng.normal(size=(2, 3)))
+        assert np.allclose(net(x).data, net2(x).data)
+
+    def test_shape_mismatch_rejected(self):
+        net = Sequential(Linear(3, 4))
+        other = Sequential(Linear(4, 4))
+        with pytest.raises(ValueError):
+            net.load_state_dict(other.state_dict())
+
+    def test_count_mismatch_rejected(self):
+        net = Sequential(Linear(3, 4))
+        other = Sequential(Linear(3, 4), Linear(4, 4))
+        with pytest.raises(ValueError):
+            net.load_state_dict(other.state_dict())

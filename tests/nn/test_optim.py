@@ -1,0 +1,106 @@
+"""Optimisers: convergence on convex problems, update rules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    """(p - 3)^2 summed: minimum at 3."""
+    diff = p - Tensor(np.full_like(p.data, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_plain_step_matches_formula(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert np.allclose(p.data, 1.0 - 0.5 * 2.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(9.0)
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_first_step_magnitude_close_to_lr(self):
+        # With bias correction, the first Adam step is ~lr in magnitude.
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([5.0])
+        opt.step()
+        assert abs(abs(p.data[0]) - 0.1) < 1e-6
+
+    def test_handles_sparse_gradient_pattern(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        for step in range(10):
+            opt.zero_grad()
+            p.grad = np.array([1.0, 0.0]) if step % 2 == 0 else np.array([0.0, 1.0])
+            opt.step()
+        assert (np.abs(p.data) > 0).all()
+
+
+class TestOptimizerBase:
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.zeros(1))
+        p.grad = np.ones(1)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_base_step_not_implemented(self):
+        opt = Optimizer([Parameter(np.zeros(1))])
+        with pytest.raises(NotImplementedError):
+            opt.step()

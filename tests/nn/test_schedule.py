@@ -1,0 +1,52 @@
+"""Learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, CosineLR, StepLR
+from repro.nn.layers import Parameter
+
+
+def _opt(lr=0.1):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        opt = _opt(0.1)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        rates = [sched.step() for _ in range(5)]
+        assert rates == pytest.approx([0.1, 0.05, 0.05, 0.025, 0.025])
+        assert opt.lr == pytest.approx(0.025)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(_opt(), step_size=0)
+
+
+class TestCosineLR:
+    def test_monotone_decay_to_min(self):
+        opt = _opt(0.2)
+        sched = CosineLR(opt, total_epochs=10, lr_min=0.02)
+        rates = [sched.step() for _ in range(10)]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+        assert rates[-1] == pytest.approx(0.02)
+
+    def test_clamps_past_horizon(self):
+        sched = CosineLR(_opt(0.2), total_epochs=3, lr_min=0.0)
+        for _ in range(5):
+            last = sched.step()
+        assert last == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            CosineLR(_opt(), total_epochs=0)
+
+    def test_optimizer_uses_new_rate(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()  # lr -> 0.1
+        p.grad = np.array([1.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1)

@@ -1,0 +1,136 @@
+"""COOMatrix: construction, appends, rollback, linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.sparse import COOMatrix
+
+
+def _random_coo(rng, n_rows=6, n_cols=5, nnz=8):
+    rows = rng.integers(0, n_rows, size=nnz)
+    cols = rng.integers(0, n_cols, size=nnz)
+    values = rng.normal(size=nnz)
+    return COOMatrix((n_rows, n_cols), values, rows, cols)
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = COOMatrix((3, 3))
+        assert m.nnz == 0
+        assert m.sparsity == 1.0
+        assert np.array_equal(m.to_dense(), np.zeros((3, 3)))
+
+    def test_dense_round_trip(self, rng):
+        m = _random_coo(rng)
+        expected = np.zeros((6, 5))
+        for v, r, c in zip(m.values, m.rows, m.cols):
+            expected[r, c] += v
+        assert np.allclose(m.to_dense(), expected)
+
+    def test_duplicates_sum(self):
+        m = COOMatrix((2, 2), [1.0, 2.0], [0, 0], [1, 1])
+        assert m.to_dense()[0, 1] == 3.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), [1.0], [0, 1], [0])
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), [1.0], [2], [0])
+
+    def test_from_scipy(self, rng):
+        m = _random_coo(rng)
+        again = COOMatrix.from_scipy(m.to_scipy())
+        assert np.allclose(again.to_dense(), m.to_dense())
+
+
+class TestAppendAndRollback:
+    def test_append_grows(self):
+        m = COOMatrix((3, 3))
+        for i in range(40):  # passes the capacity-doubling boundary
+            m.append(1.0, i % 3, (i + 1) % 3)
+        assert m.nnz == 40
+
+    def test_append_bounds_checked(self):
+        m = COOMatrix((2, 2))
+        with pytest.raises(ValueError):
+            m.append(1.0, 2, 0)
+
+    def test_append_invalidates_cache(self):
+        m = COOMatrix((2, 2), [1.0], [0], [0])
+        before = m.matmul(np.eye(2))
+        m.append(5.0, 1, 1)
+        after = m.matmul(np.eye(2))
+        assert before[1, 1] == 0.0 and after[1, 1] == 5.0
+
+    def test_resize_then_append(self):
+        m = COOMatrix((2, 2), [1.0], [0], [1])
+        m.resize((3, 3))
+        m.append(2.0, 2, 2)
+        assert m.shape == (3, 3)
+        assert m.to_dense()[2, 2] == 2.0
+
+    def test_resize_shrink_over_entries_rejected(self):
+        m = COOMatrix((3, 3), [1.0], [2], [2])
+        with pytest.raises(ValueError):
+            m.resize((2, 2))
+
+    def test_truncate_rolls_back(self):
+        m = COOMatrix((2, 2), [1.0], [0], [0])
+        dense_before = m.to_dense().copy()
+        m.resize((3, 3))
+        m.append(9.0, 2, 1)
+        m.truncate(1, (2, 2))
+        assert m.shape == (2, 2)
+        assert np.array_equal(m.to_dense(), dense_before)
+
+    def test_truncate_bounds(self):
+        m = COOMatrix((2, 2), [1.0], [0], [0])
+        with pytest.raises(ValueError):
+            m.truncate(5)
+
+
+class TestLinearAlgebra:
+    def test_matmul_matches_dense(self, rng):
+        m = _random_coo(rng)
+        x = rng.normal(size=(5, 3))
+        assert np.allclose(m.matmul(x), m.to_dense() @ x)
+
+    def test_rmatmul_is_transpose_matmul(self, rng):
+        m = _random_coo(rng)
+        x = rng.normal(size=(6, 2))
+        assert np.allclose(m.rmatmul(x), m.to_dense().T @ x)
+
+    def test_transpose(self, rng):
+        m = _random_coo(rng)
+        assert np.allclose(m.transpose().to_dense(), m.to_dense().T)
+
+    def test_copy_independent(self, rng):
+        m = _random_coo(rng)
+        dup = m.copy()
+        dup.append(1.0, 0, 0)
+        assert dup.nnz == m.nnz + 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_property_matmul_equals_dense(self, data):
+        n_rows = data.draw(st.integers(2, 8))
+        n_cols = data.draw(st.integers(2, 8))
+        nnz = data.draw(st.integers(0, 20))
+        rows = data.draw(
+            st.lists(st.integers(0, n_rows - 1), min_size=nnz, max_size=nnz)
+        )
+        cols = data.draw(
+            st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+        )
+        values = data.draw(
+            st.lists(
+                st.floats(-10, 10, allow_nan=False), min_size=nnz, max_size=nnz
+            )
+        )
+        m = COOMatrix((n_rows, n_cols), np.array(values), np.array(rows, dtype=int), np.array(cols, dtype=int))
+        x = np.ones((n_cols, 2))
+        assert np.allclose(m.matmul(x), m.to_dense() @ x)

@@ -1,0 +1,198 @@
+"""Autograd engine: forward values and gradients vs numeric differentiation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.sparse import COOMatrix
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad, spmm
+from tests.helpers import numeric_grad as _numeric_grad_helper
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of ``fn(Tensor)->float`` at array ``x``."""
+    return _numeric_grad_helper(fn, x, eps)
+
+
+def check_grad(build, shape, rng, atol=1e-6):
+    """Compare autograd and numeric gradients for scalar loss ``build``."""
+    x_data = rng.normal(size=shape)
+    x = Tensor(x_data.copy(), requires_grad=True)
+    loss = build(x)
+    loss.backward()
+    expected = numeric_grad(lambda d: build(Tensor(d)).item(), x_data.copy())
+    assert np.allclose(x.grad, expected, atol=atol), (
+        f"max err {np.abs(x.grad - expected).max()}"
+    )
+
+
+class TestForward:
+    def test_basic_arithmetic(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4, 6])
+        assert np.allclose((a - b).data, [-2, -2])
+        assert np.allclose((a * b).data, [3, 8])
+        assert np.allclose((a / b).data, [1 / 3, 0.5])
+        assert np.allclose((-a).data, [-1, -2])
+        assert np.allclose((a**2).data, [1, 4])
+
+    def test_scalar_mixing(self):
+        a = Tensor([1.0, 2.0])
+        assert np.allclose((2.0 * a).data, [2, 4])
+        assert np.allclose((1.0 - a).data, [0, -1])
+        assert np.allclose((a + 1).data, [2, 3])
+
+    def test_matmul(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_reductions(self, rng):
+        a = rng.normal(size=(3, 4))
+        t = Tensor(a)
+        assert np.allclose(t.sum().data, a.sum())
+        assert np.allclose(t.sum(axis=0).data, a.sum(axis=0))
+        assert np.allclose(t.mean(axis=1).data, a.mean(axis=1))
+
+    def test_activations(self, rng):
+        a = rng.normal(size=(5,))
+        assert np.allclose(Tensor(a).relu().data, np.maximum(a, 0))
+        assert np.allclose(Tensor(a).tanh().data, np.tanh(a))
+        assert np.allclose(Tensor(a).sigmoid().data, 1 / (1 + np.exp(-a)))
+        assert np.allclose(Tensor(a).exp().data, np.exp(a))
+
+    def test_shape_helpers(self, rng):
+        t = Tensor(rng.normal(size=(2, 6)))
+        assert t.reshape(3, 4).shape == (3, 4)
+        assert t.T.shape == (6, 2)
+        assert t.take_rows([1, 0, 1]).shape == (3, 6)
+
+    def test_item_requires_scalar(self):
+        with pytest.raises((ValueError, TypeError)):
+            Tensor([1.0, 2.0]).item()
+
+
+class TestBackward:
+    def test_add_mul_chain(self, rng):
+        check_grad(lambda x: ((x * 3.0 + 1.0) * x).sum(), (4,), rng)
+
+    def test_sub_div(self, rng):
+        check_grad(lambda x: ((x - 2.0) / (x * x + 1.0)).sum(), (5,), rng)
+
+    def test_broadcasting_grad(self, rng):
+        bias = Tensor(rng.normal(size=(1, 3)))
+        check_grad(lambda x: ((x + bias) * (x + bias)).sum(), (4, 3), rng)
+
+    def test_broadcast_to_scalar_like(self, rng):
+        check_grad(lambda x: (x * Tensor(2.0)).sum(), (3, 2), rng)
+
+    def test_matmul_grads_both_sides(self, rng):
+        w_data = rng.normal(size=(4, 2))
+
+        def build(x):
+            return (x @ Tensor(w_data)).sum()
+
+        check_grad(build, (3, 4), rng)
+
+        x_data = rng.normal(size=(3, 4))
+        w = Tensor(w_data.copy(), requires_grad=True)
+        (Tensor(x_data) @ w).sum().backward()
+        expected = numeric_grad(
+            lambda d: (x_data @ d).sum(), w_data.copy()
+        )
+        assert np.allclose(w.grad, expected, atol=1e-6)
+
+    def test_relu_grad(self, rng):
+        check_grad(lambda x: (x.relu() * x.relu()).sum(), (6,), rng)
+
+    def test_tanh_sigmoid_exp_log(self, rng):
+        check_grad(lambda x: x.tanh().sum(), (4,), rng)
+        check_grad(lambda x: x.sigmoid().sum(), (4,), rng)
+        check_grad(lambda x: x.exp().sum(), (4,), rng)
+        check_grad(lambda x: (x * x + 1.0).log().sum(), (4,), rng)
+
+    def test_pow_grad(self, rng):
+        check_grad(lambda x: ((x * x) ** 1.5).sum(), (4,), rng, atol=1e-5)
+
+    def test_sum_axis_keepdims(self, rng):
+        check_grad(lambda x: (x.sum(axis=0, keepdims=True) * x).sum(), (3, 4), rng)
+
+    def test_mean_grad(self, rng):
+        check_grad(lambda x: (x.mean(axis=1) ** 2).sum(), (3, 4), rng)
+
+    def test_reshape_transpose_grad(self, rng):
+        check_grad(lambda x: (x.reshape(6, 2).T @ x.reshape(6, 2)).sum(), (3, 4), rng)
+
+    def test_take_rows_grad_with_repeats(self, rng):
+        idx = np.array([0, 2, 2, 1])
+        check_grad(lambda x: (x.take_rows(idx) ** 2).sum(), (4, 3), rng)
+
+    def test_diamond_reuse_accumulates(self, rng):
+        # y = x used twice through different paths: grads must sum.
+        check_grad(lambda x: (x * x.relu() + x).sum(), (5,), rng)
+
+    def test_grad_accumulates_across_backwards(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (x * 2.0).sum().backward()
+        first = x.grad.copy()
+        (x * 2.0).sum().backward()
+        assert np.allclose(x.grad, 2 * first)
+
+    def test_backward_requires_scalar(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2.0).backward()
+
+    def test_no_grad_builds_no_tape(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert y._parents == ()
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2.0).detach()
+        assert y._parents == ()
+        assert not y.requires_grad
+
+
+class TestSpmm:
+    def test_forward(self, rng):
+        m = COOMatrix((4, 4), [1.0, 2.0, 0.5], [0, 1, 3], [2, 0, 3])
+        x = rng.normal(size=(4, 3))
+        assert np.allclose(spmm(m, Tensor(x)).data, m.to_dense() @ x)
+
+    def test_grad(self, rng):
+        m = COOMatrix((4, 4), [1.0, 2.0, 0.5, -1.0], [0, 1, 3, 2], [2, 0, 3, 2])
+        check_grad(lambda x: (spmm(m, x) ** 2).sum(), (4, 2), rng)
+
+    def test_no_tape_without_grad(self):
+        m = COOMatrix((2, 2), [1.0], [0], [1])
+        out = spmm(m, Tensor(np.ones((2, 1))))
+        assert out._parents == ()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_property_composite_gradcheck(rows, cols, seed):
+    """Random composite expressions: autograd == numeric gradient."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(cols, 3))
+
+    def build(x):
+        h = (x @ Tensor(w)).relu()
+        return ((h + 1.0) * h).mean() + (x * x).sum() * 0.1
+
+    x_data = rng.normal(size=(rows, cols))
+    x = Tensor(x_data.copy(), requires_grad=True)
+    build(x).backward()
+    expected = numeric_grad(lambda d: build(Tensor(d)).item(), x_data.copy())
+    assert np.allclose(x.grad, expected, atol=1e-5)

@@ -1,0 +1,48 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestCommands:
+    def test_generate_then_analyze_then_atpg(self, tmp_path, capsys):
+        path = tmp_path / "tiny.bench"
+        assert main(["generate", str(path), "--gates", "150", "--seed", "2"]) == 0
+        assert path.exists()
+        assert (
+            main(["analyze", str(path), "--patterns", "64", "--threshold", "0.02"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "difficult-to-observe" in out
+        assert main(["atpg", str(path), "--max-random", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage=" in out
+
+    def test_generate_writes_parseable_bench(self, tmp_path):
+        from repro.circuit import load_bench
+
+        path = tmp_path / "x.bench"
+        main(["generate", str(path), "--gates", "120"])
+        netlist = load_bench(path)
+        assert netlist.num_nodes > 120
+
+    def test_experiment_table1_smoke(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_SCALE", "0.06")
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "B4" in out

@@ -1,0 +1,56 @@
+"""Classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import accuracy, confusion, f1_score, precision, recall
+
+
+class TestConfusion:
+    def test_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        cm = confusion(y_true, y_pred)
+        assert (cm.tp, cm.fp, cm.tn, cm.fn) == (2, 1, 1, 1)
+
+    def test_metrics_from_counts(self):
+        cm = confusion(np.array([1, 1, 0, 0, 1]), np.array([1, 0, 0, 1, 1]))
+        assert cm.accuracy == pytest.approx(3 / 5)
+        assert cm.precision == pytest.approx(2 / 3)
+        assert cm.recall == pytest.approx(2 / 3)
+        assert cm.f1 == pytest.approx(2 / 3)
+
+    def test_degenerate_all_negative(self):
+        cm = confusion(np.zeros(4), np.zeros(4))
+        assert cm.precision == 0.0
+        assert cm.recall == 0.0
+        assert cm.f1 == 0.0
+        assert cm.accuracy == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion(np.zeros(3), np.zeros(4))
+
+    def test_wrapper_functions(self):
+        y_true = np.array([1, 0, 1, 0])
+        y_pred = np.array([1, 0, 0, 0])
+        assert accuracy(y_true, y_pred) == 0.75
+        assert precision(y_true, y_pred) == 1.0
+        assert recall(y_true, y_pred) == 0.5
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 50),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_f1_between_precision_recall_bounds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, n)
+        y_pred = rng.integers(0, 2, n)
+        p = precision(y_true, y_pred)
+        r = recall(y_true, y_pred)
+        f = f1_score(y_true, y_pred)
+        assert min(p, r) - 1e-9 <= f <= max(p, r) + 1e-9

@@ -1,0 +1,70 @@
+"""Utility helpers: RNG plumbing, timers, table rendering."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, as_rng, derive_rng, format_table, time_call
+
+
+class TestRng:
+    def test_as_rng_from_int(self):
+        a = as_rng(7)
+        b = as_rng(7)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_as_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_as_rng_none_is_random(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_derive_rng_independent(self):
+        parent = as_rng(3)
+        child1 = derive_rng(parent, "labels", 1)
+        child2 = derive_rng(parent, "labels", 2)
+        assert child1.integers(0, 10**9) != child2.integers(0, 10**9)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first >= 0.01
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_time_call(self):
+        seconds, result = time_call(lambda x: x * 2, 21, repeat=2)
+        assert result == 42
+        assert seconds >= 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

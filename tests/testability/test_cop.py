@@ -1,0 +1,114 @@
+"""COP probabilities: exact values on small circuits, probabilistic bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import GateType, Netlist, generate_design
+from repro.testability.cop import compute_cop
+
+
+class TestSignalProbability:
+    def test_pi_half(self, c17):
+        cop = compute_cop(c17)
+        for v in c17.primary_inputs:
+            assert cop.p1[v] == 0.5
+
+    def test_and_or_chain(self, and_chain):
+        cop = compute_cop(and_chain)
+        assert cop.p1[and_chain.find("g1")] == 0.25
+        assert cop.p1[and_chain.find("g2")] == 0.125
+        assert cop.p1[and_chain.find("g3")] == 0.0625
+
+    def test_not_complements(self, mux2):
+        cop = compute_cop(mux2)
+        assert cop.p1[mux2.find("ns")] == 0.5
+
+    def test_xor_probability(self, xor_pair):
+        cop = compute_cop(xor_pair)
+        assert cop.p1[xor_pair.find("x1")] == 0.5
+        assert cop.p1[xor_pair.find("x2")] == 0.5
+
+    def test_constants(self):
+        nl = Netlist()
+        c0 = nl.add_cell(GateType.CONST0, ())
+        c1 = nl.add_cell(GateType.CONST1, ())
+        a = nl.add_input("a")
+        g = nl.add_cell(GateType.AND, (c1, a))
+        h = nl.add_cell(GateType.OR, (c0, g))
+        nl.mark_output(h)
+        cop = compute_cop(nl)
+        assert cop.p1[c0] == 0.0
+        assert cop.p1[c1] == 1.0
+        assert cop.p1[h] == 0.5
+
+    def test_nand_nor(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        gn = nl.add_cell(GateType.NAND, (a, b))
+        gr = nl.add_cell(GateType.NOR, (a, b))
+        nl.mark_output(gn)
+        nl.mark_output(gr)
+        cop = compute_cop(nl)
+        assert cop.p1[gn] == 0.75
+        assert cop.p1[gr] == 0.25
+
+    def test_matches_simulation_on_tree(self, and_chain, rng):
+        from repro.atpg.simulator import LogicSimulator, unpack_values
+
+        sim = LogicSimulator(and_chain)
+        words = sim.random_source_words(64, rng)  # 4096 patterns
+        values = sim.simulate(words)
+        empirical = np.bitwise_count(values).sum(axis=1) / (64 * 64)
+        cop = compute_cop(and_chain)
+        assert np.allclose(empirical, cop.p1, atol=0.05)
+
+
+class TestObservationProbability:
+    def test_po_is_one(self, c17):
+        cop = compute_cop(c17)
+        for po in c17.primary_outputs:
+            assert cop.obs[po] == 1.0
+
+    def test_and_chain(self, and_chain):
+        cop = compute_cop(and_chain)
+        # obs(g2) = obs(g3) * p1(d) = 0.5; obs(g1) = 0.5 * p1(c) = 0.25
+        assert cop.obs[and_chain.find("g2")] == 0.5
+        assert cop.obs[and_chain.find("g1")] == 0.25
+
+    def test_xor_passes_through(self, xor_pair):
+        cop = compute_cop(xor_pair)
+        assert cop.obs[xor_pair.find("x1")] == 1.0
+
+    def test_dff_data_observable(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_cell(GateType.NOT, (a,))
+        nl.add_cell(GateType.DFF, (g,))
+        cop = compute_cop(nl)
+        assert cop.obs[g] == 1.0
+
+    def test_dangling_unobservable(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_cell(GateType.NOT, (a,), "dangling")
+        h = nl.add_cell(GateType.BUF, (a,))
+        nl.mark_output(h)
+        cop = compute_cop(nl)
+        assert cop.obs[g] == 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_property_probabilities_in_unit_interval(self, seed):
+        nl = generate_design(100, seed=seed)
+        cop = compute_cop(nl)
+        assert ((cop.p1 >= 0) & (cop.p1 <= 1)).all()
+        assert ((cop.obs >= 0) & (cop.obs <= 1)).all()
+
+    def test_detection_probability(self, and_chain):
+        cop = compute_cop(and_chain)
+        d0, d1 = cop.detection_probability()
+        assert np.allclose(d0, cop.p1 * cop.obs)
+        assert np.allclose(d1, (1 - cop.p1) * cop.obs)
