@@ -16,7 +16,9 @@ The package is organised as:
 * :mod:`repro.features` — hand-crafted cone features for the baselines;
 * :mod:`repro.flow` — the iterative OP-insertion flow and the
   commercial-tool-style baseline flow;
-* :mod:`repro.data` — benchmark designs B1-B4, caching and splits.
+* :mod:`repro.data` — benchmark designs B1-B4, caching and splits;
+* :mod:`repro.resilience` — typed errors, atomic writes, retry/circuit
+  breaker, checkpoint/resume and the predictor degradation ladder.
 
 Quick start::
 

@@ -35,6 +35,8 @@ class TestCube:
     ``netlist.sources``).
     """
 
+    __test__ = False  # Test*-named dataclass, not a pytest test class
+
     values: np.ndarray
 
     def specified_count(self) -> int:

@@ -14,12 +14,17 @@ from pathlib import Path
 
 from repro.circuit.cells import GateType
 from repro.circuit.netlist import Netlist
+from repro.resilience.errors import NetlistFormatError
 
 __all__ = ["parse_bench", "load_bench", "write_bench", "dump_bench", "BenchParseError"]
 
 
-class BenchParseError(ValueError):
-    """Raised on malformed ``.bench`` input, with a line number."""
+class BenchParseError(NetlistFormatError):
+    """Raised on malformed ``.bench`` input, with a line number.
+
+    Subclasses :class:`NetlistFormatError` (and transitively
+    ``ValueError``), so format-agnostic callers catch one type.
+    """
 
 
 _GATE_NAMES = {

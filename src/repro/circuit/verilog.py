@@ -16,13 +16,18 @@ from pathlib import Path
 
 from repro.circuit.cells import GateType
 from repro.circuit.netlist import Netlist
+from repro.resilience.errors import NetlistFormatError
 
 __all__ = ["parse_verilog", "load_verilog", "write_verilog", "dump_verilog",
            "VerilogParseError"]
 
 
-class VerilogParseError(ValueError):
-    """Raised on unsupported or malformed Verilog input."""
+class VerilogParseError(NetlistFormatError):
+    """Raised on unsupported or malformed Verilog input.
+
+    Subclasses :class:`NetlistFormatError` (and transitively
+    ``ValueError``), so format-agnostic callers catch one type.
+    """
 
 
 _PRIMITIVES = {

@@ -6,6 +6,9 @@ Commands:
 * ``analyze``    — SCOAP/COP/label summary for a ``.bench`` netlist;
 * ``atpg``       — run the random+PODEM ATPG on a ``.bench`` netlist;
 * ``experiment`` — regenerate one of the paper's tables/figures.
+
+Bad inputs (a missing or malformed netlist, a corrupt model file) exit
+with status 2 and a one-line typed error on stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -16,6 +19,9 @@ import sys
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+#: exit status for bad inputs / environment (argparse uses 2 as well)
+EXIT_USAGE = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "name",
         choices=["table1", "table2", "table3", "figure8", "figure9", "figure10"],
+    )
+    exp.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for training checkpoints; an interrupted experiment "
+        "resumes its model training from the latest snapshot here",
     )
 
     sub.add_parser(
@@ -102,6 +114,12 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import os
+
+    if args.checkpoint_dir:
+        # Consumed by repro.experiments.common: model fits checkpoint (and
+        # resume) under this directory.
+        os.environ["REPRO_CHECKPOINT_DIR"] = args.checkpoint_dir
     from repro.data.benchmarks import benchmark_scale
     from repro.data.dataset import load_suite
     from repro.experiments import (
@@ -145,6 +163,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.resilience.errors import ReproError
+
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
@@ -153,7 +173,11 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ReproError, FileNotFoundError, IsADirectoryError, PermissionError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

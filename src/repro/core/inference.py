@@ -48,6 +48,20 @@ class FastInference:
             )
         self.weights = weights
 
+    @classmethod
+    def from_file(cls, path, dtype=np.float64) -> "FastInference":
+        """Build an engine from a model file saved by :func:`~repro.core.
+        serialize.save_gcn`.
+
+        Propagates the typed load errors (:class:`FileNotFoundError`,
+        :class:`~repro.resilience.errors.CheckpointCorruptError`); use
+        :func:`repro.resilience.degrade.load_predictor` when a fallback
+        predictor is preferable to failing.
+        """
+        from repro.core.serialize import load_gcn
+
+        return cls(load_gcn(path).layer_weights(), dtype=dtype)
+
     def embed(self, graph: GraphData) -> np.ndarray:
         """Compute final node embeddings for the whole graph."""
         w = self.weights

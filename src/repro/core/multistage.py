@@ -16,6 +16,7 @@ shrinks stage by stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from repro.core.graphdata import GraphData
 from repro.core.model import GCN, GCNConfig
 from repro.core.trainer import TrainConfig, Trainer, TrainHistory
 from repro.nn.tensor import no_grad
+from repro.resilience.checkpoint import Checkpointer
 
 __all__ = ["MultiStageConfig", "MultiStageGCN"]
 
@@ -64,8 +66,15 @@ class MultiStageGCN:
         self,
         train_graphs: list[GraphData],
         test_graphs: list[GraphData] | None = None,
+        checkpoint_dir: "str | Path | None" = None,
     ) -> list[TrainHistory]:
-        """Train the cascade; returns one history per stage."""
+        """Train the cascade; returns one history per stage.
+
+        ``checkpoint_dir`` makes each stage's training crash-safe: stage
+        ``k`` checkpoints under ``<dir>/stage<k>`` and a rerun resumes
+        every stage from its latest valid snapshot (a finished stage
+        fast-forwards straight to its final weights).
+        """
         cfg = self.config
         self.stages = []
         histories: list[TrainHistory] = []
@@ -89,7 +98,14 @@ class MultiStageGCN:
             model = GCN(stage_cfg)
             train_cfg = replace(cfg.train, class_weights=weight)
             trainer = Trainer(model, train_cfg)
-            histories.append(trainer.fit(staged, test_graphs))
+            stage_checkpoint = (
+                Checkpointer(Path(checkpoint_dir) / f"stage{stage_index}")
+                if checkpoint_dir is not None
+                else None
+            )
+            histories.append(
+                trainer.fit(staged, test_graphs, checkpoint=stage_checkpoint)
+            )
             self.stages.append(model)
 
             if not is_last:

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +25,9 @@ from repro.core.model import GCN
 from repro.nn.functional import cross_entropy
 from repro.nn.optim import SGD, Adam
 from repro.nn.tensor import no_grad
+from repro.resilience.checkpoint import Checkpoint, Checkpointer
+from repro.resilience.errors import CheckpointCorruptError, WorkerFailedError
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["TrainConfig", "TrainHistory", "Trainer", "ParallelTrainer"]
 
@@ -108,11 +114,28 @@ class Trainer:
         self,
         train_graphs: list[GraphData],
         test_graphs: list[GraphData] | None = None,
+        checkpoint: Checkpointer | None = None,
+        checkpoint_every: int = 25,
     ) -> TrainHistory:
-        """Train for ``config.epochs`` full passes over the graph set."""
+        """Train for ``config.epochs`` full passes over the graph set.
+
+        With a :class:`~repro.resilience.checkpoint.Checkpointer`, the
+        model, optimizer state and history are snapshotted every
+        ``checkpoint_every`` epochs (and at the final epoch), and training
+        resumes from the latest valid snapshot in the directory.  The
+        serial trainer is deterministic, so an interrupted-and-resumed run
+        reaches bit-identical weights to an uninterrupted one.
+        """
         cfg = self.config
         history = TrainHistory()
-        for epoch in range(1, cfg.epochs + 1):
+        start_epoch = 0
+        if checkpoint is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            snapshot = checkpoint.latest()
+            if snapshot is not None:
+                start_epoch = self._restore(snapshot, history)
+        for epoch in range(start_epoch + 1, cfg.epochs + 1):
             loss_value = self.train_step(train_graphs)
             if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
                 history.epochs.append(epoch)
@@ -134,7 +157,60 @@ class Trainer:
                         f"epoch {epoch:4d} loss={loss_value:.4f} "
                         f"train={history.train_accuracy[-1]:.3f}{test_part}"
                     )
+            if checkpoint is not None and (
+                epoch % checkpoint_every == 0 or epoch == cfg.epochs
+            ):
+                self._snapshot(checkpoint, epoch, history)
         return history
+
+    # ------------------------------------------------------------------ #
+    def _snapshot(
+        self, checkpoint: Checkpointer, epoch: int, history: TrainHistory
+    ) -> None:
+        arrays: dict[str, np.ndarray] = {}
+        for key, value in self.model.state_dict().items():
+            arrays[f"param/{key}"] = value
+        for key, value in self.optimizer.state_dict().items():
+            arrays[f"opt/{key}"] = value
+        arrays["hist/epochs"] = np.asarray(history.epochs, dtype=np.int64)
+        arrays["hist/loss"] = np.asarray(history.loss, dtype=np.float64)
+        arrays["hist/train_accuracy"] = np.asarray(
+            history.train_accuracy, dtype=np.float64
+        )
+        arrays["hist/test_accuracy"] = np.asarray(
+            history.test_accuracy, dtype=np.float64
+        )
+        checkpoint.save(
+            epoch, arrays, meta={"epoch": epoch, "optimizer": self.config.optimizer}
+        )
+
+    def _restore(self, snapshot: Checkpoint, history: TrainHistory) -> int:
+        """Load model/optimizer/history from ``snapshot``; return its epoch."""
+        stored_opt = snapshot.meta.get("optimizer")
+        if stored_opt is not None and stored_opt != self.config.optimizer:
+            raise CheckpointCorruptError(
+                f"checkpoint was written with optimizer {stored_opt!r}, "
+                f"trainer is configured with {self.config.optimizer!r}",
+                path=snapshot.path,
+            )
+        try:
+            self.model.load_state_dict(snapshot.group("param"))
+            self.optimizer.load_state_dict(snapshot.group("opt"))
+        except (KeyError, ValueError) as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint state does not match this model: {exc}",
+                path=snapshot.path,
+            ) from exc
+        hist = snapshot.group("hist")
+        history.epochs[:] = [int(e) for e in hist.get("epochs", [])]
+        history.loss[:] = [float(x) for x in hist.get("loss", [])]
+        history.train_accuracy[:] = [
+            float(x) for x in hist.get("train_accuracy", [])
+        ]
+        history.test_accuracy[:] = [
+            float(x) for x in hist.get("test_accuracy", [])
+        ]
+        return int(snapshot.meta.get("epoch", snapshot.step))
 
     def train_step(self, train_graphs: list[GraphData]) -> float:
         """One optimisation step over all graphs; returns the mean loss."""
@@ -171,6 +247,14 @@ class ParallelTrainer(Trainer):
     (adjacency + attribute matrix) cannot be split, so sharding is by whole
     graph; outputs are gathered and a single update is applied.  On a
     single-core host this demonstrates the scheme rather than a speedup.
+
+    Fault tolerance: a failed round — a worker raising, dying (which
+    surfaces as :class:`BrokenProcessPool` for every in-flight graph), or
+    exceeding ``worker_timeout`` — rebuilds the pool and retries only the
+    failed graphs with exponential backoff.  Once ``retry_policy.
+    max_attempts`` rounds are exhausted, the stragglers are computed
+    serially in-process (gradients are identical either way); only if the
+    serial path fails too does :class:`WorkerFailedError` propagate.
     """
 
     def __init__(
@@ -178,9 +262,22 @@ class ParallelTrainer(Trainer):
         model: GCN,
         config: TrainConfig | None = None,
         max_workers: int | None = None,
+        worker_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        serial_fallback: bool = True,
+        sleep=time.sleep,
     ) -> None:
         super().__init__(model, config)
         self.max_workers = max_workers
+        self.worker_timeout = worker_timeout
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=0.05
+        )
+        self.serial_fallback = serial_fallback
+        self._sleep = sleep
+        #: the function shipped to workers; injectable for fault-injection
+        #: tests (must be picklable, i.e. module-level)
+        self.worker_fn = _worker_gradients
 
     def train_step(self, train_graphs: list[GraphData]) -> float:
         cfg = self.config
@@ -188,10 +285,7 @@ class ParallelTrainer(Trainer):
             pickle.dumps((self.model, graph, cfg.class_weights))
             for graph in train_graphs
         ]
-        ctx = multiprocessing.get_context("fork")
-        workers = self.max_workers or len(train_graphs)
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            grad_lists = list(pool.map(_worker_gradients, payloads))
+        grad_lists = self._gradients_with_recovery(train_graphs, payloads)
 
         params = list(self.model.parameters())
         scale = 1.0 / len(train_graphs)
@@ -205,3 +299,86 @@ class ParallelTrainer(Trainer):
             for graph in train_graphs:
                 total += _graph_loss(self.model, graph, cfg.class_weights).item() * scale
         return total
+
+    # ------------------------------------------------------------------ #
+    def _make_pool(self, n_tasks: int) -> ProcessPoolExecutor:
+        ctx = multiprocessing.get_context("fork")
+        workers = min(self.max_workers or n_tasks, n_tasks)
+        return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+    def _gradients_with_recovery(
+        self, graphs: list[GraphData], payloads: list[bytes]
+    ) -> list[list[np.ndarray]]:
+        """Per-graph gradients, surviving worker crashes and hangs."""
+        results: list[list[np.ndarray] | None] = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        pool = self._make_pool(len(payloads))
+        rounds = 0
+        try:
+            while pending:
+                failed, last_exc = self._run_round(pool, pending, payloads, results)
+                if not failed:
+                    break
+                rounds += 1
+                if rounds >= self.retry_policy.max_attempts:
+                    if not self.serial_fallback:
+                        index = failed[0]
+                        raise WorkerFailedError(
+                            f"worker for graph {graphs[index].name!r} failed "
+                            f"after {rounds} rounds: {last_exc}",
+                            graph_name=graphs[index].name,
+                        ) from last_exc
+                    self._serial_rescue(failed, graphs, payloads, results)
+                    break
+                warnings.warn(
+                    f"{len(failed)} training worker(s) failed "
+                    f"({type(last_exc).__name__}: {last_exc}); rebuilding pool, "
+                    f"retry {rounds}/{self.retry_policy.max_attempts - 1}",
+                    ResourceWarning,
+                    stacklevel=3,
+                )
+                self._sleep(self.retry_policy.delay(rounds))
+                # A timed-out worker is still wedged on its task and a dead
+                # one broke the pool — a fresh pool is the only safe state.
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = self._make_pool(len(failed))
+                pending = failed
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if any(grads is None for grads in results):
+            raise WorkerFailedError("gradients missing after recovery")
+        return results
+
+    def _run_round(self, pool, pending, payloads, results):
+        """Submit ``pending`` graphs; return (failed indices, last error)."""
+        last_exc: BaseException | None = None
+        failed: list[int] = []
+        try:
+            futures = {i: pool.submit(self.worker_fn, payloads[i]) for i in pending}
+        except BrokenProcessPool as exc:
+            return list(pending), exc
+        for i, future in futures.items():
+            try:
+                results[i] = future.result(timeout=self.worker_timeout)
+            except Exception as exc:  # worker exception, pool breakage, timeout
+                failed.append(i)
+                last_exc = exc
+        return failed, last_exc
+
+    def _serial_rescue(self, failed, graphs, payloads, results) -> None:
+        """Compute the failed graphs' gradients in-process (reference path)."""
+        warnings.warn(
+            f"retries exhausted for {len(failed)} graph(s); "
+            "computing their gradients serially in-process",
+            ResourceWarning,
+            stacklevel=4,
+        )
+        for i in failed:
+            try:
+                results[i] = _worker_gradients(payloads[i])
+            except Exception as exc:
+                raise WorkerFailedError(
+                    f"graph {graphs[i].name!r} failed even in the serial "
+                    f"fallback: {exc}",
+                    graph_name=graphs[i].name,
+                ) from exc

@@ -44,6 +44,8 @@ _GE = {
 class TestCost:
     """Aggregate test cost of one netlist + pattern set."""
 
+    __test__ = False  # Test*-named dataclass, not a pytest test class
+
     n_patterns: int
     n_chains: int
     max_chain_length: int

@@ -14,7 +14,6 @@ benchmark does not retrain from scratch.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 from pathlib import Path
 
@@ -25,6 +24,8 @@ from repro.core.model import GCNConfig
 from repro.core.multistage import MultiStageConfig, MultiStageGCN
 from repro.core.trainer import TrainConfig
 from repro.data.benchmarks import default_cache_dir
+from repro.resilience.atomic import atomic_write_json
+from repro.resilience.checkpoint import Checkpointer
 from repro.testability.labels import LabelConfig
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "default_multistage_config",
     "results_dir",
     "write_result",
+    "checkpoint_dir",
     "fit_cascade_cached",
     "fit_gcn_cached",
 ]
@@ -80,11 +82,24 @@ def results_dir() -> Path:
 
 
 def write_result(name: str, payload: dict) -> Path:
-    """Persist an experiment's rows as JSON under :func:`results_dir`."""
+    """Persist an experiment's rows as JSON under :func:`results_dir`.
+
+    The write is atomic, so an interrupted benchmark run never leaves a
+    truncated results file behind.
+    """
     path = results_dir() / f"{name}.json"
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, default=_jsonify)
-    return path
+    return atomic_write_json(path, payload, indent=2, default=_jsonify)
+
+
+def checkpoint_dir() -> Path | None:
+    """Training-checkpoint root (``REPRO_CHECKPOINT_DIR``), if configured.
+
+    Set by ``python -m repro experiment --checkpoint-dir ...``; when
+    present, the cached fit helpers snapshot training state under it so an
+    interrupted experiment resumes instead of retraining from epoch 1.
+    """
+    value = os.environ.get("REPRO_CHECKPOINT_DIR")
+    return Path(value) if value else None
 
 
 def _jsonify(value):
@@ -138,10 +153,8 @@ def fit_gcn_cached(
     from repro.core.trainer import TrainHistory, Trainer
 
     names = [g.name for g in train_graphs]
-    cache_path = None
-    if cache:
-        key = _gcn_key(gcn_config, train_config, names, scale, tag)
-        cache_path = default_cache_dir() / f"gcn_{key}.npz"
+    key = _gcn_key(gcn_config, train_config, names, scale, tag)
+    cache_path = default_cache_dir() / f"gcn_{key}.npz" if cache else None
     model = model_factory() if model_factory is not None else GCN(gcn_config)
     if cache_path is not None and cache_path.exists():
         stored = np.load(cache_path)
@@ -155,7 +168,11 @@ def fit_gcn_cached(
             test_accuracy=[float(x) for x in stored["hist/test_accuracy"]],
         )
         return model, history
-    history = Trainer(model, train_config).fit(train_graphs, test_graphs)
+    ckpt_root = checkpoint_dir()
+    checkpoint = Checkpointer(ckpt_root / f"gcn_{key}") if ckpt_root else None
+    history = Trainer(model, train_config).fit(
+        train_graphs, test_graphs, checkpoint=checkpoint
+    )
     if cache_path is not None:
         cache_path.parent.mkdir(parents=True, exist_ok=True)
         payload = {f"param/{k}": v for k, v in model.state_dict().items()}
@@ -189,11 +206,8 @@ def fit_cascade_cached(
 ) -> MultiStageGCN:
     """Train (or load from cache) a multi-stage cascade on ``train_graphs``."""
     names = [g.name for g in train_graphs]
-    cache_path = (
-        default_cache_dir() / f"cascade_{_cascade_key(config, names, scale)}.npz"
-        if cache
-        else None
-    )
+    key = _cascade_key(config, names, scale)
+    cache_path = default_cache_dir() / f"cascade_{key}.npz" if cache else None
     cascade = MultiStageGCN(config)
     if cache_path is not None and cache_path.exists():
         stored = np.load(cache_path)
@@ -214,7 +228,11 @@ def fit_cascade_cached(
             cascade.stages.append(model)
         return cascade
 
-    cascade.fit(train_graphs)
+    ckpt_root = checkpoint_dir()
+    cascade.fit(
+        train_graphs,
+        checkpoint_dir=ckpt_root / f"cascade_{key}" if ckpt_root else None,
+    )
     if cache_path is not None:
         payload = {"n_stages": np.array(len(cascade.stages))}
         for k, model in enumerate(cascade.stages):

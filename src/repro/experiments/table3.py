@@ -43,6 +43,8 @@ class FlowMetrics:
 class TestabilityComparison:
     """Per-design metrics for both flows (the paper's Table 3)."""
 
+    __test__ = False  # Test*-named dataclass, not a pytest test class
+
     baseline: dict[str, FlowMetrics] = field(default_factory=dict)
     gcn: dict[str, FlowMetrics] = field(default_factory=dict)
 

@@ -4,6 +4,14 @@ Loop: predict difficult-to-observe nodes with the trained (multi-stage)
 classifier -> evaluate each positive's impact -> insert OPs at the
 top-ranked locations -> incrementally update the graph -> re-predict.
 Exit when no positive predictions remain (or safety limits trigger).
+
+Resilience: pass a :class:`~repro.resilience.checkpoint.Checkpointer` and
+the flow snapshots its inserted-target list after every iteration; an
+interrupted run restarts at its last completed iteration (node ids are
+append-only, so replaying the insertions on a fresh copy reproduces the
+design state exactly).  ``OpiConfig.stall_patience`` arms a watchdog that
+raises :class:`~repro.resilience.errors.ConvergenceError` when the
+positive-prediction count stops decreasing.
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ from repro.core.attributes import AttributeConfig
 from repro.core.graphdata import GraphData
 from repro.flow.impact import ImpactEvaluator
 from repro.flow.modify import IncrementalDesign
+from repro.resilience.checkpoint import Checkpointer
+from repro.resilience.errors import CheckpointCorruptError
+from repro.resilience.watchdog import ConvergenceWatchdog
 
 __all__ = ["OpiConfig", "OpiResult", "run_gcn_opi"]
 
@@ -41,6 +52,9 @@ class OpiConfig:
     min_impact: int = 1
     #: evaluate impact (True, the paper's flow) or insert at every positive
     use_impact: bool = True
+    #: raise :class:`ConvergenceError` after this many consecutive
+    #: iterations without a drop in the positive count (None = no watchdog)
+    stall_patience: int | None = None
     verbose: bool = False
 
 
@@ -63,19 +77,37 @@ def run_gcn_opi(
     predictor: Predictor,
     config: OpiConfig | None = None,
     attribute_config: AttributeConfig | None = None,
+    checkpoint: Checkpointer | None = None,
 ) -> OpiResult:
     """Run the iterative OPI flow on a copy of ``netlist``.
 
     ``predictor`` maps a :class:`GraphData` to a 0/1 array over nodes
     (1 = difficult-to-observe), e.g. ``MultiStageGCN.predict`` or
     ``FastInference.predict`` of a trained model.
+
+    ``checkpoint`` makes the flow resumable: each completed iteration is
+    snapshotted, and a rerun over the same ``netlist`` restarts after the
+    last completed iteration instead of from scratch.
     """
     config = config or OpiConfig()
     design = IncrementalDesign(netlist.copy(), attribute_config)
     evaluator = ImpactEvaluator(design, predictor)
     result = OpiResult(netlist=design.netlist)
+    watchdog = (
+        ConvergenceWatchdog(patience=config.stall_patience, name="positive predictions")
+        if config.stall_patience is not None
+        else None
+    )
 
-    for iteration in range(1, config.max_iterations + 1):
+    start_iteration = 1
+    if checkpoint is not None:
+        snapshot = checkpoint.latest()
+        if snapshot is not None:
+            start_iteration = _restore_opi(snapshot, netlist, design, result) + 1
+            if watchdog is not None:
+                watchdog.prime([float(p) for p in result.positives_history])
+
+    for iteration in range(start_iteration, config.max_iterations + 1):
         predictions = np.asarray(predictor(design.graph))
         candidates = _positive_candidates(design.netlist, predictions)
         result.positives_history.append(len(candidates))
@@ -83,6 +115,11 @@ def run_gcn_opi(
             print(
                 f"iteration {iteration}: {len(candidates)} positive predictions, "
                 f"{result.n_ops} OPs so far"
+            )
+        if watchdog is not None:
+            watchdog.observe(
+                len(candidates),
+                context={"iteration": iteration, "n_ops": result.n_ops},
             )
         if not candidates:
             break
@@ -107,10 +144,59 @@ def run_gcn_opi(
                 break
             design.insert_op(target)
             result.inserted.append(target)
+        if checkpoint is not None:
+            _save_opi(checkpoint, iteration, netlist, result)
         if config.max_ops is not None and result.n_ops >= config.max_ops:
             break
 
     return result
+
+
+def _save_opi(
+    checkpoint: Checkpointer, iteration: int, netlist: Netlist, result: OpiResult
+) -> None:
+    checkpoint.save(
+        iteration,
+        {
+            "inserted": np.asarray(result.inserted, dtype=np.int64),
+            "positives_history": np.asarray(
+                result.positives_history, dtype=np.int64
+            ),
+        },
+        meta={
+            "iteration": iteration,
+            "netlist": netlist.name,
+            "n_nodes": netlist.num_nodes,
+        },
+    )
+
+
+def _restore_opi(
+    snapshot, netlist: Netlist, design: IncrementalDesign, result: OpiResult
+) -> int:
+    """Replay a checkpointed flow state onto ``design``; return its iteration."""
+    if snapshot.meta.get("n_nodes") != netlist.num_nodes:
+        raise CheckpointCorruptError(
+            f"OPI checkpoint was taken on a netlist with "
+            f"{snapshot.meta.get('n_nodes')} nodes; this one has "
+            f"{netlist.num_nodes}",
+            path=snapshot.path,
+        )
+    inserted = [int(v) for v in snapshot.arrays.get("inserted", [])]
+    if any(v < 0 or v >= netlist.num_nodes + len(inserted) for v in inserted):
+        raise CheckpointCorruptError(
+            "OPI checkpoint names an out-of-range insertion target",
+            path=snapshot.path,
+        )
+    for target in inserted:
+        design.insert_op(target)
+        result.inserted.append(target)
+    result.positives_history[:] = [
+        int(p) for p in snapshot.arrays.get("positives_history", [])
+    ]
+    iteration = int(snapshot.meta.get("iteration", snapshot.step))
+    result.iterations = iteration
+    return iteration
 
 
 def _positive_candidates(netlist: Netlist, predictions: np.ndarray) -> list[int]:

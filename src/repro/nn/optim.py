@@ -26,6 +26,18 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Internal state (momentum buffers etc.) for checkpointing.
+
+        Stateless optimisers return an empty dict.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        if state:
+            raise ValueError("this optimizer holds no state")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -57,6 +69,21 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data = p.data - self.lr * grad
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"velocity{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if len(state) != len(self._velocity):
+            raise ValueError(
+                f"state has {len(state)} buffers, optimizer has "
+                f"{len(self._velocity)}"
+            )
+        for i, v in enumerate(self._velocity):
+            value = np.asarray(state[f"velocity{i}"])
+            if value.shape != v.shape:
+                raise ValueError(f"shape mismatch for velocity buffer {i}")
+            self._velocity[i] = value.copy()
 
 
 class Adam(Optimizer):
@@ -96,3 +123,25 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1.0 - self.beta2) * grad**2
             p.data = p.data - self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {"t": np.array(self._t)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m{i}"] = m.copy()
+            state[f"v{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if len(state) != 2 * len(self._m) + 1:
+            raise ValueError(
+                f"state has {len(state)} entries, optimizer expects "
+                f"{2 * len(self._m) + 1}"
+            )
+        self._t = int(state["t"])
+        for i in range(len(self._m)):
+            m = np.asarray(state[f"m{i}"])
+            v = np.asarray(state[f"v{i}"])
+            if m.shape != self._m[i].shape or v.shape != self._v[i].shape:
+                raise ValueError(f"shape mismatch for moment buffers {i}")
+            self._m[i] = m.copy()
+            self._v[i] = v.copy()

@@ -1,0 +1,83 @@
+"""Atomic file writes: temp file -> flush -> fsync -> rename.
+
+A killed process must never leave a half-written model, checkpoint or
+results file where a complete one is expected.  POSIX ``rename`` within a
+directory is atomic, so every writer here stages into a sibling temp file
+and renames over the destination only after the bytes are durably on disk.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_save_npz",
+]
+
+
+@contextmanager
+def atomic_write(path: str | Path, mode: str = "w", **open_kwargs):
+    """Context manager yielding a handle whose contents replace ``path``
+    atomically on successful exit.
+
+    On an exception (or process death) the destination is untouched and the
+    temp file is removed (or left as an orphaned ``*.tmp`` that a later run
+    simply overwrites — never mistaken for the real file).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode, **open_kwargs) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``."""
+    path = Path(path)
+    with atomic_write(path, "wb") as fh:
+        fh.write(data)
+    return path
+
+
+def atomic_write_json(path: str | Path, payload, **dump_kwargs) -> Path:
+    """Atomically serialise ``payload`` as JSON to ``path``."""
+    path = Path(path)
+    with atomic_write(path, "w") as fh:
+        json.dump(payload, fh, **dump_kwargs)
+    return path
+
+
+def atomic_save_npz(path: str | Path, arrays: dict, compressed: bool = True) -> Path:
+    """Atomically write an ``.npz`` archive of ``arrays`` to ``path``.
+
+    ``np.savez`` writes incrementally, so an interrupt mid-save leaves a
+    truncated zip; staging through a buffer plus atomic rename makes the
+    archive all-or-nothing.
+    """
+    path = Path(path)
+    buffer = io.BytesIO()
+    if compressed:
+        np.savez_compressed(buffer, **arrays)
+    else:
+        np.savez(buffer, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue())

@@ -1,0 +1,161 @@
+"""Crash-safe checkpoint store for long-running loops.
+
+A :class:`Checkpointer` owns a directory of numbered ``.npz`` snapshots.
+Writes are atomic (temp + fsync + rename, see :mod:`repro.resilience.
+atomic`), every snapshot carries a magic key and format version, and
+:meth:`Checkpointer.latest` skips snapshots that fail validation — so a
+process killed mid-save, or a disk that ate a file, costs at most one
+checkpoint interval, never the run.
+
+Snapshots hold a flat ``str -> ndarray`` mapping plus a JSON metadata
+dict; the trainer stores parameters, optimizer state and history under
+prefixed keys, the OPI flow stores its inserted-target list.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience.atomic import atomic_save_npz
+from repro.resilience.errors import CheckpointCorruptError
+
+__all__ = ["Checkpoint", "Checkpointer"]
+
+_MAGIC = "repro-checkpoint"
+_VERSION = 1
+_STEP_RE = re.compile(r"^ckpt_(\d+)\.npz$")
+
+
+@dataclass
+class Checkpoint:
+    """One validated snapshot: its step, arrays, and metadata."""
+
+    step: int
+    arrays: dict[str, np.ndarray]
+    meta: dict = field(default_factory=dict)
+    path: Path | None = None
+
+    def group(self, prefix: str) -> dict[str, np.ndarray]:
+        """Arrays under ``prefix/``, with the prefix stripped."""
+        cut = len(prefix) + 1
+        return {
+            key[cut:]: value
+            for key, value in self.arrays.items()
+            if key.startswith(prefix + "/")
+        }
+
+
+class Checkpointer:
+    """Atomic, self-validating checkpoint directory.
+
+    ``keep`` bounds how many snapshots are retained (oldest pruned first);
+    pass ``None`` to keep everything.
+    """
+
+    def __init__(self, directory: str | Path, keep: int | None = 3) -> None:
+        if keep is not None and keep < 1:
+            raise ValueError("keep must be >= 1 (or None)")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def save(
+        self, step: int, arrays: dict[str, np.ndarray], meta: dict | None = None
+    ) -> Path:
+        """Atomically persist a snapshot for ``step``."""
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        payload: dict[str, np.ndarray] = {
+            "__magic__": np.array(_MAGIC),
+            "__version__": np.array(_VERSION),
+            "__step__": np.array(step),
+            "__meta__": np.array(json.dumps(meta or {})),
+        }
+        for key, value in arrays.items():
+            if key.startswith("__"):
+                raise ValueError(f"array key {key!r} collides with header keys")
+            payload[f"data/{key}"] = np.asarray(value)
+        path = self.directory / f"ckpt_{step:08d}.npz"
+        atomic_save_npz(path, payload)
+        self._prune()
+        return path
+
+    def load(self, step: int) -> Checkpoint:
+        """Load and validate the snapshot for ``step``."""
+        return self._read(self.directory / f"ckpt_{step:08d}.npz")
+
+    def steps(self) -> list[int]:
+        """Steps with a snapshot file present (unvalidated), ascending."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _STEP_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self) -> Checkpoint | None:
+        """The newest snapshot that passes validation, or ``None``.
+
+        Corrupt snapshots are skipped with a :class:`ResourceWarning` —
+        resuming from an older consistent state beats dying on a torn one.
+        """
+        for step in reversed(self.steps()):
+            path = self.directory / f"ckpt_{step:08d}.npz"
+            try:
+                return self._read(path)
+            except CheckpointCorruptError as exc:
+                warnings.warn(
+                    f"skipping corrupt checkpoint {path.name}: {exc}",
+                    ResourceWarning,
+                    stacklevel=2,
+                )
+        return None
+
+    # ------------------------------------------------------------------ #
+    def _read(self, path: Path) -> Checkpoint:
+        if not path.exists():
+            raise CheckpointCorruptError(f"no checkpoint at {path}", path=path)
+        try:
+            with np.load(path, allow_pickle=False) as stored:
+                files = set(stored.files)
+                missing = {"__magic__", "__version__", "__step__", "__meta__"} - files
+                if missing:
+                    raise CheckpointCorruptError(
+                        f"checkpoint missing header keys {sorted(missing)}", path=path
+                    )
+                if str(stored["__magic__"]) != _MAGIC:
+                    raise CheckpointCorruptError(
+                        f"bad magic {str(stored['__magic__'])!r}", path=path
+                    )
+                version = int(stored["__version__"])
+                if version != _VERSION:
+                    raise CheckpointCorruptError(
+                        f"unsupported checkpoint version {version}", path=path
+                    )
+                meta = json.loads(str(stored["__meta__"]))
+                arrays = {
+                    key[5:]: stored[key] for key in files if key.startswith("data/")
+                }
+                return Checkpoint(
+                    step=int(stored["__step__"]), arrays=arrays, meta=meta, path=path
+                )
+        except CheckpointCorruptError:
+            raise
+        except Exception as exc:  # truncated zip, bad JSON, numpy internals
+            raise CheckpointCorruptError(
+                f"unreadable checkpoint {path.name}: {exc}", path=path
+            ) from exc
+
+    def _prune(self) -> None:
+        if self.keep is None:
+            return
+        steps = self.steps()
+        for step in steps[: -self.keep]:
+            (self.directory / f"ckpt_{step:08d}.npz").unlink(missing_ok=True)

@@ -1,0 +1,71 @@
+"""Typed exception hierarchy for the resilience layer.
+
+Every long-running entry point (training, serialization, the OPI flow,
+netlist parsing) raises a subclass of :class:`ReproError` on failure, so
+callers — the CLI above all — can separate "the input/run is bad, report
+and exit" from genuine programming errors.  Each class also inherits the
+builtin exception its call sites historically raised (``ValueError``,
+``RuntimeError``), so pre-existing ``except`` clauses keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NetlistFormatError",
+    "CheckpointCorruptError",
+    "WorkerFailedError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all typed, user-reportable errors in this library."""
+
+
+class NetlistFormatError(ReproError, ValueError):
+    """A netlist input (``.bench``, structural Verilog, ...) is malformed.
+
+    The concrete parsers subclass this (:class:`~repro.circuit.bench.
+    BenchParseError`, :class:`~repro.circuit.verilog.VerilogParseError`);
+    catching ``NetlistFormatError`` covers every input format.
+    """
+
+
+class CheckpointCorruptError(ReproError, ValueError):
+    """A model file or checkpoint is missing keys, truncated, or otherwise
+    unreadable.
+
+    Raised by :mod:`repro.core.serialize` and :class:`repro.resilience.
+    checkpoint.Checkpointer` in place of numpy/zipfile internals, carrying
+    the offending path and what validation step failed.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class WorkerFailedError(ReproError, RuntimeError):
+    """A parallel-training worker failed beyond what retries could recover.
+
+    Carries the graph name and the last underlying exception (as
+    ``__cause__``) after the retry budget and the serial fallback are both
+    exhausted.
+    """
+
+    def __init__(self, message: str, graph_name: str | None = None) -> None:
+        super().__init__(message)
+        self.graph_name = graph_name
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative flow stopped making progress.
+
+    Raised by the OPI watchdog when the positive-prediction count stops
+    decreasing; ``diagnostics`` holds the history that triggered it.
+    """
+
+    def __init__(self, message: str, diagnostics: dict | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics or {}

@@ -1,0 +1,147 @@
+"""Retry with exponential backoff and a circuit breaker.
+
+The fault-tolerance primitives the trainer and flow layers share: a
+:func:`retry` helper for transient failures (worker death, pool breakage)
+and a :class:`CircuitBreaker` that stops hammering a dependency that keeps
+failing.  The sleep function is injectable so tests exercise the backoff
+schedule without waiting.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "retry", "retrying", "CircuitBreaker", "CircuitOpenError"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: delay = ``base_delay * backoff**(attempt - 1)``,
+    capped at ``max_delay``, for at most ``max_attempts`` total calls."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    backoff: float = 2.0
+    max_delay: float = 10.0
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return min(self.max_delay, self.base_delay * self.backoff ** (attempt - 1))
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+
+def retry(
+    fn: Callable,
+    *args,
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    on_retry: Callable[[int, BaseException], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs,
+):
+    """Call ``fn(*args, **kwargs)``, retrying on ``retry_on`` exceptions.
+
+    ``on_retry(attempt, exc)`` is invoked before each backoff sleep (use it
+    to log, count, or rebuild broken state).  The final failure re-raises
+    the last exception unchanged.
+    """
+    policy = policy or RetryPolicy()
+    last: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn(*args, **kwargs)
+        except retry_on as exc:
+            last = exc
+            if attempt == policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt))
+    raise last  # pragma: no cover - unreachable
+
+
+def retrying(
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Decorator form of :func:`retry`."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapped(*args, **kwargs):
+            return retry(
+                fn, *args, policy=policy, retry_on=retry_on, sleep=sleep, **kwargs
+            )
+
+        return wrapped
+
+    return decorate
+
+
+class CircuitOpenError(RuntimeError):
+    """The breaker is open: the protected dependency failed too recently."""
+
+
+class CircuitBreaker:
+    """Classic three-state circuit breaker.
+
+    Closed: calls pass through, failures are counted.  After
+    ``failure_threshold`` consecutive failures the breaker opens and calls
+    fail fast with :class:`CircuitOpenError` until ``reset_timeout``
+    seconds elapse, after which one probe call is let through (half-open);
+    its success closes the breaker, its failure re-opens it.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float | None = None
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.reset_timeout:
+            return "half-open"
+        return "open"
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Invoke ``fn`` through the breaker."""
+        if self.state == "open":
+            raise CircuitOpenError(
+                f"circuit open after {self._failures} consecutive failures"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()

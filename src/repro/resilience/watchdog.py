@@ -1,0 +1,85 @@
+"""Convergence watchdog for iterative flows.
+
+The OPI loop's exit condition is "no positive predictions left" — which a
+miscalibrated predictor can postpone forever by re-predicting the same
+nodes every iteration.  :class:`ConvergenceWatchdog` tracks the metric a
+loop is supposed to drive down and raises :class:`~repro.resilience.
+errors.ConvergenceError` with full diagnostics once it has stalled for
+``patience`` consecutive iterations, turning a silent infinite loop into
+an actionable failure.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.errors import ConvergenceError
+
+__all__ = ["ConvergenceWatchdog"]
+
+
+class ConvergenceWatchdog:
+    """Raise when a to-be-minimised metric stops improving.
+
+    ``patience`` is the number of consecutive observations without a new
+    minimum that are tolerated; ``min_delta`` is how much below the best
+    value an observation must fall to count as progress.
+    """
+
+    def __init__(
+        self, patience: int = 5, min_delta: float = 0.0, name: str = "metric"
+    ) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.name = name
+        self.best: float | None = None
+        self.stalled = 0
+        self.history: list[float] = []
+
+    def observe(self, value: float, context: dict | None = None) -> None:
+        """Record one iteration's metric; raise if stalled past patience."""
+        value = float(value)
+        self.history.append(value)
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.stalled = 0
+            return
+        self.stalled += 1
+        if self.stalled >= self.patience:
+            diagnostics = {
+                "metric": self.name,
+                "best": self.best,
+                "last": value,
+                "stalled_iterations": self.stalled,
+                "history": list(self.history),
+            }
+            if context:
+                diagnostics.update(context)
+            raise ConvergenceError(
+                f"{self.name} stopped decreasing: best={self.best:g}, "
+                f"last {self.stalled} iterations gave no improvement "
+                f"(history tail {self.history[-(self.patience + 1):]})",
+                diagnostics=diagnostics,
+            )
+
+    def prime(self, history: list[float]) -> None:
+        """Replay prior observations without raising (checkpoint resume).
+
+        Leaves the watchdog in the state :meth:`observe` would have,
+        except a stall count at/past patience does not raise until the
+        *next* live observation confirms the flow is still stuck.
+        """
+        self.reset()
+        for value in history:
+            value = float(value)
+            self.history.append(value)
+            if self.best is None or value < self.best - self.min_delta:
+                self.best = value
+                self.stalled = 0
+            else:
+                self.stalled += 1
+
+    def reset(self) -> None:
+        self.best = None
+        self.stalled = 0
+        self.history.clear()

@@ -16,6 +16,8 @@ from repro.core import (
     save_cascade,
     save_gcn,
 )
+from repro.resilience.errors import CheckpointCorruptError
+from tests.helpers import corrupt_file, truncate_file
 
 
 @pytest.fixture
@@ -65,3 +67,77 @@ class TestCascadeRoundTrip:
         cascade = MultiStageGCN()
         with pytest.raises(ValueError):
             save_cascade(cascade, tmp_path / "x.npz")
+
+
+class TestLoadValidation:
+    """Corrupt/missing checkpoint files raise typed errors, never land as
+    silently-wrong weights."""
+
+    def _saved_gcn(self, tmp_path):
+        model = GCN(GCNConfig(hidden_dims=(8,), fc_dims=(8,)))
+        return save_gcn(model, tmp_path / "model.npz")
+
+    def _saved_cascade(self, graph, tmp_path):
+        cascade = MultiStageGCN(
+            MultiStageConfig(
+                n_stages=2,
+                gcn=GCNConfig(hidden_dims=(8,), fc_dims=(8,)),
+                train=TrainConfig(epochs=5, eval_every=5),
+            )
+        )
+        cascade.fit([graph])
+        return save_cascade(cascade, tmp_path / "cascade.npz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_gcn(tmp_path / "absent.npz")
+        with pytest.raises(FileNotFoundError):
+            load_cascade(tmp_path / "absent.npz")
+
+    def test_truncated_gcn(self, tmp_path):
+        path = self._saved_gcn(tmp_path)
+        truncate_file(path)
+        with pytest.raises(CheckpointCorruptError):
+            load_gcn(path)
+
+    def test_corrupted_gcn(self, tmp_path):
+        path = self._saved_gcn(tmp_path)
+        corrupt_file(path)
+        with pytest.raises(CheckpointCorruptError):
+            load_gcn(path)
+
+    def test_corrupt_error_is_valueerror(self, tmp_path):
+        """Backwards compatible: existing `except ValueError` keeps working."""
+        path = self._saved_gcn(tmp_path)
+        truncate_file(path)
+        with pytest.raises(ValueError):
+            load_gcn(path)
+
+    def test_not_an_npz(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointCorruptError):
+            load_gcn(path)
+
+    def test_wrong_kind(self, graph, tmp_path):
+        gcn_path = self._saved_gcn(tmp_path)
+        with pytest.raises(CheckpointCorruptError):
+            load_cascade(gcn_path)
+        cascade_path = self._saved_cascade(graph, tmp_path)
+        with pytest.raises(CheckpointCorruptError):
+            load_gcn(cascade_path)
+
+    def test_strict_cascade_rejects_missing_stage(self, graph, tmp_path):
+        path = self._saved_cascade(graph, tmp_path)
+        stored = np.load(path)
+        kept = {
+            key: stored[key]
+            for key in stored.files
+            if not key.startswith("stage1/param/")
+        }
+        np.savez(path, **kept)
+        with pytest.raises(CheckpointCorruptError):
+            load_cascade(path)
+        with pytest.warns(ResourceWarning, match="dropping cascade stages"):
+            partial = load_cascade(path, strict=False)
+        assert len(partial.stages) == 1

@@ -70,3 +70,127 @@ def _faulty_simulate(
         if v == node:
             values[v] = stuck_value
     return values
+
+
+# --------------------------------------------------------------------- #
+# Fault injection (resilience-layer tests)
+# --------------------------------------------------------------------- #
+# Worker-process injectors coordinate through flag files named by the
+# REPRO_TEST_FAULT_DIR environment variable: `arm_worker_faults(dir, n)`
+# creates n flag files, and each injected worker call atomically consumes
+# one (unlink is the test-and-set) before failing.  Once the flags run
+# out, calls delegate to the real gradient worker — i.e. "crash on the
+# first N calls", robust across pool rebuilds and forked processes.
+
+FAULT_DIR_ENV = "REPRO_TEST_FAULT_DIR"
+
+
+def arm_worker_faults(directory, n: int) -> None:
+    """Arm the next ``n`` injected worker calls to fail."""
+    import os
+    from pathlib import Path
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for i in range(n):
+        (directory / f"fault_{i}").touch()
+    os.environ[FAULT_DIR_ENV] = str(directory)
+
+
+def _consume_fault() -> bool:
+    """Atomically claim one armed fault; False once they are exhausted."""
+    import os
+    from pathlib import Path
+
+    directory = os.environ.get(FAULT_DIR_ENV)
+    if not directory:
+        return False
+    for flag in sorted(Path(directory).glob("fault_*")):
+        try:
+            flag.unlink()
+            return True
+        except FileNotFoundError:
+            continue  # another worker claimed it first
+    return False
+
+
+def raising_worker_gradients(payload):
+    """Worker that raises (recoverable failure) while faults are armed."""
+    from repro.core.trainer import _worker_gradients
+
+    if _consume_fault():
+        raise RuntimeError("injected worker failure")
+    return _worker_gradients(payload)
+
+
+def dying_worker_gradients(payload):
+    """Worker that kills its process (-> BrokenProcessPool) while armed."""
+    import os
+
+    from repro.core.trainer import _worker_gradients
+
+    if _consume_fault():
+        os._exit(17)
+    return _worker_gradients(payload)
+
+
+def always_failing_worker(payload):
+    """Worker that never succeeds — exercises the serial fallback."""
+    raise RuntimeError("injected permanent worker failure")
+
+
+def truncate_file(path, fraction: float = 0.5) -> None:
+    """Truncate ``path`` to ``fraction`` of its bytes (simulated kill)."""
+    from pathlib import Path
+
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * fraction)])
+
+
+def corrupt_file(path, start: int = 64, n: int = 256) -> None:
+    """Flip a span of bytes inside ``path`` (simulated disk corruption)."""
+    from pathlib import Path
+
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    end = min(len(data), start + n)
+    for i in range(start, end):
+        data[i] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class FlakyPredictor:
+    """Predictor wrapper that fails its first ``n_failures`` calls."""
+
+    def __init__(self, inner, n_failures: int = 1, exc: type = RuntimeError):
+        self.inner = inner
+        self.n_failures = n_failures
+        self.exc = exc
+        self.calls = 0
+
+    def predict(self, graph):
+        self.calls += 1
+        if self.n_failures > 0:
+            self.n_failures -= 1
+            raise self.exc("injected predictor failure")
+        inner = getattr(self.inner, "predict", self.inner)
+        return inner(graph)
+
+    __call__ = predict
+
+
+class CrashOnNthCall:
+    """Callable failing on specific call numbers (1-based) — retry tests."""
+
+    def __init__(self, failing_calls, result="ok", exc: type = RuntimeError):
+        self.failing_calls = set(failing_calls)
+        self.result = result
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls in self.failing_calls:
+            raise self.exc(f"injected failure on call {self.calls}")
+        return self.result

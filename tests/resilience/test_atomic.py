@@ -1,0 +1,74 @@
+"""Atomic write semantics: all-or-nothing under interruption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.resilience.atomic import (
+    atomic_save_npz,
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_json,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_write(path) as fh:
+            fh.write("hello")
+        assert path.read_text() == "hello"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        with atomic_write(path) as fh:
+            fh.write("x")
+        assert path.read_text() == "x"
+
+    def test_failure_preserves_original(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write("partial garbage")
+                raise RuntimeError("simulated crash mid-write")
+        assert path.read_text() == "original"
+
+    def test_failure_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write("x")
+                raise RuntimeError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failure_before_creation_leaves_nothing(self, tmp_path):
+        path = tmp_path / "never.txt"
+        with pytest.raises(ValueError):
+            with atomic_write(path):
+                raise ValueError("early crash")
+        assert not path.exists()
+
+
+class TestConvenienceWriters:
+    def test_bytes(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "b.bin", b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_json(self, tmp_path):
+        path = atomic_write_json(tmp_path / "d.json", {"a": [1, 2]})
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
+
+    def test_npz_roundtrip(self, tmp_path):
+        arrays = {"x": np.arange(5), "y": np.eye(3)}
+        path = atomic_save_npz(tmp_path / "a.npz", arrays)
+        stored = np.load(path)
+        assert np.array_equal(stored["x"], arrays["x"])
+        assert np.array_equal(stored["y"], arrays["y"])
+
+    def test_npz_overwrites_previous(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_save_npz(path, {"x": np.zeros(2)})
+        atomic_save_npz(path, {"x": np.ones(2)})
+        assert np.array_equal(np.load(path)["x"], np.ones(2))

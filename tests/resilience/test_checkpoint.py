@@ -1,0 +1,97 @@
+"""Checkpointer: atomic snapshots, validation, corrupt-skip, pruning."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.checkpoint import Checkpointer
+from repro.resilience.errors import CheckpointCorruptError
+from tests.helpers import corrupt_file, truncate_file
+
+
+@pytest.fixture
+def ckpt(tmp_path):
+    return Checkpointer(tmp_path / "ckpts", keep=None)
+
+
+class TestRoundTrip:
+    def test_save_load(self, ckpt):
+        path = ckpt.save(5, {"w": np.arange(4.0)}, meta={"epoch": 5})
+        assert path.exists()
+        loaded = ckpt.load(5)
+        assert loaded.step == 5
+        assert loaded.meta == {"epoch": 5}
+        assert np.array_equal(loaded.arrays["w"], np.arange(4.0))
+
+    def test_group_strips_prefix(self, ckpt):
+        ckpt.save(1, {"param/p0": np.ones(2), "opt/m0": np.zeros(2)})
+        loaded = ckpt.load(1)
+        assert set(loaded.group("param")) == {"p0"}
+        assert set(loaded.group("opt")) == {"m0"}
+
+    def test_latest_returns_newest(self, ckpt):
+        for step in (1, 3, 2):
+            ckpt.save(step, {"x": np.array(step)})
+        assert ckpt.latest().step == 3
+
+    def test_latest_empty_directory(self, ckpt):
+        assert ckpt.latest() is None
+
+    def test_reserved_keys_rejected(self, ckpt):
+        with pytest.raises(ValueError):
+            ckpt.save(1, {"__magic__": np.array(1)})
+
+
+class TestCorruption:
+    def test_truncated_snapshot_raises_typed_error(self, ckpt):
+        path = ckpt.save(1, {"x": np.arange(100.0)})
+        truncate_file(path)
+        with pytest.raises(CheckpointCorruptError):
+            ckpt.load(1)
+
+    def test_corrupted_snapshot_raises_typed_error(self, ckpt):
+        path = ckpt.save(1, {"x": np.arange(100.0)})
+        corrupt_file(path)
+        with pytest.raises(CheckpointCorruptError):
+            ckpt.load(1)
+
+    def test_missing_step_raises(self, ckpt):
+        with pytest.raises(CheckpointCorruptError):
+            ckpt.load(99)
+
+    def test_foreign_npz_rejected(self, ckpt, tmp_path):
+        alien = ckpt.directory / "ckpt_00000007.npz"
+        np.savez(alien, x=np.arange(3))
+        with pytest.raises(CheckpointCorruptError, match="missing header"):
+            ckpt.load(7)
+
+    def test_latest_skips_corrupt_and_warns(self, ckpt):
+        ckpt.save(1, {"x": np.array(1.0)})
+        newest = ckpt.save(2, {"x": np.array(2.0)})
+        truncate_file(newest)
+        with pytest.warns(ResourceWarning, match="skipping corrupt checkpoint"):
+            recovered = ckpt.latest()
+        assert recovered.step == 1
+        assert float(recovered.arrays["x"]) == 1.0
+
+    def test_latest_all_corrupt_returns_none(self, ckpt):
+        truncate_file(ckpt.save(1, {"x": np.arange(50.0)}))
+        with pytest.warns(ResourceWarning):
+            assert ckpt.latest() is None
+
+
+class TestPruning:
+    def test_keep_bounds_snapshot_count(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, keep=2)
+        for step in range(5):
+            ckpt.save(step, {"x": np.array(step)})
+        assert ckpt.steps() == [3, 4]
+
+    def test_keep_none_retains_all(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, keep=None)
+        for step in range(4):
+            ckpt.save(step, {"x": np.array(step)})
+        assert ckpt.steps() == [0, 1, 2, 3]
+
+    def test_invalid_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path, keep=0)

@@ -1,0 +1,122 @@
+"""Degradation ladder: cascade -> partial -> gcn -> SCOAP heuristic."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_design
+from repro.core import (
+    GCN,
+    GCNConfig,
+    GraphData,
+    MultiStageConfig,
+    MultiStageGCN,
+    TrainConfig,
+    save_cascade,
+    save_gcn,
+)
+from repro.resilience.degrade import HeuristicPredictor, load_predictor
+from tests.helpers import truncate_file
+
+
+@pytest.fixture
+def graph():
+    netlist = generate_design(150, seed=9)
+    labels = np.zeros(netlist.num_nodes, dtype=np.int64)
+    labels[::5] = 1
+    return GraphData.from_netlist(netlist, labels=labels)
+
+
+def _fitted_cascade(graph):
+    cascade = MultiStageGCN(
+        MultiStageConfig(
+            n_stages=2,
+            gcn=GCNConfig(hidden_dims=(8,), fc_dims=(8,)),
+            train=TrainConfig(epochs=10, eval_every=10),
+        )
+    )
+    cascade.fit([graph])
+    return cascade
+
+
+def _drop_keys(path, predicate):
+    """Rewrite an npz without the keys matching ``predicate``."""
+    stored = np.load(path)
+    kept = {key: stored[key] for key in stored.files if not predicate(key)}
+    np.savez(path, **kept)
+
+
+class TestHeuristicPredictor:
+    def test_thresholds_observability_attribute(self, graph):
+        predictor = HeuristicPredictor(co_threshold=6.0)
+        out = predictor.predict(graph)
+        cutoff = math.log1p(6.0) / 7.0
+        expected = (graph.attributes[:, 3] >= cutoff).astype(np.int64)
+        assert np.array_equal(out, expected)
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_unnormalized_mode(self, graph):
+        netlist = generate_design(100, seed=3)
+        from repro.core.attributes import AttributeConfig
+
+        raw = GraphData.from_netlist(
+            netlist, attribute_config=AttributeConfig(normalize=False)
+        )
+        predictor = HeuristicPredictor(co_threshold=6.0, normalized=False)
+        expected = (raw.attributes[:, 3] >= 6.0).astype(np.int64)
+        assert np.array_equal(predictor(raw), expected)
+
+
+class TestLoadPredictorLadder:
+    def test_full_cascade_loads_at_top_rung(self, graph, tmp_path):
+        cascade = _fitted_cascade(graph)
+        path = save_cascade(cascade, tmp_path / "cascade.npz")
+        loaded = load_predictor(path)
+        assert loaded.level == "cascade"
+        assert np.array_equal(loaded.predict(graph), cascade.predict(graph))
+
+    def test_corrupt_stage_degrades_to_partial(self, graph, tmp_path):
+        cascade = _fitted_cascade(graph)
+        path = save_cascade(cascade, tmp_path / "cascade.npz")
+        _drop_keys(path, lambda k: k.startswith("stage1/param/"))
+        with pytest.warns(ResourceWarning, match="dropping cascade stages"):
+            loaded = load_predictor(path)
+        assert loaded.level == "cascade-partial"
+        assert len(loaded.predictor.stages) == 1
+        loaded.predict(graph)  # still a working predictor
+
+    def test_single_gcn_file(self, graph, tmp_path):
+        model = GCN(GCNConfig(hidden_dims=(8,), fc_dims=(8,)))
+        path = save_gcn(model, tmp_path / "model.npz")
+        loaded = load_predictor(path)
+        assert loaded.level == "gcn"
+        assert np.array_equal(loaded.predict(graph), model.predict(graph))
+
+    def test_missing_file_falls_back_to_heuristic(self, graph, tmp_path):
+        with pytest.warns(ResourceWarning, match="SCOAP heuristic"):
+            loaded = load_predictor(tmp_path / "nope.npz")
+        assert loaded.level == "heuristic"
+        assert isinstance(loaded.predictor, HeuristicPredictor)
+        loaded.predict(graph)
+
+    def test_truncated_file_falls_back_to_heuristic(self, graph, tmp_path):
+        model = GCN(GCNConfig(hidden_dims=(8,), fc_dims=(8,)))
+        path = save_gcn(model, tmp_path / "model.npz")
+        truncate_file(path)
+        with pytest.warns(ResourceWarning, match="SCOAP heuristic"):
+            loaded = load_predictor(path)
+        assert loaded.level == "heuristic"
+
+    def test_all_stages_corrupt_falls_back_to_heuristic(self, graph, tmp_path):
+        cascade = _fitted_cascade(graph)
+        path = save_cascade(cascade, tmp_path / "cascade.npz")
+        _drop_keys(path, lambda k: k.startswith("stage"))
+        with pytest.warns(ResourceWarning, match="SCOAP heuristic"):
+            loaded = load_predictor(path)
+        assert loaded.level == "heuristic"
+
+    def test_custom_heuristic_used(self, tmp_path):
+        custom = HeuristicPredictor(co_threshold=2.0)
+        loaded = load_predictor(tmp_path / "gone.npz", heuristic=custom, warn=False)
+        assert loaded.predictor is custom

@@ -1,0 +1,114 @@
+"""Retry/backoff and circuit-breaker behaviour."""
+
+import pytest
+
+from repro.resilience.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    retry,
+    retrying,
+)
+from tests.helpers import CrashOnNthCall
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, backoff=2.0)
+        assert [policy.delay(a) for a in (1, 2, 3)] == [0.1, 0.2, 0.4]
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(base_delay=1.0, backoff=10.0, max_delay=3.0)
+        assert policy.delay(4) == 3.0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        fn = CrashOnNthCall(failing_calls=[1, 2], result=42)
+        sleeps = []
+        out = retry(
+            fn, policy=RetryPolicy(max_attempts=3, base_delay=0.5), sleep=sleeps.append
+        )
+        assert out == 42
+        assert fn.calls == 3
+        assert sleeps == [0.5, 1.0]
+
+    def test_exhaustion_raises_last_error(self):
+        fn = CrashOnNthCall(failing_calls=range(1, 100))
+        with pytest.raises(RuntimeError, match="call 3"):
+            retry(fn, policy=RetryPolicy(max_attempts=3), sleep=lambda _: None)
+
+    def test_on_retry_callback_sees_each_failure(self):
+        fn = CrashOnNthCall(failing_calls=[1, 2])
+        seen = []
+        retry(
+            fn,
+            policy=RetryPolicy(max_attempts=3),
+            on_retry=lambda attempt, exc: seen.append(attempt),
+            sleep=lambda _: None,
+        )
+        assert seen == [1, 2]
+
+    def test_only_listed_exceptions_retried(self):
+        fn = CrashOnNthCall(failing_calls=[1], exc=KeyError)
+        with pytest.raises(KeyError):
+            retry(fn, retry_on=(ValueError,), sleep=lambda _: None)
+        assert fn.calls == 1
+
+    def test_decorator(self):
+        fn = CrashOnNthCall(failing_calls=[1], result="done")
+
+        @retrying(policy=RetryPolicy(max_attempts=2), sleep=lambda _: None)
+        def wrapped():
+            return fn()
+
+        assert wrapped() == "done"
+
+
+class TestCircuitBreaker:
+    def _failing(self):
+        raise RuntimeError("dependency down")
+
+    def test_opens_after_threshold(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10, clock=lambda: clock[0])
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._failing)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5, clock=lambda: clock[0])
+        with pytest.raises(RuntimeError):
+            breaker.call(self._failing)
+        assert breaker.state == "open"
+        clock[0] = 6.0
+        assert breaker.state == "half-open"
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_reopens_on_failure(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5, clock=lambda: clock[0])
+        with pytest.raises(RuntimeError):
+            breaker.call(self._failing)
+        clock[0] = 6.0
+        with pytest.raises(RuntimeError):
+            breaker.call(self._failing)
+        assert breaker.state == "open"
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        with pytest.raises(RuntimeError):
+            breaker.call(self._failing)
+        breaker.call(lambda: "ok")
+        with pytest.raises(RuntimeError):
+            breaker.call(self._failing)
+        assert breaker.state == "closed"

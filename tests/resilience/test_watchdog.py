@@ -1,0 +1,62 @@
+"""Convergence watchdog: stall detection with diagnostics."""
+
+import pytest
+
+from repro.resilience.errors import ConvergenceError
+from repro.resilience.watchdog import ConvergenceWatchdog
+
+
+class TestConvergenceWatchdog:
+    def test_decreasing_metric_never_raises(self):
+        dog = ConvergenceWatchdog(patience=2)
+        for value in (10, 8, 5, 2, 0):
+            dog.observe(value)
+        assert dog.best == 0
+
+    def test_stall_raises_with_diagnostics(self):
+        dog = ConvergenceWatchdog(patience=3, name="positives")
+        dog.observe(10)
+        dog.observe(7)
+        dog.observe(7)
+        dog.observe(7)
+        with pytest.raises(ConvergenceError) as excinfo:
+            dog.observe(8, context={"iteration": 5})
+        diag = excinfo.value.diagnostics
+        assert diag["metric"] == "positives"
+        assert diag["best"] == 7
+        assert diag["iteration"] == 5
+        assert diag["history"] == [10, 7, 7, 7, 8]
+
+    def test_improvement_resets_stall_count(self):
+        dog = ConvergenceWatchdog(patience=2)
+        dog.observe(10)
+        dog.observe(10)
+        dog.observe(9)  # progress: stall counter back to zero
+        dog.observe(9)
+        with pytest.raises(ConvergenceError):
+            dog.observe(9)
+
+    def test_min_delta_requires_real_progress(self):
+        dog = ConvergenceWatchdog(patience=1, min_delta=1.0)
+        dog.observe(10.0)
+        with pytest.raises(ConvergenceError):
+            dog.observe(9.5)  # under min_delta: not progress
+
+    def test_prime_replays_without_raising(self):
+        dog = ConvergenceWatchdog(patience=2)
+        dog.prime([5, 5, 5, 5])  # would have raised live
+        assert dog.best == 5
+        assert dog.stalled == 3
+        with pytest.raises(ConvergenceError):
+            dog.observe(5)
+
+    def test_prime_then_progress_continues(self):
+        dog = ConvergenceWatchdog(patience=2)
+        dog.prime([5, 5, 5])
+        dog.observe(3)
+        assert dog.best == 3
+        assert dog.stalled == 0
+
+    def test_rejects_bad_patience(self):
+        with pytest.raises(ValueError):
+            ConvergenceWatchdog(patience=0)

@@ -46,3 +46,72 @@ class TestCommands:
         assert main(["experiment", "table1"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "B4" in out
+
+
+class TestErrorHandling:
+    """Bad inputs exit with code 2 and one line on stderr — no traceback."""
+
+    def test_missing_bench_file(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "ghost.bench")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_bench_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.bench"
+        path.write_text("INPUT(G1)\nG2 = FROB(G1)\n")
+        code = main(["atpg", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: BenchParseError:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_directory_instead_of_file(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_checkpoint_dir_flag_parsed(self, tmp_path):
+        args = build_parser().parse_args(
+            ["experiment", "table1", "--checkpoint-dir", str(tmp_path)]
+        )
+        assert args.checkpoint_dir == str(tmp_path)
+
+    def test_checkpoint_dir_exported_to_experiments(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # table1 trains nothing, so it exercises the flag's export without
+        # the cost of a model fit; the env var is what experiments consume.
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_SCALE", "0.06")
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        ckpt_dir = tmp_path / "ckpts"
+        assert (
+            main(["experiment", "table1", "--checkpoint-dir", str(ckpt_dir)]) == 0
+        )
+        import os
+
+        assert os.environ["REPRO_CHECKPOINT_DIR"] == str(ckpt_dir)
+
+    def test_checkpoint_env_var_reaches_training(self, tmp_path, monkeypatch):
+        import numpy as np
+
+        from repro.core import GCNConfig, GraphData, TrainConfig
+        from repro.circuit import generate_design
+        from repro.experiments.common import fit_gcn_cached
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpts"))
+        netlist = generate_design(100, seed=8)
+        graph = GraphData.from_netlist(
+            netlist, labels=np.zeros(netlist.num_nodes, dtype=np.int64)
+        )
+        graph.labels[::4] = 1
+        fit_gcn_cached(
+            [graph],
+            GCNConfig(hidden_dims=(8,), fc_dims=(8,)),
+            TrainConfig(epochs=30, eval_every=30),
+            scale=1.0,
+            cache=False,
+        )
+        assert list((tmp_path / "ckpts").rglob("ckpt_*.npz"))
