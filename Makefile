@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples report clean-cache
+.PHONY: install test bench bench-full examples report serve-smoke clean-cache
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ examples:
 
 report:
 	$(PYTHON) -m repro report
+
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
 
 clean-cache:
 	rm -rf ~/.cache/repro-gcn-test results

@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the serving daemon (``make serve-smoke``).
+
+Exercises the full robustness surface against a real subprocess:
+
+1. start ``repro serve`` with a valid model on an ephemeral port;
+2. score a generated netlist (200, non-degraded);
+3. reject malformed input (400) and a structurally broken netlist (422);
+4. overload the queue (at least one 429 with ``Retry-After``; every
+   accepted request answered);
+5. expire a deadline (504);
+6. hot-reload a corrupt checkpoint (422 + rollback; predictions unchanged)
+   then a valid one (200);
+7. SIGTERM under load: the in-flight request completes, exit status 0.
+
+Exits non-zero with a one-line FAIL message on the first violated check.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.circuit import generate_design  # noqa: E402
+from repro.circuit.bench import write_bench  # noqa: E402
+from repro.core.model import GCN, GCNConfig  # noqa: E402
+from repro.core.serialize import save_gcn  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"ok: {message}")
+
+
+def request(base: str, path: str, payload=None, timeout: float = 60):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(base + path, data=data)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+def main() -> None:
+    work = Path(ROOT / "results" / "serve-smoke")
+    work.mkdir(parents=True, exist_ok=True)
+
+    buf = io.StringIO()
+    write_bench(generate_design(400, seed=13), buf)
+    bench = buf.getvalue()
+
+    model = save_gcn(GCN(GCNConfig(hidden_dims=(8,), fc_dims=(8,))), work / "model.npz")
+    corrupt = work / "corrupt.npz"
+    corrupt.write_bytes(b"this is not a checkpoint")
+
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--model",
+            str(model),
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--queue-capacity",
+            "1",
+            "--debug",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=ROOT,
+        env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    try:
+        line = proc.stdout.readline()
+        check("listening on" in line, f"server started ({line.strip()!r})")
+        base = line.split("listening on", 1)[1].split()[0].strip()
+
+        # --- basic scoring -------------------------------------------- #
+        status, _, body = request(base, "/score", {"netlist": bench, "design": "smoke"})
+        check(status == 200, f"score returns 200 (got {status})")
+        check(body["degraded"] is False, "model-backed score is not degraded")
+        check(
+            len(body["predictions"]) == body["num_nodes"],
+            "one prediction per node",
+        )
+        baseline = body["predictions"]
+
+        # --- admission control ---------------------------------------- #
+        status, _, body = request(base, "/score", {"netlist": "a = FROB(b)\n"})
+        check(
+            (status, body["error"]["code"]) == (400, "netlist_parse_error"),
+            "malformed netlist rejected with 400 + typed body",
+        )
+        status, _, body = request(base, "/score", {"netlist": "INPUT(a)\nb = NOT(a)\n"})
+        check(
+            (status, body["error"]["code"]) == (422, "netlist_invalid"),
+            "structurally invalid netlist rejected with 422",
+        )
+
+        # --- backpressure --------------------------------------------- #
+        results: list[tuple] = []
+        slow = {"netlist": bench, "debug_sleep_ms": 1000}
+
+        def fire():
+            results.append(request(base, "/score", dict(slow)))
+
+        threads = [threading.Thread(target=fire) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=90)
+        statuses = sorted(s for s, _, _ in results)
+        check(len(results) == 6, "every overload request got an answer")
+        check(429 in statuses, f"queue overload produced a 429 (got {statuses})")
+        check(
+            set(statuses) <= {200, 429},
+            f"overload answers are only 200/429 (got {statuses})",
+        )
+        retry_after = next(h.get("Retry-After") for s, h, _ in results if s == 429)
+        check(retry_after is not None, "429 carries a Retry-After header")
+
+        # --- deadlines ------------------------------------------------ #
+        status, _, body = request(
+            base,
+            "/score",
+            {"netlist": bench, "debug_sleep_ms": 3000, "deadline_ms": 150},
+        )
+        check(
+            (status, body["error"]["code"]) == (504, "deadline_exceeded"),
+            "expired deadline returns 504",
+        )
+
+        # --- hot reload + rollback ------------------------------------ #
+        status, _, body = request(base, "/reload", {"path": str(corrupt)})
+        check(
+            (status, body["error"]["code"]) == (422, "checkpoint_corrupt"),
+            "corrupt reload rejected with 422",
+        )
+        check(
+            body["rollback"]["last_good"] == str(model),
+            "rollback reports the last-good model",
+        )
+        status, _, body = request(base, "/score", {"netlist": bench})
+        check(
+            body["predictions"] == baseline and body["degraded"] is False,
+            "predictions identical after rolled-back reload",
+        )
+        status, _, body = request(base, "/reload", {"path": str(model)})
+        check(
+            status == 200 and body["model"]["level"] == "gcn",
+            "valid reload swaps the model",
+        )
+
+        # --- SIGTERM drain under load --------------------------------- #
+        inflight: dict = {}
+
+        def slow_score():
+            inflight["result"] = request(
+                base, "/score", {"netlist": bench, "debug_sleep_ms": 1500}
+            )
+
+        t = threading.Thread(target=slow_score)
+        t.start()
+        time.sleep(0.3)  # let the request reach a worker
+        proc.send_signal(signal.SIGTERM)
+        t.join(timeout=60)
+        check("result" in inflight, "in-flight request answered during drain")
+        check(
+            inflight["result"][0] == 200,
+            f"in-flight request completed with 200 (got {inflight['result'][0]})",
+        )
+        code = proc.wait(timeout=60)
+        check(code == 0, f"SIGTERM drain exits 0 (got {code})")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+        else:
+            print(proc.stdout.read() or "", end="")
+    print("serve-smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,12 +11,18 @@ from dataclasses import dataclass, field
 from repro.circuit.cells import GateType, is_source
 from repro.circuit.levelize import CombinationalLoopError, topological_order
 from repro.circuit.netlist import Netlist
+from repro.resilience.errors import ReproError
 
 __all__ = ["ValidationReport", "validate_netlist", "NetlistValidationError"]
 
 
-class NetlistValidationError(ValueError):
-    """Raised by :func:`validate_netlist` in strict mode."""
+class NetlistValidationError(ReproError, ValueError):
+    """Raised by :func:`validate_netlist` in strict mode.
+
+    Part of the :class:`~repro.resilience.errors.ReproError` hierarchy (a
+    structurally broken netlist is bad *input*, like a parse error), while
+    still subclassing ``ValueError`` for pre-existing ``except`` clauses.
+    """
 
 
 @dataclass

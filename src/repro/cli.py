@@ -5,10 +5,12 @@ Commands:
 * ``generate``   — emit a synthetic industrial-shaped netlist as ``.bench``;
 * ``analyze``    — SCOAP/COP/label summary for a ``.bench`` netlist;
 * ``atpg``       — run the random+PODEM ATPG on a ``.bench`` netlist;
-* ``experiment`` — regenerate one of the paper's tables/figures.
+* ``experiment`` — regenerate one of the paper's tables/figures;
+* ``serve``      — run the online netlist-scoring daemon.
 
-Bad inputs (a missing or malformed netlist, a corrupt model file) exit
-with status 2 and a one-line typed error on stderr — never a traceback.
+Failures exit with a distinct status per error class (config=2, bad
+input=3, runtime=4) and a one-line typed error on stderr — never a
+traceback.
 """
 
 from __future__ import annotations
@@ -18,16 +20,60 @@ import sys
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "exit_code_for"]
 
-#: exit status for bad inputs / environment (argparse uses 2 as well)
-EXIT_USAGE = 2
+#: exit statuses by failure class (argparse usage errors also exit 2)
+EXIT_CONFIG = 2
+EXIT_INPUT = 3
+EXIT_RUNTIME = 4
+#: backwards-compatible alias for the pre-split single error status
+EXIT_USAGE = EXIT_CONFIG
+
+_EXIT_CODES_HELP = (
+    "exit status: 0 on success; 2 for configuration errors (bad flags, "
+    "invalid limits); 3 for bad inputs (missing/malformed netlist, corrupt "
+    "model file); 4 for runtime failures (divergence, worker loss)"
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map a typed failure to its CLI exit status.
+
+    Input errors (the request/file is bad): netlist parse/validation
+    failures, corrupt checkpoints, missing files.  Config errors (the tool
+    was invoked wrong): :class:`~repro.resilience.errors.ConfigError`.
+    Everything else in the :class:`~repro.resilience.errors.ReproError`
+    hierarchy is a runtime failure.
+    """
+    from repro.circuit.validate import NetlistValidationError
+    from repro.resilience.errors import (
+        CheckpointCorruptError,
+        ConfigError,
+        NetlistFormatError,
+    )
+
+    if isinstance(exc, ConfigError):
+        return EXIT_CONFIG
+    if isinstance(
+        exc,
+        (
+            NetlistFormatError,
+            NetlistValidationError,
+            CheckpointCorruptError,
+            FileNotFoundError,
+            IsADirectoryError,
+            PermissionError,
+        ),
+    ):
+        return EXIT_INPUT
+    return EXIT_RUNTIME
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DAC'19 GCN testability-analysis reproduction toolkit",
+        epilog=_EXIT_CODES_HELP,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -60,6 +106,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "report", help="summarise results/*.json from a previous benchmark run"
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the online netlist-scoring daemon",
+        description="Long-running HTTP service scoring .bench netlists with "
+        "the best available predictor (POST /score, /reload; GET /healthz, "
+        "/readyz).  SIGTERM drains gracefully.",
+        epilog=_EXIT_CODES_HELP,
+    )
+    srv.add_argument(
+        "--model",
+        default=None,
+        help="model .npz (GCN or cascade); omitted = SCOAP-heuristic only",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8351, help="0 binds an ephemeral port"
+    )
+    srv.add_argument("--workers", type=int, default=2)
+    srv.add_argument("--queue-capacity", type=int, default=16)
+    srv.add_argument(
+        "--deadline-ms", type=int, default=30_000, help="default per-request deadline"
+    )
+    srv.add_argument(
+        "--debug",
+        action="store_true",
+        help="request logging + fault-injection request fields (smoke tests)",
     )
     return parser
 
@@ -162,6 +236,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline_ms=args.deadline_ms,
+        debug=args.debug,
+    )
+    return serve(config=config, model_path=args.model)
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.resilience.errors import ReproError
 
@@ -172,12 +260,13 @@ def main(argv: list[str] | None = None) -> int:
         "atpg": _cmd_atpg,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)
     except (ReproError, FileNotFoundError, IsADirectoryError, PermissionError) as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return EXIT_USAGE
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.graphdata import GraphData
 from repro.core.model import GCNWeights
+from repro.resilience.errors import NumericalError
 
 __all__ = ["FastInference"]
 
@@ -84,7 +85,12 @@ class FastInference:
         return embeddings
 
     def logits(self, graph: GraphData) -> np.ndarray:
-        """Class logits for every node."""
+        """Class logits for every node.
+
+        Raises :class:`~repro.resilience.errors.NumericalError` if any
+        logit is NaN/inf — corrupt weights or overflowing attributes must
+        surface as a typed failure, not propagate garbage scores.
+        """
         h = self.embed(graph)
         last = len(self.weights.fc_weights) - 1
         for i, (weight, bias) in enumerate(
@@ -95,6 +101,7 @@ class FastInference:
                 h += bias
             if i < last:
                 np.maximum(h, 0.0, out=h)
+        self._check_finite(h, graph, "logits")
         return h
 
     def predict(self, graph: GraphData) -> np.ndarray:
@@ -106,4 +113,17 @@ class FastInference:
         logits = self.logits(graph)
         shifted = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
-        return exp / exp.sum(axis=1, keepdims=True)
+        proba = exp / exp.sum(axis=1, keepdims=True)
+        self._check_finite(proba, graph, "predict_proba")
+        return proba
+
+    @staticmethod
+    def _check_finite(values: np.ndarray, graph: GraphData, what: str) -> None:
+        if np.isfinite(values).all():
+            return
+        bad = int((~np.isfinite(values)).any(axis=1).sum())
+        raise NumericalError(
+            f"{what} for graph {graph.name!r} contain non-finite values "
+            f"({bad}/{values.shape[0]} nodes affected)",
+            diagnostics={"graph": graph.name, "output": what, "bad_nodes": bad},
+        )

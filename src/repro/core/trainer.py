@@ -26,7 +26,11 @@ from repro.nn.functional import cross_entropy
 from repro.nn.optim import SGD, Adam
 from repro.nn.tensor import no_grad
 from repro.resilience.checkpoint import Checkpoint, Checkpointer
-from repro.resilience.errors import CheckpointCorruptError, WorkerFailedError
+from repro.resilience.errors import (
+    CheckpointCorruptError,
+    NumericalError,
+    WorkerFailedError,
+)
 from repro.resilience.retry import RetryPolicy
 
 __all__ = ["TrainConfig", "TrainHistory", "Trainer", "ParallelTrainer"]
@@ -137,6 +141,22 @@ class Trainer:
                 start_epoch = self._restore(snapshot, history)
         for epoch in range(start_epoch + 1, cfg.epochs + 1):
             loss_value = self.train_step(train_graphs)
+            if not np.isfinite(loss_value):
+                # Diverged: every later epoch would train on NaN weights.
+                # Abort with the trajectory so the failure is diagnosable
+                # (and a checkpointed run can resume from pre-divergence).
+                raise NumericalError(
+                    f"training loss became non-finite ({loss_value}) at "
+                    f"epoch {epoch}",
+                    diagnostics={
+                        "epoch": epoch,
+                        "loss": loss_value,
+                        "optimizer": cfg.optimizer,
+                        "lr": cfg.lr,
+                        "recent_loss": history.loss[-5:],
+                        "recent_epochs": history.epochs[-5:],
+                    },
+                )
             if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
                 history.epochs.append(epoch)
                 history.loss.append(loss_value)

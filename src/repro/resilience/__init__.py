@@ -26,8 +26,10 @@ from repro.resilience.checkpoint import Checkpoint, Checkpointer
 from repro.resilience.degrade import HeuristicPredictor, LoadedPredictor, load_predictor
 from repro.resilience.errors import (
     CheckpointCorruptError,
+    ConfigError,
     ConvergenceError,
     NetlistFormatError,
+    NumericalError,
     ReproError,
     WorkerFailedError,
 )
@@ -42,6 +44,8 @@ from repro.resilience.watchdog import ConvergenceWatchdog
 
 __all__ = [
     "ReproError",
+    "ConfigError",
+    "NumericalError",
     "NetlistFormatError",
     "CheckpointCorruptError",
     "WorkerFailedError",

@@ -12,15 +12,28 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "ConfigError",
     "NetlistFormatError",
     "CheckpointCorruptError",
     "WorkerFailedError",
     "ConvergenceError",
+    "NumericalError",
 ]
 
 
 class ReproError(Exception):
     """Base class for all typed, user-reportable errors in this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid (bad flag combination, out-of-range
+    limit, unknown option).
+
+    Distinct from input errors: the *request* may be fine but the way the
+    tool was configured is not.  The CLI maps this to exit code 2, the
+    serving layer to HTTP 500 (a misconfigured server is an operator
+    problem, not a client one).
+    """
 
 
 class NetlistFormatError(ReproError, ValueError):
@@ -64,6 +77,21 @@ class ConvergenceError(ReproError, RuntimeError):
 
     Raised by the OPI watchdog when the positive-prediction count stops
     decreasing; ``diagnostics`` holds the history that triggered it.
+    """
+
+    def __init__(self, message: str, diagnostics: dict | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics or {}
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A computation produced non-finite values (NaN/inf).
+
+    Raised by :class:`~repro.core.inference.FastInference` when model
+    outputs go non-finite (corrupt weights, overflowing attributes) and by
+    :class:`~repro.core.trainer.Trainer` when the training loss diverges.
+    ``diagnostics`` carries whatever the raise site knew (epoch, loss
+    history, offending output name) so the failure is actionable.
     """
 
     def __init__(self, message: str, diagnostics: dict | None = None) -> None:

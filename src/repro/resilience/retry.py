@@ -10,6 +10,7 @@ schedule without waiting.
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -52,6 +53,10 @@ def retry(
     ``on_retry(attempt, exc)`` is invoked before each backoff sleep (use it
     to log, count, or rebuild broken state).  The final failure re-raises
     the last exception unchanged.
+
+    Thread-safety: all retry state (attempt counter, last exception) is
+    local to the call, so one policy/decorated function may be shared
+    freely across threads — each caller gets an independent schedule.
     """
     policy = policy or RetryPolicy()
     last: BaseException | None = None
@@ -99,6 +104,11 @@ class CircuitBreaker:
     fail fast with :class:`CircuitOpenError` until ``reset_timeout``
     seconds elapse, after which one probe call is let through (half-open);
     its success closes the breaker, its failure re-opens it.
+
+    Thread-safe: the failure counter and open-timestamp transitions are
+    guarded by a lock, so one breaker may front a dependency shared by many
+    server worker threads.  The protected ``fn`` itself runs *outside* the
+    lock (it may block arbitrarily long).
     """
 
     def __init__(
@@ -112,23 +122,35 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self._clock = clock
+        self._lock = threading.Lock()
         self._failures = 0
         self._opened_at: float | None = None
 
-    @property
-    def state(self) -> str:
+    def _state_locked(self) -> str:
         if self._opened_at is None:
             return "closed"
         if self._clock() - self._opened_at >= self.reset_timeout:
             return "half-open"
         return "open"
 
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures recorded since the last success."""
+        with self._lock:
+            return self._failures
+
     def call(self, fn: Callable, *args, **kwargs):
         """Invoke ``fn`` through the breaker."""
-        if self.state == "open":
-            raise CircuitOpenError(
-                f"circuit open after {self._failures} consecutive failures"
-            )
+        with self._lock:
+            if self._state_locked() == "open":
+                raise CircuitOpenError(
+                    f"circuit open after {self._failures} consecutive failures"
+                )
         try:
             result = fn(*args, **kwargs)
         except Exception:
@@ -138,10 +160,12 @@ class CircuitBreaker:
         return result
 
     def record_success(self) -> None:
-        self._failures = 0
-        self._opened_at = None
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
 
     def record_failure(self) -> None:
-        self._failures += 1
-        if self._failures >= self.failure_threshold:
-            self._opened_at = self._clock()
+        with self._lock:
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()

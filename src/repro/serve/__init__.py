@@ -1,0 +1,58 @@
+"""Online netlist-scoring service (stdlib HTTP, no new dependencies).
+
+The paper's systems claim is that sparse-matrix GCN inference is fast
+enough to score million-gate netlists interactively (Section 5, Figure 9);
+this package is the layer that makes that claim *operable*: a long-running
+daemon that accepts ``.bench`` netlists over HTTP and returns per-node
+difficult-to-observe predictions, staying correct and available under
+malformed inputs, overload, and model failure.
+
+Structure:
+
+* :mod:`~repro.serve.config` — :class:`ServeConfig`, validated limits;
+* :mod:`~repro.serve.protocol` — error-code mapping (typed exception →
+  HTTP status + structured JSON body);
+* :mod:`~repro.serve.admission` — request gate: size/schema checks,
+  ``.bench`` parsing, structural validation, graph construction;
+* :mod:`~repro.serve.models` — :class:`ModelManager`: hot reload with
+  validation + rollback, per-model circuit breaker, heuristic degrade;
+* :mod:`~repro.serve.service` — :class:`ScoringService`: bounded queue,
+  crash-isolated worker threads, per-request deadlines, drain;
+* :mod:`~repro.serve.http` — the HTTP surface (``/score``, ``/reload``,
+  ``/healthz``, ``/readyz``) and the SIGTERM-draining ``serve()`` runner.
+"""
+
+from repro.serve.admission import ScoreRequest, admit
+from repro.serve.config import ServeConfig
+from repro.serve.http import NetlistScoreServer, serve
+from repro.serve.models import ModelManager
+from repro.serve.protocol import (
+    DeadlineExceededError,
+    DrainingError,
+    MalformedRequestError,
+    OverloadedError,
+    PayloadTooLargeError,
+    RequestError,
+    error_payload,
+    status_for,
+)
+from repro.serve.service import Job, ScoringService
+
+__all__ = [
+    "ServeConfig",
+    "ScoreRequest",
+    "admit",
+    "ModelManager",
+    "Job",
+    "ScoringService",
+    "NetlistScoreServer",
+    "serve",
+    "RequestError",
+    "MalformedRequestError",
+    "PayloadTooLargeError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "DrainingError",
+    "error_payload",
+    "status_for",
+]

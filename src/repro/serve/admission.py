@@ -1,0 +1,112 @@
+"""Admission control: everything that happens before work is queued.
+
+A request only reaches the model if it survives, in order: a byte-size
+gate, JSON decoding, schema validation, ``.bench`` parsing, a node-count
+gate, structural validation (:func:`~repro.circuit.validate.
+validate_netlist` in strict mode), and graph construction.  Each failure
+raises a typed error that :mod:`~repro.serve.protocol` maps to a 4xx —
+malformed input must never cost a worker thread or crash the daemon.
+
+Admission runs in the HTTP handler thread (cheap, linear-time parsing and
+SCOAP attribute construction); only model inference is queued.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.circuit.bench import parse_bench
+from repro.circuit.validate import validate_netlist
+from repro.core.graphdata import GraphData
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import MalformedRequestError, PayloadTooLargeError
+
+__all__ = ["ScoreRequest", "admit"]
+
+_ALLOWED_KEYS = {"netlist", "design", "deadline_ms", "return_predictions", "debug_sleep_ms"}
+
+
+@dataclass
+class ScoreRequest:
+    """A fully admitted scoring request, ready for a worker."""
+
+    graph: GraphData
+    design: str
+    deadline_s: float  #: relative deadline in seconds (absolute set on submit)
+    return_predictions: bool = True
+    debug_sleep_s: float = 0.0  #: fault-injection aid, honoured only in debug
+    warnings: list[str] = field(default_factory=list)
+
+
+def _schema_error(message: str) -> MalformedRequestError:
+    return MalformedRequestError(f"invalid score request: {message}")
+
+
+def admit(raw: bytes, config: ServeConfig) -> ScoreRequest:
+    """Validate a raw ``/score`` body and build the request's graph.
+
+    Raises (all mapped to 4xx by the protocol layer):
+
+    * :class:`PayloadTooLargeError` — body bytes or node count over limit;
+    * :class:`MalformedRequestError` — not JSON / not the score schema;
+    * :class:`~repro.circuit.bench.BenchParseError` — malformed netlist;
+    * :class:`~repro.circuit.validate.NetlistValidationError` — structurally
+      broken netlist (combinational loop, no observation sites, ...).
+    """
+    if len(raw) > config.max_body_bytes:
+        raise PayloadTooLargeError(
+            f"request body is {len(raw)} bytes; limit is {config.max_body_bytes}"
+        )
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _schema_error(f"body is not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise _schema_error("body must be a JSON object")
+    unknown = sorted(set(payload) - _ALLOWED_KEYS)
+    if unknown:
+        raise _schema_error(f"unknown keys {unknown}")
+
+    netlist_text = payload.get("netlist")
+    if not isinstance(netlist_text, str) or not netlist_text.strip():
+        raise _schema_error('"netlist" must be a non-empty string of .bench text')
+
+    design = payload.get("design", "request")
+    if not isinstance(design, str):
+        raise _schema_error('"design" must be a string')
+
+    deadline_ms = payload.get("deadline_ms", config.default_deadline_ms)
+    if not isinstance(deadline_ms, int) or isinstance(deadline_ms, bool):
+        raise _schema_error('"deadline_ms" must be an integer')
+    if deadline_ms < 1:
+        raise _schema_error('"deadline_ms" must be >= 1')
+    deadline_ms = min(deadline_ms, config.max_deadline_ms)
+
+    return_predictions = payload.get("return_predictions", True)
+    if not isinstance(return_predictions, bool):
+        raise _schema_error('"return_predictions" must be a boolean')
+
+    debug_sleep_ms = payload.get("debug_sleep_ms", 0)
+    if not isinstance(debug_sleep_ms, (int, float)) or isinstance(debug_sleep_ms, bool):
+        raise _schema_error('"debug_sleep_ms" must be a number')
+    if debug_sleep_ms and not config.debug:
+        raise _schema_error('"debug_sleep_ms" requires the server to run with --debug')
+
+    # BenchParseError (a NetlistFormatError) propagates to the 400 mapping.
+    netlist = parse_bench(netlist_text, name=design)
+    if netlist.num_nodes > config.max_nodes:
+        raise PayloadTooLargeError(
+            f"netlist has {netlist.num_nodes} nodes; limit is {config.max_nodes}"
+        )
+    # Strict: structural errors raise NetlistValidationError (422).
+    report = validate_netlist(netlist, strict=True)
+    graph = GraphData.from_netlist(netlist, name=design)
+    return ScoreRequest(
+        graph=graph,
+        design=design,
+        deadline_s=deadline_ms / 1000.0,
+        return_predictions=return_predictions,
+        debug_sleep_s=max(0.0, float(debug_sleep_ms)) / 1000.0,
+        warnings=list(report.warnings),
+    )

@@ -1,0 +1,61 @@
+"""Serving-layer configuration with validated limits.
+
+Every limit that protects the server (body size, node count, queue depth,
+deadlines) lives here so the admission gate, the queue, and the CLI agree
+on one source of truth.  Invalid combinations raise
+:class:`~repro.resilience.errors.ConfigError` at construction time — a
+misconfigured server must fail before it binds a port, not on the first
+request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.errors import ConfigError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for :class:`~repro.serve.http.NetlistScoreServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8351  #: 0 binds an ephemeral port (reported at startup)
+    workers: int = 2  #: scoring worker threads sharing the queue
+    queue_capacity: int = 16  #: accepted-but-unstarted requests; beyond → 429
+    default_deadline_ms: int = 30_000  #: per-request deadline when unspecified
+    max_deadline_ms: int = 300_000  #: cap on client-requested deadlines
+    max_body_bytes: int = 32 * 1024 * 1024  #: request body limit → 413
+    max_nodes: int = 2_000_000  #: netlist size limit (paper scale) → 413
+    retry_after_s: int = 1  #: advertised in 429 ``Retry-After`` headers
+    breaker_threshold: int = 3  #: consecutive model failures before opening
+    breaker_reset_s: float = 30.0  #: open-state cooldown before a probe call
+    drain_timeout_s: float = 30.0  #: max wait for in-flight work on SIGTERM
+    debug: bool = False  #: honour ``debug_sleep_ms`` in requests (smoke tests)
+
+    def __post_init__(self) -> None:
+        problems = []
+        if self.workers < 1:
+            problems.append("workers must be >= 1")
+        if self.queue_capacity < 1:
+            problems.append("queue_capacity must be >= 1")
+        if self.default_deadline_ms < 1:
+            problems.append("default_deadline_ms must be >= 1")
+        if self.max_deadline_ms < self.default_deadline_ms:
+            problems.append("max_deadline_ms must be >= default_deadline_ms")
+        if self.max_body_bytes < 1:
+            problems.append("max_body_bytes must be >= 1")
+        if self.max_nodes < 1:
+            problems.append("max_nodes must be >= 1")
+        if not 0 <= self.port <= 65535:
+            problems.append("port must be in [0, 65535]")
+        if self.retry_after_s < 0:
+            problems.append("retry_after_s must be >= 0")
+        if self.breaker_threshold < 1:
+            problems.append("breaker_threshold must be >= 1")
+        if self.drain_timeout_s < 0:
+            problems.append("drain_timeout_s must be >= 0")
+        if problems:
+            raise ConfigError("invalid serve config: " + "; ".join(problems))

@@ -1,0 +1,277 @@
+"""HTTP surface of the scoring daemon.
+
+Endpoints:
+
+==========  ======  ====================================================
+``/score``  POST    admit + queue + wait; per-node predictions as JSON
+``/reload`` POST    validate-then-swap a model checkpoint (rollback safe)
+``/healthz`` GET    liveness: always 200 while the process serves
+``/readyz``  GET    readiness: 200 only when accepting scoring traffic
+==========  ======  ====================================================
+
+Every error response carries the structured body from
+:func:`~repro.serve.protocol.error_payload`; a traceback never reaches a
+client.  ``serve()`` is the blocking runner behind ``repro serve``: it
+installs a SIGTERM/SIGINT handler that drains (stop accepting, finish
+in-flight work, flush responses) and exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.admission import admit
+from repro.serve.config import ServeConfig
+from repro.serve.models import ModelManager
+from repro.serve.protocol import (
+    DrainingError,
+    MalformedRequestError,
+    OverloadedError,
+    PayloadTooLargeError,
+    encode_json,
+    error_payload,
+    status_for,
+)
+from repro.serve.service import ScoringService
+
+__all__ = ["NetlistScoreServer", "serve"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # The NetlistScoreServer that owns this handler's listener.
+    @property
+    def app(self) -> "NetlistScoreServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.app.config.debug:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    def _send(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = encode_json(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, exc: BaseException, **extra) -> None:
+        status, _ = status_for(exc)
+        headers = {}
+        if isinstance(exc, OverloadedError):
+            headers["Retry-After"] = str(exc.retry_after_s)
+        self._send(status, error_payload(exc, **extra), headers)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.app.config.max_body_bytes:
+            # Refuse before reading an oversized body off the socket.
+            raise PayloadTooLargeError(
+                f"request body is {length} bytes; "
+                f"limit is {self.app.config.max_body_bytes}"
+            )
+        if length <= 0:
+            raise MalformedRequestError("request body is empty")
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send(200, self.app.health())
+        elif self.path == "/readyz":
+            ready, payload = self.app.readiness()
+            self._send(200 if ready else 503, payload)
+        else:
+            self._send(404, {"error": {"code": "not_found", "message": self.path}})
+
+    def do_POST(self) -> None:
+        try:
+            if self.path == "/score":
+                self._score()
+            elif self.path == "/reload":
+                self._reload()
+            else:
+                self._send(
+                    404, {"error": {"code": "not_found", "message": self.path}}
+                )
+        except ConnectionError:
+            return  # client went away; nothing to answer
+        except BaseException as exc:  # never leak a traceback to the wire
+            self._send_error(exc)
+
+    def _score(self) -> None:
+        service = self.app.service
+        if service.draining:
+            raise DrainingError("server is draining; not accepting new work")
+        request = admit(self._read_body(), self.app.config)
+        start = time.monotonic()
+        labels, info = service.score(request)
+        latency_ms = (time.monotonic() - start) * 1000.0
+        labels_list = [int(x) for x in labels]
+        payload = {
+            "design": request.design,
+            "num_nodes": request.graph.num_nodes,
+            "num_edges": request.graph.num_edges,
+            "positive_count": sum(labels_list),
+            "degraded": bool(info.get("degraded", False)),
+            "predictor_level": info.get("predictor_level"),
+            "latency_ms": round(latency_ms, 3),
+        }
+        if "reason" in info:
+            payload["degraded_reason"] = info["reason"]
+        if request.warnings:
+            payload["warnings"] = request.warnings
+        if request.return_predictions:
+            payload["predictions"] = labels_list
+        self._send(200, payload)
+
+    def _reload(self) -> None:
+        raw = self._read_body()
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise MalformedRequestError(
+                f"reload body is not valid JSON ({exc})"
+            ) from exc
+        if not isinstance(body, dict) or not isinstance(body.get("path"), str):
+            raise MalformedRequestError('reload body must be {"path": "<model.npz>"}')
+        try:
+            description = self.app.manager.reload(body["path"])
+        except Exception as exc:
+            # Validation failed before the swap: last-good keeps serving.
+            self._send_error(exc, rollback=self.app.manager.describe())
+            return
+        self._send(200, {"status": "reloaded", "model": description})
+
+
+class _Server(ThreadingHTTPServer):
+    # Join handler threads on server_close() so every in-flight response
+    # is flushed before a drained process exits.
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+
+class NetlistScoreServer:
+    """The assembled daemon: listener + scoring service + model manager."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        manager: ModelManager | None = None,
+        model_path=None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.manager = manager or ModelManager(
+            model_path,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_reset_s=self.config.breaker_reset_s,
+        )
+        self.service = ScoringService(self.manager, self.config)
+        self._httpd = _Server((self.config.host, self.config.port), _Handler)
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._drained = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        return self._httpd.server_address[:2]
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        self.service.ensure_workers()
+        return {
+            "status": "draining" if self.service.draining else "ok",
+            "model": self.manager.describe(),
+            "service": self.service.snapshot(),
+        }
+
+    def readiness(self) -> tuple[bool, dict]:
+        ready = not self.service.draining and self.service.workers_alive() > 0
+        payload = {"ready": ready}
+        if self.service.draining:
+            payload["reason"] = "draining"
+        elif not ready:
+            payload["reason"] = "no live workers"
+        return ready, payload
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Serve in a background thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-listener", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`drain_and_stop`."""
+        self._httpd.serve_forever()
+
+    def drain_and_stop(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: refuse new work, finish in-flight, stop.
+
+        Returns True when all accepted work completed within ``timeout``.
+        """
+        timeout = self.config.drain_timeout_s if timeout is None else timeout
+        clean = self.service.drain(timeout=timeout)
+        self._httpd.shutdown()  # stop the accept loop
+        self._httpd.server_close()  # join handler threads, flush responses
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._drained.set()
+        return clean
+
+    def close(self) -> None:
+        """Immediate teardown (tests); in-flight work is abandoned."""
+        self.service.stop()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
+def serve(
+    config: ServeConfig | None = None,
+    model_path=None,
+    install_signals: bool = True,
+) -> int:
+    """Blocking runner behind ``repro serve``; returns the exit status.
+
+    SIGTERM/SIGINT initiate the drain sequence from a helper thread (the
+    signal handler itself only sets it off): stop accepting, finish every
+    accepted request, flush responses, exit 0.
+    """
+    server = NetlistScoreServer(config=config, model_path=model_path)
+    outcome = {"clean": True}
+
+    def _drain() -> None:
+        outcome["clean"] = server.drain_and_stop()
+
+    def _on_signal(signum, frame):
+        threading.Thread(target=_drain, name="serve-drain", daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    host, port = server.address
+    model = server.manager.describe()
+    print(
+        f"repro-serve listening on http://{host}:{port} "
+        f"(model level={model['level']}, workers={server.config.workers}, "
+        f"queue={server.config.queue_capacity})",
+        flush=True,
+    )
+    server.serve_forever()  # returns once drain_and_stop() ran
+    return 0 if outcome["clean"] else 1

@@ -1,0 +1,116 @@
+"""Wire protocol: typed exception → HTTP status + structured error body.
+
+One table maps every failure the service can hit to a status code and a
+stable machine-readable ``code`` string, so clients can branch on
+``body["error"]["code"]`` instead of parsing messages.  The serving-local
+exceptions defined here all derive from :class:`~repro.resilience.errors.
+ReproError`, keeping the library's contract that user-reportable failures
+share one hierarchy.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.circuit.validate import NetlistValidationError
+from repro.resilience.errors import (
+    CheckpointCorruptError,
+    ConfigError,
+    NetlistFormatError,
+    NumericalError,
+    ReproError,
+)
+
+__all__ = [
+    "RequestError",
+    "MalformedRequestError",
+    "PayloadTooLargeError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "DrainingError",
+    "status_for",
+    "error_payload",
+    "encode_json",
+]
+
+
+class RequestError(ReproError):
+    """Base for failures the serving layer itself detects on a request."""
+
+
+class MalformedRequestError(RequestError, ValueError):
+    """The request body is not valid JSON / violates the score schema."""
+
+
+class PayloadTooLargeError(RequestError, ValueError):
+    """The request body or the parsed netlist exceeds the configured limit."""
+
+
+class OverloadedError(RequestError, RuntimeError):
+    """The work queue is full; the client should retry after a delay."""
+
+    def __init__(self, message: str, retry_after_s: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(RequestError, TimeoutError):
+    """The request's deadline expired before a worker produced a result."""
+
+
+class DrainingError(RequestError, RuntimeError):
+    """The server is shutting down and no longer accepts scoring work."""
+
+
+#: The error-code mapping table (documented in docs/architecture.md).
+#: Order matters: the first ``isinstance`` match wins, so subclasses come
+#: before their bases.
+_STATUS_TABLE: list[tuple[type[BaseException], int, str]] = [
+    (PayloadTooLargeError, 413, "payload_too_large"),
+    (OverloadedError, 429, "overloaded"),
+    (DeadlineExceededError, 504, "deadline_exceeded"),
+    (DrainingError, 503, "draining"),
+    (MalformedRequestError, 400, "bad_request"),
+    (NetlistFormatError, 400, "netlist_parse_error"),
+    (NetlistValidationError, 422, "netlist_invalid"),
+    (FileNotFoundError, 404, "model_not_found"),
+    (CheckpointCorruptError, 422, "checkpoint_corrupt"),
+    (NumericalError, 500, "numerical_error"),
+    (ConfigError, 500, "config_error"),
+    (ReproError, 500, "internal_error"),
+]
+
+
+def status_for(exc: BaseException) -> tuple[int, str]:
+    """Return ``(http_status, error_code)`` for ``exc``.
+
+    Anything outside the typed hierarchy maps to a generic 500 — the
+    handler must never leak a traceback into a response body.
+    """
+    for exc_type, status, code in _STATUS_TABLE:
+        if isinstance(exc, exc_type):
+            return status, code
+    return 500, "internal_error"
+
+
+def error_payload(exc: BaseException, **extra) -> dict:
+    """Structured error body: ``{"error": {"code", "type", "message"}, ...}``.
+
+    Keyword extras become top-level siblings of ``error`` (e.g. the
+    ``rollback`` provenance on a failed reload).
+    """
+    _, code = status_for(exc)
+    payload = {
+        "error": {
+            "code": code,
+            "type": type(exc).__name__,
+            "message": str(exc),
+        }
+    }
+    payload.update(extra)
+    return payload
+
+
+def encode_json(payload: dict) -> bytes:
+    """UTF-8 JSON encoding used for every response body."""
+    return json.dumps(payload).encode("utf-8")

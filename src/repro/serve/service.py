@@ -1,0 +1,331 @@
+"""The scoring engine: bounded queue, worker threads, deadlines, drain.
+
+Separated from the HTTP surface so every availability property is testable
+without sockets:
+
+* **Backpressure** — a fixed-capacity queue; a full queue rejects with
+  :class:`~repro.serve.protocol.OverloadedError` (HTTP 429) at submit
+  time.  Once a job is accepted it is *never* dropped: it either completes
+  or is answered with a typed error.
+* **Deadlines** — each job carries an absolute monotonic deadline.  The
+  submitting thread waits at most that long; a job whose deadline passes
+  while still queued is cancelled (the worker skips it) and the caller
+  gets :class:`~repro.serve.protocol.DeadlineExceededError` (HTTP 504)
+  instead of hanging.
+* **Crash isolation** — a worker wraps each job; an exception fails that
+  job only.  Even a ``BaseException`` escaping (thread death) fails the
+  in-hand job and the pool respawns the thread before the next submit.
+* **Drain** — ``drain()`` stops admissions, waits for the queue plus
+  in-flight work to finish, then stops the workers; SIGTERM handling in
+  :mod:`~repro.serve.http` builds on it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.serve.admission import ScoreRequest
+from repro.serve.config import ServeConfig
+from repro.serve.models import ModelManager
+from repro.serve.protocol import (
+    DeadlineExceededError,
+    DrainingError,
+    OverloadedError,
+)
+
+__all__ = ["Job", "ScoringService"]
+
+_PENDING, _RUNNING, _DONE, _FAILED, _CANCELLED = (
+    "pending",
+    "running",
+    "done",
+    "failed",
+    "cancelled",
+)
+
+
+class Job:
+    """One accepted scoring request moving through the queue.
+
+    State machine: ``pending -> running -> done|failed`` on the worker
+    side, ``pending -> cancelled`` on the submitter side (deadline).  The
+    transitions are lock-guarded so the worker and the waiting submitter
+    cannot both claim the job.
+    """
+
+    def __init__(self, request: ScoreRequest, deadline: float) -> None:
+        self.request = request
+        self.deadline = deadline  #: absolute, on the service clock
+        self.result = None
+        self.info: dict = {}
+        self.error: BaseException | None = None
+        self._state = _PENDING
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def try_start(self, now: float) -> bool:
+        """Worker-side claim; False if cancelled or already past deadline."""
+        with self._lock:
+            if self._state != _PENDING or now >= self.deadline:
+                return False
+            self._state = _RUNNING
+            return True
+
+    def cancel(self) -> bool:
+        """Submitter-side claim after a deadline; False if a worker won."""
+        with self._lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _CANCELLED
+        self._finished.set()
+        return True
+
+    def finish(self, result, info: dict) -> None:
+        with self._lock:
+            self._state = _DONE
+            self.result = result
+            self.info = info
+        self._finished.set()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._lock:
+            self._state = _FAILED
+            self.error = exc
+        self._finished.set()
+
+    def wait(self, timeout: float | None) -> bool:
+        return self._finished.wait(timeout)
+
+
+class ScoringService:
+    """N worker threads over a bounded queue, fronting a ModelManager."""
+
+    def __init__(
+        self,
+        manager: ModelManager,
+        config: ServeConfig | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.manager = manager
+        self.config = config or ServeConfig()
+        self._clock = clock
+        self._sleep = sleep
+        self._queue: queue.Queue[Job] = queue.Queue(maxsize=self.config.queue_capacity)
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._idle = threading.Condition(self._lock)
+        self.stats = {
+            "accepted": 0,
+            "completed": 0,
+            "failed": 0,
+            "degraded": 0,
+            "rejected_overload": 0,
+            "rejected_draining": 0,
+            "expired": 0,
+            "worker_restarts": 0,
+        }
+        self._workers: list[threading.Thread] = []
+        for i in range(self.config.workers):
+            self._workers.append(self._spawn(i))
+
+    # ------------------------------------------------------------------ #
+    def _spawn(self, index: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._worker_main, name=f"score-worker-{index}", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def ensure_workers(self) -> int:
+        """Respawn any dead worker thread; returns the number respawned.
+
+        Called on every submit and health probe, so a worker killed by a
+        stray ``BaseException`` is replaced before it costs throughput.
+        """
+        respawned = 0
+        with self._lock:
+            if self._stop.is_set():
+                return 0
+            for i, thread in enumerate(self._workers):
+                if not thread.is_alive():
+                    self._workers[i] = self._spawn(i)
+                    self.stats["worker_restarts"] += 1
+                    respawned += 1
+        return respawned
+
+    def workers_alive(self) -> int:
+        with self._lock:
+            return sum(1 for t in self._workers if t.is_alive())
+
+    # ------------------------------------------------------------------ #
+    def _replace_worker(self, dying: threading.Thread) -> None:
+        """Self-heal: a dying worker spawns its replacement before unwinding.
+
+        ``ensure_workers`` alone is racy — a thread mid-unwind still
+        reports ``is_alive()``, so a submit landing in that window would
+        see a full roster and strand its job.
+        """
+        with self._lock:
+            if self._stop.is_set():
+                return
+            for i, thread in enumerate(self._workers):
+                if thread is dying:
+                    self._workers[i] = self._spawn(i)
+                    self.stats["worker_restarts"] += 1
+                    break
+
+    def _worker_main(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            with self._lock:
+                self._in_flight += 1
+            try:
+                self._run_job(job)
+            except BaseException as exc:
+                # Thread-killing exceptions (injected SystemExit, MemoryError)
+                # must still answer the job; the thread dies after spawning
+                # its own replacement.
+                if job.state == _RUNNING:
+                    job.fail(exc)
+                self._replace_worker(threading.current_thread())
+                raise
+            finally:
+                with self._idle:
+                    self._in_flight -= 1
+                    if self._in_flight == 0 and self._queue.empty():
+                        self._idle.notify_all()
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        if not job.try_start(self._clock()):
+            if job.cancel():
+                # Sat in the queue past its deadline with no waiter left.
+                with self._lock:
+                    self.stats["expired"] += 1
+            return
+        try:
+            if job.request.debug_sleep_s:
+                self._sleep(job.request.debug_sleep_s)
+            labels, info = self.manager.predict(job.request.graph)
+        except Exception as exc:
+            with self._lock:
+                self.stats["failed"] += 1
+            job.fail(exc)
+            return
+        with self._lock:
+            self.stats["completed"] += 1
+            if info.get("degraded"):
+                self.stats["degraded"] += 1
+        job.finish(labels, info)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request: ScoreRequest) -> Job:
+        """Admit ``request`` to the queue or raise 429/503 typed errors."""
+        if self._draining.is_set() or self._stop.is_set():
+            with self._lock:
+                self.stats["rejected_draining"] += 1
+            raise DrainingError("server is draining; not accepting new work")
+        self.ensure_workers()
+        job = Job(request, deadline=self._clock() + request.deadline_s)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self.stats["rejected_overload"] += 1
+            raise OverloadedError(
+                f"work queue full ({self.config.queue_capacity} jobs)",
+                retry_after_s=self.config.retry_after_s,
+            ) from None
+        with self._lock:
+            self.stats["accepted"] += 1
+        return job
+
+    def score(self, request: ScoreRequest) -> tuple[object, dict]:
+        """Submit and wait: returns ``(labels, info)`` or raises typed errors.
+
+        The wait is bounded by the request deadline; on expiry the queued
+        job is cancelled and :class:`DeadlineExceededError` raised.  A job
+        a worker already started cannot be cancelled — its (too late)
+        result is discarded but the 504 is still returned on time.
+        """
+        job = self.submit(request)
+        remaining = job.deadline - self._clock()
+        if not job.wait(timeout=max(0.0, remaining)):
+            job.cancel()
+            with self._lock:
+                self.stats["expired"] += 1
+            raise DeadlineExceededError(
+                f"deadline of {request.deadline_s:.3f}s expired for "
+                f"design {request.design!r}"
+            )
+        if job.error is not None:
+            raise job.error
+        if job.state == _CANCELLED:  # worker-side expiry beat our wait
+            raise DeadlineExceededError(
+                f"deadline of {request.deadline_s:.3f}s expired for "
+                f"design {request.design!r}"
+            )
+        return job.result, job.info
+
+    # ------------------------------------------------------------------ #
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            stats = dict(self.stats)
+        stats["queue_depth"] = self.queue_depth()
+        stats["in_flight"] = self.in_flight()
+        stats["workers_alive"] = self.workers_alive()
+        stats["draining"] = self._draining.is_set()
+        return stats
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admissions, finish queued + in-flight work, stop workers.
+
+        Returns True if everything completed within ``timeout``.  Already
+        idempotent: repeated calls just re-wait.
+        """
+        self._draining.set()
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            # A worker lost to a thread-killing exception mid-drain would
+            # strand the queue; respawn outside the condition's lock.
+            self.ensure_workers()
+            with self._idle:
+                if self._in_flight == 0 and self._queue.empty():
+                    break
+                remaining = None if deadline is None else deadline - self._clock()
+                if remaining is not None and remaining <= 0:
+                    return False
+                wait = 0.1 if remaining is None else min(0.1, remaining)
+                self._idle.wait(timeout=wait)
+        self.stop()
+        return True
+
+    def stop(self) -> None:
+        """Hard-stop the workers (drain() calls this once idle)."""
+        self._stop.set()
+        for thread in self._workers:
+            thread.join(timeout=2.0)

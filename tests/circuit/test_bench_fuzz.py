@@ -1,0 +1,155 @@
+"""Property/fuzz tests: malformed netlist input raises typed errors only.
+
+The admission gate of the serving layer rests on one contract: whatever
+bytes arrive, ``parse_bench``/``validate_netlist`` either succeed or raise
+inside the :class:`~repro.resilience.errors.ReproError` hierarchy — never
+a bare ``KeyError``/``RecursionError``/``AttributeError`` from the guts of
+the parser.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import generate_design, load_bench, validate_netlist
+from repro.circuit.bench import BenchParseError, parse_bench, write_bench
+from repro.circuit.validate import NetlistValidationError
+from repro.resilience.errors import NetlistFormatError, ReproError
+
+
+def valid_bench(seed: int = 11, gates: int = 60) -> str:
+    buf = io.StringIO()
+    write_bench(generate_design(gates, seed=seed), buf)
+    return buf.getvalue()
+
+
+def parse_or_typed_error(text: str):
+    """Parse + validate; any failure must be a typed ReproError."""
+    try:
+        netlist = parse_bench(text)
+        validate_netlist(netlist, strict=True)
+        return netlist
+    except ReproError:
+        return None
+    except RecursionError:
+        # Deeply-chained inputs can exhaust the recursive builder; that is
+        # a resource limit, not a parser crash, and admission treats it as
+        # oversized input.  Anything else is a genuine bug.
+        return None
+
+
+class TestArbitraryInput:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=400))
+    def test_arbitrary_text_never_crashes(self, text):
+        parse_or_typed_error(text)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=300))
+    def test_arbitrary_bytes_never_crash(self, raw):
+        parse_or_typed_error(raw.decode("utf-8", errors="replace"))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "INPUT(a)",
+                    "INPUT(b)",
+                    "OUTPUT(z)",
+                    "OUTPUT(a)",
+                    "z = AND(a, b)",
+                    "z = AND(a, a)",
+                    "y = NOT(z)",
+                    "w = DFF(w)",
+                    "v = XOR(undefined, a)",
+                    "z = OR(a, b)",
+                    "# comment",
+                    "",
+                    "garbage line (((",
+                ]
+            ),
+            max_size=12,
+        )
+    )
+    def test_shuffled_statements_never_crash(self, lines):
+        parse_or_typed_error("\n".join(lines))
+
+
+class TestTruncation:
+    @settings(max_examples=40, deadline=None)
+    @given(fraction=st.floats(0.0, 1.0), seed=st.integers(0, 50))
+    def test_truncated_valid_file_parses_or_raises_typed(self, fraction, seed):
+        text = valid_bench(seed=seed)
+        parse_or_typed_error(text[: int(len(text) * fraction)])
+
+    def test_truncated_file_on_disk(self, tmp_path):
+        text = valid_bench()
+        path = tmp_path / "t.bench"
+        path.write_text(text[: len(text) // 2])
+        try:
+            netlist = load_bench(path)
+            validate_netlist(netlist, strict=True)
+        except ReproError:
+            pass
+
+
+class TestKnownMalformations:
+    def test_dangling_net_raises_parse_error(self):
+        with pytest.raises(BenchParseError, match="never defined"):
+            parse_bench("INPUT(a)\nz = AND(a, ghost)\nOUTPUT(z)\n")
+
+    def test_undriven_output_raises_parse_error(self):
+        with pytest.raises(BenchParseError, match="never driven"):
+            parse_bench("INPUT(a)\nOUTPUT(ghost)\n")
+
+    def test_duplicate_gate_name_raises(self):
+        text = "INPUT(a)\nz = AND(a, a)\nz = OR(a, a)\nOUTPUT(z)\n"
+        with pytest.raises(BenchParseError, match="redefined"):
+            parse_bench(text)
+
+    def test_duplicate_input_raises(self):
+        with pytest.raises(BenchParseError, match="declared twice"):
+            parse_bench("INPUT(a)\nINPUT(a)\n")
+
+    def test_combinational_cycle_raises(self):
+        text = "INPUT(c)\na = AND(b, c)\nb = AND(a, c)\nOUTPUT(a)\n"
+        with pytest.raises(BenchParseError, match="loop"):
+            parse_bench(text)
+
+    def test_self_loop_raises(self):
+        with pytest.raises(BenchParseError, match="loop"):
+            parse_bench("INPUT(c)\na = AND(a, c)\nOUTPUT(a)\n")
+
+    def test_unknown_gate_raises_with_line_number(self):
+        with pytest.raises(BenchParseError, match="line 2"):
+            parse_bench("INPUT(a)\nz = FROB(a)\n")
+
+    def test_all_typed_errors_are_netlist_format_errors(self):
+        for text in [
+            "z = FROB(a)\n",
+            "((((",
+            "INPUT(a)\nz = AND(a, ghost)\n",
+        ]:
+            with pytest.raises(NetlistFormatError):
+                parse_bench(text)
+
+
+class TestValidation:
+    def test_no_observation_sites_raises_validation_error(self):
+        netlist = parse_bench("INPUT(a)\nb = NOT(a)\n")
+        with pytest.raises(NetlistValidationError):
+            validate_netlist(netlist, strict=True)
+        assert not validate_netlist(netlist).ok
+
+    def test_validation_error_is_repro_error(self):
+        assert issubclass(NetlistValidationError, ReproError)
+        assert issubclass(NetlistValidationError, ValueError)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000), gates=st.integers(10, 120))
+    def test_generated_designs_always_validate(self, seed, gates):
+        report = validate_netlist(generate_design(gates, seed=seed), strict=True)
+        assert report.ok

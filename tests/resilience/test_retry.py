@@ -112,3 +112,87 @@ class TestCircuitBreaker:
         with pytest.raises(RuntimeError):
             breaker.call(self._failing)
         assert breaker.state == "closed"
+
+
+class TestCircuitBreakerThreadSafety:
+    """The breaker is shared across server worker threads (PR 2)."""
+
+    def test_concurrent_failures_never_lose_updates(self):
+        import threading
+
+        breaker = CircuitBreaker(failure_threshold=10_000, reset_timeout=10)
+        n_threads, per_thread = 8, 250
+
+        def hammer():
+            for _ in range(per_thread):
+                breaker.record_failure()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert breaker.failures == n_threads * per_thread
+        assert breaker.state == "closed"  # threshold not reached
+
+    def test_concurrent_calls_eventually_open_and_fail_fast(self):
+        import threading
+
+        breaker = CircuitBreaker(failure_threshold=5, reset_timeout=1000)
+        outcomes = []
+        lock = threading.Lock()
+
+        def caller():
+            for _ in range(20):
+                try:
+                    breaker.call(self._raise)
+                except CircuitOpenError:
+                    with lock:
+                        outcomes.append("open")
+                except RuntimeError:
+                    with lock:
+                        outcomes.append("failed")
+
+        threads = [threading.Thread(target=caller) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every call was answered one way or the other, and once open the
+        # dependency stopped being hammered.
+        assert len(outcomes) == 6 * 20
+        assert breaker.state == "open"
+        assert outcomes.count("open") > 0
+
+    @staticmethod
+    def _raise():
+        raise RuntimeError("dependency down")
+
+    def test_state_transitions_race_free_with_mixed_traffic(self):
+        import threading
+
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout=5, clock=lambda: clock[0]
+        )
+        barrier = threading.Barrier(4)
+
+        def mixed(succeed: bool):
+            barrier.wait()
+            for _ in range(100):
+                try:
+                    breaker.call((lambda: "ok") if succeed else self._raise)
+                except (RuntimeError, CircuitOpenError):
+                    pass
+
+        threads = [
+            threading.Thread(target=mixed, args=(i % 2 == 0,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # No invariant violations: state is one of the three legal values
+        # and the failure counter is non-negative.
+        assert breaker.state in {"closed", "open", "half-open"}
+        assert breaker.failures >= 0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the serving-layer suite."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.circuit import generate_design
+from repro.circuit.bench import write_bench
+from repro.core.model import GCN, GCNConfig
+from repro.core.serialize import save_gcn
+
+TINY_GCN = GCNConfig(hidden_dims=(8,), fc_dims=(8,))
+
+
+@pytest.fixture
+def bench_text() -> str:
+    buf = io.StringIO()
+    write_bench(generate_design(120, seed=7), buf)
+    return buf.getvalue()
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    """A valid (untrained) single-GCN model on disk."""
+    return save_gcn(GCN(TINY_GCN), tmp_path / "model.npz")
+
+
+@pytest.fixture
+def corrupt_file(tmp_path):
+    path = tmp_path / "corrupt.npz"
+    path.write_bytes(b"definitely not a zip archive")
+    return path

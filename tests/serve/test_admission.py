@@ -1,0 +1,117 @@
+"""Admission control: malformed input raises typed 4xx-mapped errors."""
+
+import json
+
+import pytest
+
+from repro.circuit.bench import BenchParseError
+from repro.circuit.validate import NetlistValidationError
+from repro.serve import ServeConfig, admit
+from repro.serve.protocol import (
+    MalformedRequestError,
+    PayloadTooLargeError,
+    status_for,
+)
+
+CFG = ServeConfig()
+
+
+def body(**kwargs) -> bytes:
+    return json.dumps(kwargs).encode()
+
+
+class TestSchemaGate:
+    def test_valid_request(self, bench_text):
+        req = admit(body(netlist=bench_text, design="d", deadline_ms=500), CFG)
+        assert req.design == "d"
+        assert req.deadline_s == pytest.approx(0.5)
+        assert req.graph.num_nodes > 100
+
+    def test_not_json(self):
+        with pytest.raises(MalformedRequestError):
+            admit(b"\xff\xfe not json", CFG)
+
+    def test_not_an_object(self):
+        with pytest.raises(MalformedRequestError):
+            admit(b"[1, 2]", CFG)
+
+    def test_missing_netlist(self):
+        with pytest.raises(MalformedRequestError):
+            admit(body(design="x"), CFG)
+
+    def test_unknown_keys_rejected(self, bench_text):
+        with pytest.raises(MalformedRequestError, match="unknown keys"):
+            admit(body(netlist=bench_text, hack="yes"), CFG)
+
+    def test_bad_deadline(self, bench_text):
+        with pytest.raises(MalformedRequestError):
+            admit(body(netlist=bench_text, deadline_ms=0), CFG)
+        with pytest.raises(MalformedRequestError):
+            admit(body(netlist=bench_text, deadline_ms="fast"), CFG)
+
+    def test_deadline_capped(self, bench_text):
+        req = admit(body(netlist=bench_text, deadline_ms=10**9), CFG)
+        assert req.deadline_s == CFG.max_deadline_ms / 1000.0
+
+    def test_debug_sleep_requires_debug_mode(self, bench_text):
+        with pytest.raises(MalformedRequestError, match="--debug"):
+            admit(body(netlist=bench_text, debug_sleep_ms=50), CFG)
+        cfg = ServeConfig(debug=True)
+        req = admit(body(netlist=bench_text, debug_sleep_ms=50), cfg)
+        assert req.debug_sleep_s == pytest.approx(0.05)
+
+
+class TestSizeGates:
+    def test_body_too_large(self):
+        cfg = ServeConfig(max_body_bytes=64)
+        with pytest.raises(PayloadTooLargeError):
+            admit(b"x" * 65, cfg)
+
+    def test_too_many_nodes(self, bench_text):
+        cfg = ServeConfig(max_nodes=10)
+        with pytest.raises(PayloadTooLargeError, match="nodes"):
+            admit(body(netlist=bench_text), cfg)
+
+
+class TestNetlistGate:
+    def test_parse_error_propagates(self):
+        with pytest.raises(BenchParseError):
+            admit(body(netlist="INPUT(a)\nb = FROB(a)\n"), CFG)
+
+    def test_structural_error_propagates(self):
+        # Parses fine but has no observation site -> 422-mapped error.
+        with pytest.raises(NetlistValidationError):
+            admit(body(netlist="INPUT(a)\nb = NOT(a)\n"), CFG)
+
+    def test_warnings_surface(self):
+        text = "INPUT(a)\nINPUT(b)\nc = AND(a, b)\nd = NOT(a)\nOUTPUT(c)\n"
+        req = admit(body(netlist=text), CFG)
+        assert any("dangling" in w for w in req.warnings)
+
+
+class TestStatusMapping:
+    @pytest.mark.parametrize(
+        "raiser, status, code",
+        [
+            (lambda: admit(b"{", CFG), 400, "bad_request"),
+            (
+                lambda: admit(body(netlist="a = FROB(b)\n"), CFG),
+                400,
+                "netlist_parse_error",
+            ),
+            (
+                lambda: admit(body(netlist="INPUT(a)\nb = NOT(a)\n"), CFG),
+                422,
+                "netlist_invalid",
+            ),
+            (
+                lambda: admit(b"y" * 10, ServeConfig(max_body_bytes=5)),
+                413,
+                "payload_too_large",
+            ),
+        ],
+    )
+    def test_admission_errors_map_to_4xx(self, raiser, status, code):
+        with pytest.raises(Exception) as info:
+            raiser()
+        assert status_for(info.value) == (status, code)

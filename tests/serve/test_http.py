@@ -1,0 +1,233 @@
+"""End-to-end HTTP tests over a real loopback socket."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ModelManager, NetlistScoreServer, ServeConfig
+
+
+@pytest.fixture
+def server():
+    created = []
+
+    def make(**kwargs) -> NetlistScoreServer:
+        config = kwargs.pop(
+            "config",
+            ServeConfig(port=0, workers=1, queue_capacity=2, debug=True),
+        )
+        srv = NetlistScoreServer(config=config, **kwargs)
+        srv.start()
+        created.append(srv)
+        return srv
+
+    yield make
+    for srv in created:
+        srv.close()
+
+
+def call(srv, path, payload=None, method=None):
+    host, port = srv.address
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=data,
+        method=method or ("POST" if data is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+class TestScore:
+    def test_score_ok(self, server, bench_text):
+        srv = server()
+        status, _, body = call(srv, "/score", {"netlist": bench_text, "design": "d1"})
+        assert status == 200
+        assert body["design"] == "d1"
+        assert body["num_nodes"] == len(body["predictions"])
+        assert body["positive_count"] == sum(body["predictions"])
+        assert body["predictor_level"] == "heuristic"
+        assert body["degraded"] is True  # no model configured
+
+    def test_score_with_model_not_degraded(self, server, bench_text, model_file):
+        srv = server(model_path=model_file)
+        status, _, body = call(srv, "/score", {"netlist": bench_text})
+        assert status == 200
+        assert body["degraded"] is False
+        assert body["predictor_level"] == "gcn"
+
+    def test_predictions_elided_on_request(self, server, bench_text):
+        srv = server()
+        status, _, body = call(
+            srv, "/score", {"netlist": bench_text, "return_predictions": False}
+        )
+        assert status == 200
+        assert "predictions" not in body
+
+    @pytest.mark.parametrize(
+        "payload, status, code",
+        [
+            ({"netlist": "INPUT(a)\nb = FROB(a)\n"}, 400, "netlist_parse_error"),
+            ({"netlist": "INPUT(a)\nb = NOT(a)\n"}, 422, "netlist_invalid"),
+            ({"design": "no netlist"}, 400, "bad_request"),
+        ],
+    )
+    def test_bad_input_maps_to_4xx(self, server, payload, status, code):
+        srv = server()
+        got_status, _, body = call(srv, "/score", payload)
+        assert got_status == status
+        assert body["error"]["code"] == code
+        assert body["error"]["type"]  # typed, never a traceback
+
+    def test_empty_body_is_400(self, server):
+        srv = server()
+        host, port = srv.address
+        req = urllib.request.Request(f"http://{host}:{port}/score", data=b"", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(req, timeout=10)
+        assert info.value.code == 400
+
+    def test_unknown_route_404(self, server):
+        srv = server()
+        status, _, _ = call(srv, "/nope")
+        assert status == 404
+
+
+class TestBackpressureAndDeadline:
+    def test_overload_gets_429_with_retry_after(self, server, bench_text):
+        srv = server(
+            config=ServeConfig(port=0, workers=1, queue_capacity=1, debug=True)
+        )
+        slow = {"netlist": bench_text, "debug_sleep_ms": 800}
+        results = []
+
+        def fire(payload):
+            results.append(call(srv, "/score", payload))
+
+        threads = [
+            threading.Thread(target=fire, args=({**slow},)) for _ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        statuses = sorted(s for s, _, _ in results)
+        assert 429 in statuses, statuses
+        assert set(statuses) <= {200, 429}
+        overloaded = next(r for r in results if r[0] == 429)
+        assert overloaded[1].get("Retry-After") == "1"
+        assert overloaded[2]["error"]["code"] == "overloaded"
+
+    def test_deadline_gets_504(self, server, bench_text):
+        srv = server()
+        status, _, body = call(
+            srv,
+            "/score",
+            {"netlist": bench_text, "debug_sleep_ms": 2000, "deadline_ms": 100},
+        )
+        assert status == 504
+        assert body["error"]["code"] == "deadline_exceeded"
+
+
+class TestReload:
+    def test_reload_then_rollback_identical_predictions(
+        self, server, bench_text, model_file, corrupt_file
+    ):
+        srv = server()
+        status, _, body = call(srv, "/reload", {"path": str(model_file)})
+        assert status == 200
+        assert body["model"]["level"] == "gcn"
+
+        _, _, before = call(srv, "/score", {"netlist": bench_text})
+        status, _, body = call(srv, "/reload", {"path": str(corrupt_file)})
+        assert status == 422
+        assert body["error"]["code"] == "checkpoint_corrupt"
+        assert body["rollback"]["level"] == "gcn"
+        assert body["rollback"]["last_good"] == str(model_file)
+
+        _, _, after = call(srv, "/score", {"netlist": bench_text})
+        assert before["predictions"] == after["predictions"]
+        assert after["degraded"] is False
+
+    def test_reload_missing_is_404(self, server, tmp_path):
+        srv = server()
+        status, _, body = call(srv, "/reload", {"path": str(tmp_path / "ghost.npz")})
+        assert status == 404
+        assert body["error"]["code"] == "model_not_found"
+
+    def test_reload_bad_body_is_400(self, server):
+        srv = server()
+        status, _, body = call(srv, "/reload", {"nope": 1})
+        assert status == 400
+
+
+class TestLifecycle:
+    def test_healthz_and_readyz(self, server, bench_text):
+        srv = server()
+        status, _, body = call(srv, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["model"]["level"] == "heuristic"
+        assert body["service"]["workers_alive"] == 1
+        status, _, body = call(srv, "/readyz")
+        assert status == 200 and body["ready"] is True
+
+    def test_drain_completes_inflight_then_rejects(self, server, bench_text):
+        srv = server()
+        inflight = {}
+
+        def slow_score():
+            inflight["result"] = call(
+                srv, "/score", {"netlist": bench_text, "debug_sleep_ms": 500}
+            )
+
+        t = threading.Thread(target=slow_score)
+        t.start()
+        # Wait until the slow request is actually being worked on.
+        deadline = 50
+        while srv.service.in_flight() == 0 and deadline:
+            deadline -= 1
+            threading.Event().wait(0.02)
+
+        done = {}
+        drainer = threading.Thread(
+            target=lambda: done.setdefault("clean", srv.drain_and_stop(timeout=10))
+        )
+        drainer.start()
+        t.join(timeout=15)
+        drainer.join(timeout=15)
+        assert done["clean"] is True
+        # The in-flight request completed with a real answer.
+        status, _, body = inflight["result"]
+        assert status == 200
+        assert body["num_nodes"] > 0
+
+    def test_readyz_not_ready_while_draining(self, server, bench_text):
+        srv = server()
+        # Park a long job so drain() stays in its wait loop.
+        t = threading.Thread(
+            target=lambda: call(
+                srv, "/score", {"netlist": bench_text, "debug_sleep_ms": 1500}
+            )
+        )
+        t.start()
+        while srv.service.in_flight() == 0:
+            threading.Event().wait(0.02)
+        drainer = threading.Thread(target=lambda: srv.drain_and_stop(timeout=10))
+        drainer.start()
+        while not srv.service.draining:
+            threading.Event().wait(0.02)
+        status, _, body = call(srv, "/readyz")
+        assert status == 503
+        assert body["reason"] == "draining"
+        status, _, body = call(srv, "/score", {"netlist": bench_text})
+        assert status == 503
+        assert body["error"]["code"] == "draining"
+        t.join(timeout=15)
+        drainer.join(timeout=15)

@@ -49,11 +49,11 @@ class TestCommands:
 
 
 class TestErrorHandling:
-    """Bad inputs exit with code 2 and one line on stderr — no traceback."""
+    """Bad inputs exit with code 3 and one line on stderr — no traceback."""
 
     def test_missing_bench_file(self, tmp_path, capsys):
         code = main(["analyze", str(tmp_path / "ghost.bench")])
-        assert code == 2
+        assert code == 3
         err = capsys.readouterr().err
         assert err.startswith("error: ")
         assert len(err.strip().splitlines()) == 1
@@ -62,14 +62,14 @@ class TestErrorHandling:
         path = tmp_path / "broken.bench"
         path.write_text("INPUT(G1)\nG2 = FROB(G1)\n")
         code = main(["atpg", str(path)])
-        assert code == 2
+        assert code == 3
         err = capsys.readouterr().err
         assert err.startswith("error: BenchParseError:")
         assert len(err.strip().splitlines()) == 1
 
     def test_directory_instead_of_file(self, tmp_path, capsys):
         code = main(["analyze", str(tmp_path)])
-        assert code == 2
+        assert code == 3
         assert capsys.readouterr().err.startswith("error: ")
 
     def test_checkpoint_dir_flag_parsed(self, tmp_path):
@@ -115,3 +115,63 @@ class TestErrorHandling:
             cache=False,
         )
         assert list((tmp_path / "ckpts").rglob("ckpt_*.npz"))
+
+
+class TestExitCodeMapping:
+    """Distinct exit statuses per error class: config=2, input=3, runtime=4."""
+
+    def test_mapping_by_error_class(self):
+        from repro.circuit.bench import BenchParseError
+        from repro.circuit.validate import NetlistValidationError
+        from repro.cli import EXIT_CONFIG, EXIT_INPUT, EXIT_RUNTIME, exit_code_for
+        from repro.resilience.errors import (
+            CheckpointCorruptError,
+            ConfigError,
+            ConvergenceError,
+            NumericalError,
+            WorkerFailedError,
+        )
+
+        assert exit_code_for(ConfigError("bad limits")) == EXIT_CONFIG
+        for exc in (
+            BenchParseError("line 1: nope"),
+            NetlistValidationError("no observation sites"),
+            CheckpointCorruptError("truncated"),
+            FileNotFoundError("ghost.bench"),
+            IsADirectoryError("a dir"),
+            PermissionError("locked"),
+        ):
+            assert exit_code_for(exc) == EXIT_INPUT, exc
+        for exc in (
+            WorkerFailedError("worker died"),
+            ConvergenceError("stalled"),
+            NumericalError("NaN loss"),
+        ):
+            assert exit_code_for(exc) == EXIT_RUNTIME, exc
+
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        # argparse re-wraps the epilog, so compare whitespace-normalised.
+        out = " ".join(capsys.readouterr().out.split())
+        assert "exit status" in out
+        assert "2 for configuration" in out
+        assert "3 for bad inputs" in out
+        assert "4 for runtime" in out
+
+    def test_serve_bad_config_exits_2(self, capsys):
+        code = main(["serve", "--workers", "0", "--port", "0"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: ConfigError:")
+
+
+class TestServeParser:
+    def test_serve_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "m.npz", "--port", "0", "--workers", "3"]
+        )
+        assert args.model == "m.npz"
+        assert args.port == 0
+        assert args.workers == 3
+        assert args.queue_capacity == 16
+        assert args.debug is False
