@@ -22,6 +22,7 @@ import io
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -176,6 +177,15 @@ def main() -> None:
         )
 
         # --- SIGTERM drain under load --------------------------------- #
+        # An idle HTTP/1.1 keep-alive connection (urllib always sends
+        # Connection: close, so `request` can't produce one): its handler
+        # thread blocks reading a next request that never comes, and the
+        # drain join must not wait on it forever.
+        host, _, port = base.partition("//")[2].rpartition(":")
+        idle = socket.create_connection((host, int(port)), timeout=30)
+        idle.sendall(b"GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\n")
+        idle.recv(65536)  # consume the response; stay connected, go idle
+
         inflight: dict = {}
 
         def slow_score():
@@ -194,7 +204,8 @@ def main() -> None:
             f"in-flight request completed with 200 (got {inflight['result'][0]})",
         )
         code = proc.wait(timeout=60)
-        check(code == 0, f"SIGTERM drain exits 0 (got {code})")
+        check(code == 0, f"SIGTERM drain exits 0 despite idle keep-alive client (got {code})")
+        idle.close()
     finally:
         if proc.poll() is None:
             proc.kill()

@@ -102,8 +102,11 @@ class CircuitBreaker:
     Closed: calls pass through, failures are counted.  After
     ``failure_threshold`` consecutive failures the breaker opens and calls
     fail fast with :class:`CircuitOpenError` until ``reset_timeout``
-    seconds elapse, after which one probe call is let through (half-open);
-    its success closes the breaker, its failure re-opens it.
+    seconds elapse, after which exactly one probe call is let through
+    (half-open); its success closes the breaker, its failure re-opens it.
+    Callers arriving while the probe is still in flight fail fast rather
+    than joining it — a burst must not hammer a dependency that has not
+    yet proven itself recovered.
 
     Thread-safe: the failure counter and open-timestamp transitions are
     guarded by a lock, so one breaker may front a dependency shared by many
@@ -125,6 +128,7 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         self._failures = 0
         self._opened_at: float | None = None
+        self._probing = False  #: a half-open probe call is in flight
 
     def _state_locked(self) -> str:
         if self._opened_at is None:
@@ -147,14 +151,27 @@ class CircuitBreaker:
     def call(self, fn: Callable, *args, **kwargs):
         """Invoke ``fn`` through the breaker."""
         with self._lock:
-            if self._state_locked() == "open":
+            state = self._state_locked()
+            if state == "open":
                 raise CircuitOpenError(
                     f"circuit open after {self._failures} consecutive failures"
                 )
+            if state == "half-open":
+                if self._probing:
+                    raise CircuitOpenError(
+                        "circuit half-open; a probe call is already in flight"
+                    )
+                self._probing = True
         try:
             result = fn(*args, **kwargs)
         except Exception:
             self.record_failure()
+            raise
+        except BaseException:
+            # A thread-killing exception is no verdict on the dependency:
+            # release the probe slot without moving the breaker.
+            with self._lock:
+                self._probing = False
             raise
         self.record_success()
         return result
@@ -163,9 +180,11 @@ class CircuitBreaker:
         with self._lock:
             self._failures = 0
             self._opened_at = None
+            self._probing = False
 
     def record_failure(self) -> None:
         with self._lock:
             self._failures += 1
+            self._probing = False
             if self._failures >= self.failure_threshold:
                 self._opened_at = self._clock()

@@ -7,8 +7,12 @@ validate_netlist` in strict mode), and graph construction.  Each failure
 raises a typed error that :mod:`~repro.serve.protocol` maps to a 4xx —
 malformed input must never cost a worker thread or crash the daemon.
 
-Admission runs in the HTTP handler thread (cheap, linear-time parsing and
-SCOAP attribute construction); only model inference is queued.
+Admission runs in the HTTP handler thread (linear-time parsing and SCOAP
+attribute construction), but handler threads are spawned per connection
+without bound — so the HTTP layer holds a slot of the server's
+``admission_gate`` semaphore (capacity ``ServeConfig.admission_capacity``)
+for the duration of :func:`admit`, answering 429 when saturated.  Only
+model inference is queued.
 """
 
 from __future__ import annotations

@@ -30,10 +30,23 @@ class ServeConfig:
     max_body_bytes: int = 32 * 1024 * 1024  #: request body limit → 413
     max_nodes: int = 2_000_000  #: netlist size limit (paper scale) → 413
     retry_after_s: int = 1  #: advertised in 429 ``Retry-After`` headers
+    admission_slots: int = 0  #: concurrent admissions; 0 → ``workers * 2 + 2``
+    keepalive_timeout_s: float = 5.0  #: idle persistent-connection read timeout
     breaker_threshold: int = 3  #: consecutive model failures before opening
     breaker_reset_s: float = 30.0  #: open-state cooldown before a probe call
     drain_timeout_s: float = 30.0  #: max wait for in-flight work on SIGTERM
     debug: bool = False  #: honour ``debug_sleep_ms`` in requests (smoke tests)
+
+    @property
+    def admission_capacity(self) -> int:
+        """Concurrent requests allowed in admission (parse + validate).
+
+        Admission runs in per-connection handler threads, which the stdlib
+        server spawns without bound — this gate keeps N greedy clients from
+        driving unbounded CPU/memory in parsing before the bounded queue
+        ever sees their work.  Sized near the worker count by default.
+        """
+        return self.admission_slots or (self.workers * 2 + 2)
 
     def __post_init__(self) -> None:
         problems = []
@@ -53,6 +66,10 @@ class ServeConfig:
             problems.append("port must be in [0, 65535]")
         if self.retry_after_s < 0:
             problems.append("retry_after_s must be >= 0")
+        if self.admission_slots < 0:
+            problems.append("admission_slots must be >= 0 (0 = auto)")
+        if self.keepalive_timeout_s <= 0:
+            problems.append("keepalive_timeout_s must be > 0")
         if self.breaker_threshold < 1:
             problems.append("breaker_threshold must be >= 1")
         if self.drain_timeout_s < 0:

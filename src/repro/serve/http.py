@@ -50,6 +50,14 @@ class _Handler(BaseHTTPRequestHandler):
     def app(self) -> "NetlistScoreServer":
         return self.server.app  # type: ignore[attr-defined]
 
+    def setup(self) -> None:
+        # A socket timeout on every connection: an idle keep-alive client
+        # wakes the blocked rfile.readline() (handle_one_request treats the
+        # timeout as close_connection), so drain never waits on a reader
+        # that has nothing to say.
+        self.timeout = self.app.config.keepalive_timeout_s
+        super().setup()
+
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if self.app.config.debug:
             super().log_message(format, *args)
@@ -62,6 +70,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         for key, value in (headers or {}).items():
             self.send_header(key, value)
+        # Shed persistent connections when draining (so server_close() never
+        # joins a handler parked on an idle keep-alive socket) and advertise
+        # any close already decided (e.g. a refused, unread body).
+        if self.close_connection or self.app.service.draining:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -75,7 +88,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
         if length > self.app.config.max_body_bytes:
-            # Refuse before reading an oversized body off the socket.
+            # Refuse before reading an oversized body off the socket.  The
+            # unread bytes would be parsed as the next request on a
+            # keep-alive connection, so the connection must die with them.
+            self.close_connection = True
             raise PayloadTooLargeError(
                 f"request body is {length} bytes; "
                 f"limit is {self.app.config.max_body_bytes}"
@@ -113,7 +129,20 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.app.service
         if service.draining:
             raise DrainingError("server is draining; not accepting new work")
-        request = admit(self._read_body(), self.app.config)
+        # Admission (JSON decode, .bench parse, validation, graph build) is
+        # real CPU work running on an unbounded per-connection thread — the
+        # gate bounds it the same way the queue bounds inference.
+        if not self.app.admission_gate.acquire(blocking=False):
+            service.note_admission_reject()
+            raise OverloadedError(
+                f"admission gate saturated "
+                f"({self.app.config.admission_capacity} concurrent requests)",
+                retry_after_s=self.app.config.retry_after_s,
+            )
+        try:
+            request = admit(self._read_body(), self.app.config)
+        finally:
+            self.app.admission_gate.release()
         start = time.monotonic()
         labels, info = service.score(request)
         latency_ms = (time.monotonic() - start) * 1000.0
@@ -178,10 +207,14 @@ class NetlistScoreServer:
             breaker_reset_s=self.config.breaker_reset_s,
         )
         self.service = ScoringService(self.manager, self.config)
+        self.admission_gate = threading.BoundedSemaphore(
+            self.config.admission_capacity
+        )
         self._httpd = _Server((self.config.host, self.config.port), _Handler)
         self._httpd.app = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         self._drained = threading.Event()
+        self._drain_clean = False
 
     @property
     def address(self) -> tuple[str, int]:
@@ -229,8 +262,21 @@ class NetlistScoreServer:
         self._httpd.server_close()  # join handler threads, flush responses
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        self._drain_clean = clean  # published before the event: see wait_drained
         self._drained.set()
         return clean
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until :meth:`drain_and_stop` finished; True iff it was clean.
+
+        ``serve_forever()`` returns as soon as the drain thread calls
+        ``shutdown()`` — *before* handler threads are joined and the drain
+        outcome is known — so the exit code must come from here, not from
+        whatever the drain thread has written so far.
+        """
+        if not self._drained.wait(timeout):
+            return False
+        return self._drain_clean
 
     def close(self) -> None:
         """Immediate teardown (tests); in-flight work is abandoned."""
@@ -253,13 +299,11 @@ def serve(
     accepted request, flush responses, exit 0.
     """
     server = NetlistScoreServer(config=config, model_path=model_path)
-    outcome = {"clean": True}
-
-    def _drain() -> None:
-        outcome["clean"] = server.drain_and_stop()
 
     def _on_signal(signum, frame):
-        threading.Thread(target=_drain, name="serve-drain", daemon=True).start()
+        threading.Thread(
+            target=server.drain_and_stop, name="serve-drain", daemon=True
+        ).start()
 
     if install_signals:
         signal.signal(signal.SIGTERM, _on_signal)
@@ -273,5 +317,9 @@ def serve(
         f"queue={server.config.queue_capacity})",
         flush=True,
     )
-    server.serve_forever()  # returns once drain_and_stop() ran
-    return 0 if outcome["clean"] else 1
+    server.serve_forever()  # returns once the drain thread calls shutdown()
+    # Handler threads are still being joined at this point; wait for the
+    # drain to actually finish before deciding the exit status.  The join
+    # is bounded by the keep-alive timeout, so cap the wait accordingly.
+    clean = server.wait_drained(timeout=server.config.keepalive_timeout_s + 30.0)
+    return 0 if clean else 1

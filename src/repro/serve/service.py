@@ -130,6 +130,7 @@ class ScoringService:
             "failed": 0,
             "degraded": 0,
             "rejected_overload": 0,
+            "rejected_admission": 0,
             "rejected_draining": 0,
             "expired": 0,
             "worker_restarts": 0,
@@ -230,6 +231,11 @@ class ScoringService:
             if info.get("degraded"):
                 self.stats["degraded"] += 1
         job.finish(labels, info)
+
+    def note_admission_reject(self) -> None:
+        """Count a request turned away at the HTTP admission gate."""
+        with self._lock:
+            self.stats["rejected_admission"] += 1
 
     # ------------------------------------------------------------------ #
     def submit(self, request: ScoreRequest) -> Job:

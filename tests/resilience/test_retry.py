@@ -104,6 +104,53 @@ class TestCircuitBreaker:
             breaker.call(self._failing)
         assert breaker.state == "open"
 
+    def test_half_open_admits_exactly_one_probe(self):
+        import threading
+
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5, clock=lambda: clock[0])
+        with pytest.raises(RuntimeError):
+            breaker.call(self._failing)
+        clock[0] = 6.0
+        assert breaker.state == "half-open"
+
+        probe_running = threading.Event()
+        release_probe = threading.Event()
+        probe_result = {}
+
+        def slow_ok():
+            probe_running.set()
+            release_probe.wait(timeout=10)
+            return "ok"
+
+        probe = threading.Thread(
+            target=lambda: probe_result.setdefault("value", breaker.call(slow_ok))
+        )
+        probe.start()
+        assert probe_running.wait(timeout=10)
+        # While the probe is in flight every other caller fails fast
+        # instead of also hitting the (possibly still broken) dependency.
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "burst")
+        release_probe.set()
+        probe.join(timeout=10)
+        assert probe_result["value"] == "ok"
+        assert breaker.state == "closed"
+        breaker.call(lambda: "now admitted")
+
+    def test_half_open_probe_slot_released_on_failure(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5, clock=lambda: clock[0])
+        with pytest.raises(RuntimeError):
+            breaker.call(self._failing)
+        clock[0] = 6.0
+        with pytest.raises(RuntimeError):
+            breaker.call(self._failing)  # failed probe re-opens
+        assert breaker.state == "open"
+        clock[0] = 12.0
+        assert breaker.state == "half-open"
+        assert breaker.call(lambda: "ok") == "ok"  # next probe is admitted
+
     def test_success_resets_failure_count(self):
         breaker = CircuitBreaker(failure_threshold=2)
         with pytest.raises(RuntimeError):

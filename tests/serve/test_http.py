@@ -1,7 +1,9 @@
 """End-to-end HTTP tests over a real loopback socket."""
 
 import json
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -124,6 +126,23 @@ class TestBackpressureAndDeadline:
         assert overloaded[1].get("Retry-After") == "1"
         assert overloaded[2]["error"]["code"] == "overloaded"
 
+    def test_saturated_admission_gate_is_429(self, server, bench_text):
+        srv = server()
+        slots = srv.config.admission_capacity
+        assert all(srv.admission_gate.acquire(blocking=False) for _ in range(slots))
+        try:
+            status, headers, body = call(srv, "/score", {"netlist": bench_text})
+            assert status == 429
+            assert body["error"]["code"] == "overloaded"
+            assert headers.get("Retry-After") == "1"
+            assert srv.service.snapshot()["rejected_admission"] == 1
+        finally:
+            for _ in range(slots):
+                srv.admission_gate.release()
+        # Releasing the gate restores service.
+        status, _, _ = call(srv, "/score", {"netlist": bench_text})
+        assert status == 200
+
     def test_deadline_gets_504(self, server, bench_text):
         srv = server()
         status, _, body = call(
@@ -133,6 +152,76 @@ class TestBackpressureAndDeadline:
         )
         assert status == 504
         assert body["error"]["code"] == "deadline_exceeded"
+
+
+class TestConnectionHygiene:
+    """Raw-socket tests: urllib sends ``Connection: close``, which hides
+    every persistent-connection bug — these speak HTTP/1.1 keep-alive."""
+
+    @staticmethod
+    def _read_response(sock):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        while len(body) < length:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            body += chunk
+        return status, headers, body
+
+    def test_idle_keepalive_client_does_not_block_drain(self, server):
+        srv = server(
+            config=ServeConfig(
+                port=0, workers=1, queue_capacity=2, debug=True,
+                keepalive_timeout_s=0.5,
+            )
+        )
+        with socket.create_connection(srv.address, timeout=10) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            status, _, _ = self._read_response(sock)
+            assert status == 200
+            # The connection is now idle keep-alive: its handler thread sits
+            # in readline() waiting for a next request that never comes.
+            # Drain must still complete (and well under the drain timeout).
+            start = time.monotonic()
+            assert srv.drain_and_stop(timeout=10) is True
+            assert time.monotonic() - start < 8
+            assert srv.wait_drained(timeout=1) is True
+
+    def test_oversized_body_closes_connection(self, server):
+        srv = server(
+            config=ServeConfig(
+                port=0, workers=1, queue_capacity=2, debug=True,
+                max_body_bytes=64,
+            )
+        )
+        body = b"x" * 200
+        with socket.create_connection(srv.address, timeout=10) as sock:
+            sock.sendall(
+                b"POST /score HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            status, headers, payload = self._read_response(sock)
+            assert status == 413
+            assert headers.get("connection") == "close"
+            assert json.loads(payload)["error"]["code"] == "payload_too_large"
+            # The refused (never-read) body must not be parsed as a second
+            # request on this connection: the server hangs up instead.
+            assert sock.recv(4096) == b""
 
 
 class TestReload:
@@ -207,6 +296,24 @@ class TestLifecycle:
         status, _, body = inflight["result"]
         assert status == 200
         assert body["num_nodes"] > 0
+
+    def test_timed_out_drain_reports_unclean(self, server, bench_text):
+        srv = server()
+        t = threading.Thread(
+            target=lambda: call(
+                srv, "/score", {"netlist": bench_text, "debug_sleep_ms": 1500}
+            )
+        )
+        t.start()
+        while srv.service.in_flight() == 0:
+            threading.Event().wait(0.02)
+        # A drain that cannot finish in time must surface as unclean via
+        # wait_drained() — that is where serve() takes the exit code from.
+        drainer = threading.Thread(target=lambda: srv.drain_and_stop(timeout=0.05))
+        drainer.start()
+        assert srv.wait_drained(timeout=15) is False
+        t.join(timeout=15)
+        drainer.join(timeout=15)
 
     def test_readyz_not_ready_while_draining(self, server, bench_text):
         srv = server()
