@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Lint: no bare ``print()`` calls inside the ``repro`` library.
+
+Library code must use ``repro.obs.logs`` so output is levelled, structured
+and redirectable.  ``print`` is the CLI's job: only ``cli.py`` (user-facing
+command output) and ``utils/tables.py`` (table rendering helpers) may call
+it.  Walks the AST, so comments and strings never false-positive.
+
+Exit status: 0 when clean, 1 with one ``path:line`` diagnostic per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+PACKAGE = Path(__file__).resolve().parent.parent / "src" / "repro"
+ALLOWED = {
+    PACKAGE / "cli.py",
+    PACKAGE / "utils" / "tables.py",
+}
+
+
+def print_calls(path: Path) -> list[int]:
+    """Line numbers of bare ``print(...)`` calls in ``path``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+def main() -> int:
+    violations = []
+    for path in sorted(PACKAGE.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno in print_calls(path):
+            violations.append(f"{path.relative_to(PACKAGE.parent.parent)}:{lineno}")
+    if violations:
+        print("bare print() calls in library code (use repro.obs.logs):")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print(f"no stray print() calls in {PACKAGE.relative_to(PACKAGE.parent.parent)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

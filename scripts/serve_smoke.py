@@ -61,6 +61,38 @@ def request(base: str, path: str, payload=None, timeout: float = 60):
         return exc.code, dict(exc.headers), json.loads(exc.read())
 
 
+def scrape_metrics(base: str) -> tuple[str, dict[str, float]]:
+    """GET /metrics; returns (raw text, {sample-line-key: value})."""
+    with urllib.request.urlopen(base + "/metrics", timeout=60) as resp:
+        ctype = resp.headers.get("Content-Type", "")
+        check(
+            ctype.startswith("text/plain") and "version=0.0.4" in ctype,
+            f"/metrics content type is Prometheus text ({ctype!r})",
+        )
+        text = resp.read().decode()
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        key, _, value = line.rpartition(" ")
+        try:
+            values[key] = float(value)
+        except ValueError:
+            pass
+    return text, values
+
+
+def wait_for_banner(proc) -> str:
+    """Scan startup output for the announce line; log lines may precede it."""
+    for _ in range(50):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if "listening on http://" in line:
+            return line.split("listening on", 1)[1].split()[0].strip()
+    fail("server never announced 'listening on http://...'")
+
+
 def main() -> None:
     work = Path(ROOT / "results" / "serve-smoke")
     work.mkdir(parents=True, exist_ok=True)
@@ -96,9 +128,8 @@ def main() -> None:
         env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
     )
     try:
-        line = proc.stdout.readline()
-        check("listening on" in line, f"server started ({line.strip()!r})")
-        base = line.split("listening on", 1)[1].split()[0].strip()
+        base = wait_for_banner(proc)
+        check(base.startswith("http://"), f"server started on {base}")
 
         # --- basic scoring -------------------------------------------- #
         status, _, body = request(base, "/score", {"netlist": bench, "design": "smoke"})
@@ -109,6 +140,25 @@ def main() -> None:
             "one prediction per node",
         )
         baseline = body["predictions"]
+
+        # --- metrics: families exist, counters reflect the one score --- #
+        text, before = scrape_metrics(base)
+        check(
+            before.get('repro_serve_requests_total{event="accepted"}') == 1.0,
+            "accepted counter is 1 after one score",
+        )
+        check(
+            before.get("repro_serve_request_latency_seconds_count") == 1.0,
+            "latency histogram observed the score",
+        )
+        check(
+            "repro_serve_queue_depth" in before,
+            "queue depth gauge is exported",
+        )
+        check(
+            "# TYPE repro_serve_requests_total counter" in text,
+            "/metrics carries TYPE metadata",
+        )
 
         # --- admission control ---------------------------------------- #
         status, _, body = request(base, "/score", {"netlist": "a = FROB(b)\n"})
@@ -153,6 +203,24 @@ def main() -> None:
         check(
             (status, body["error"]["code"]) == (504, "deadline_exceeded"),
             "expired deadline returns 504",
+        )
+
+        # --- metrics moved under load --------------------------------- #
+        _, after = scrape_metrics(base)
+        accepted = 'repro_serve_requests_total{event="accepted"}'
+        overload = 'repro_serve_requests_total{event="rejected_overload"}'
+        expired = 'repro_serve_requests_total{event="expired"}'
+        check(
+            after[accepted] > before[accepted],
+            f"accepted counter moved under load ({before[accepted]:.0f} -> "
+            f"{after[accepted]:.0f})",
+        )
+        check(after[overload] >= 1.0, "overload rejections counted")
+        check(after[expired] >= 1.0, "expired deadline counted")
+        check(
+            after["repro_serve_request_latency_seconds_count"]
+            > before["repro_serve_request_latency_seconds_count"],
+            "latency histogram accumulated samples under load",
         )
 
         # --- hot reload + rollback ------------------------------------ #

@@ -17,8 +17,26 @@ from repro.atpg.faults import Fault
 from repro.atpg.observability import _ConeValues, _eval_with_overrides
 from repro.atpg.simulator import LogicSimulator, tail_mask
 from repro.circuit.netlist import Netlist
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 
 __all__ = ["FaultSimulator", "FaultSimResult"]
+
+
+def _obs():
+    reg = get_registry()
+    return (
+        reg.counter(
+            "repro_atpg_patterns_simulated_total",
+            "patterns graded by the fault simulator",
+        ),
+        reg.counter(
+            "repro_atpg_faults_graded_total", "fault-pattern batch gradings"
+        ),
+        reg.counter(
+            "repro_atpg_faults_detected_total", "faults detected (and dropped)"
+        ),
+    )
 
 _ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -87,16 +105,23 @@ class FaultSimulator:
         if n_patterns is None:
             n_patterns = n_words * 64
         trim = tail_mask(n_patterns)
-        values = self.good_values(source_words)
         result = FaultSimResult()
-        for fault in faults:
-            mask = self.detection_mask(fault, values) & trim
-            if mask.any():
-                result.detected.append(fault)
-                first_word = int(np.flatnonzero(mask)[0])
-                word = int(mask[first_word])
-                lowest = (word & -word).bit_length() - 1
-                result.detecting_pattern[fault] = first_word * 64 + lowest
+        with span(
+            "atpg.simulate_batch", faults=len(faults), patterns=n_patterns
+        ):
+            values = self.good_values(source_words)
+            for fault in faults:
+                mask = self.detection_mask(fault, values) & trim
+                if mask.any():
+                    result.detected.append(fault)
+                    first_word = int(np.flatnonzero(mask)[0])
+                    word = int(mask[first_word])
+                    lowest = (word & -word).bit_length() - 1
+                    result.detecting_pattern[fault] = first_word * 64 + lowest
+        patterns, graded, detected = _obs()
+        patterns.inc(n_patterns)
+        graded.inc(len(faults))
+        detected.inc(len(result.detected))
         return result
 
     def fault_coverage(

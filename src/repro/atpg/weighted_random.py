@@ -21,6 +21,8 @@ import numpy as np
 from repro.circuit.cells import GateType
 from repro.circuit.levelize import topological_order
 from repro.circuit.netlist import Netlist
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.testability.cop import compute_cop
 from repro.utils.rng import as_rng
 
@@ -45,6 +47,13 @@ def compute_input_weights(
     average through the cone down to the sources.
     """
     config = config or WeightedPatternConfig()
+    with span("atpg.compute_input_weights", nodes=netlist.num_nodes):
+        return _compute_input_weights(netlist, config)
+
+
+def _compute_input_weights(
+    netlist: Netlist, config: WeightedPatternConfig
+) -> np.ndarray:
     cop = compute_cop(netlist)
     d0, d1 = cop.detection_probability()
     hard = np.minimum(d0, d1) < config.hard_threshold
@@ -84,6 +93,10 @@ def weighted_pattern_words(
     weights: np.ndarray, n_words: int, rng: int | np.random.Generator | None = 0
 ) -> np.ndarray:
     """Packed random patterns where source ``i`` is 1 w.p. ``weights[i]``."""
+    get_registry().counter(
+        "repro_atpg_weighted_patterns_total",
+        "weighted-random patterns generated",
+    ).inc(n_words * 64)
     rng = as_rng(rng)
     n_sources = len(weights)
     bits = rng.random((n_sources, n_words * 64)) < weights[:, None]

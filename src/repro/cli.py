@@ -4,13 +4,18 @@ Commands:
 
 * ``generate``   — emit a synthetic industrial-shaped netlist as ``.bench``;
 * ``analyze``    — SCOAP/COP/label summary for a ``.bench`` netlist;
+* ``train``      — train the GCN classifier; writes a model ``.npz`` plus a
+  run manifest under ``results/<run>/``;
+* ``infer``      — score netlists with a trained model; writes a manifest;
 * ``atpg``       — run the random+PODEM ATPG on a ``.bench`` netlist;
 * ``experiment`` — regenerate one of the paper's tables/figures;
-* ``serve``      — run the online netlist-scoring daemon.
+* ``serve``      — run the online netlist-scoring daemon (``GET /metrics``
+  exposes Prometheus text).
 
-Failures exit with a distinct status per error class (config=2, bad
-input=3, runtime=4) and a one-line typed error on stderr — never a
-traceback.
+Every subcommand accepts ``--log-level``, ``--log-format {text,json}`` and
+``--log-file`` (see :mod:`repro.obs.logs`).  Failures exit with a distinct
+status per error class (config=2, bad input=3, runtime=4) and a one-line
+typed error on stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -70,29 +75,82 @@ def exit_code_for(exc: BaseException) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs import logs
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DAC'19 GCN testability-analysis reproduction toolkit",
         epilog=_EXIT_CODES_HELP,
     )
+    # Shared observability flags, accepted after any subcommand.
+    log_flags = argparse.ArgumentParser(add_help=False)
+    logs.add_cli_args(log_flags)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="generate a synthetic netlist")
+    gen = sub.add_parser(
+        "generate", parents=[log_flags], help="generate a synthetic netlist"
+    )
     gen.add_argument("output", help="output .bench path")
     gen.add_argument("--gates", type=int, default=2000)
     gen.add_argument("--seed", type=int, default=0)
 
-    ana = sub.add_parser("analyze", help="testability analysis of a netlist")
+    ana = sub.add_parser(
+        "analyze", parents=[log_flags], help="testability analysis of a netlist"
+    )
     ana.add_argument("netlist", help="input .bench path")
     ana.add_argument("--patterns", type=int, default=256)
     ana.add_argument("--threshold", type=float, default=0.01)
 
-    atpg = sub.add_parser("atpg", help="run ATPG on a netlist")
+    train = sub.add_parser(
+        "train",
+        parents=[log_flags],
+        help="train the GCN observability classifier",
+        description="Train on the given .bench netlists (or synthetic "
+        "designs when none are given), save the model, and write a run "
+        "manifest + span-tree trace under results/<run-id>/.",
+        epilog=_EXIT_CODES_HELP,
+    )
+    train.add_argument(
+        "netlists", nargs="*", help=".bench training designs (default: synthetic)"
+    )
+    train.add_argument("--output", "-o", default="model.npz", help="model path")
+    train.add_argument("--epochs", type=int, default=60)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--optimizer", choices=["adam", "sgd"], default="adam")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--designs", type=int, default=2, help="synthetic designs when no netlists"
+    )
+    train.add_argument(
+        "--gates", type=int, default=600, help="gates per synthetic design"
+    )
+    train.add_argument("--patterns", type=int, default=256, help="labelling patterns")
+    train.add_argument("--threshold", type=float, default=0.01)
+    train.add_argument("--run-name", default=None, help="run id (default: derived)")
+
+    inf = sub.add_parser(
+        "infer",
+        parents=[log_flags],
+        help="score netlists with a trained model",
+        description="Run FastInference over the given .bench netlists and "
+        "write a run manifest + span-tree trace under results/<run-id>/.",
+        epilog=_EXIT_CODES_HELP,
+    )
+    inf.add_argument("model", help="model .npz from `repro train`")
+    inf.add_argument("netlists", nargs="+", help=".bench designs to score")
+    inf.add_argument(
+        "--fp32", action="store_true", help="deployment-style float32 inference"
+    )
+    inf.add_argument("--run-name", default=None, help="run id (default: derived)")
+
+    atpg = sub.add_parser("atpg", parents=[log_flags], help="run ATPG on a netlist")
     atpg.add_argument("netlist", help="input .bench path")
     atpg.add_argument("--max-random", type=int, default=2048)
     atpg.add_argument("--seed", type=int, default=0)
 
-    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp = sub.add_parser(
+        "experiment", parents=[log_flags], help="regenerate a paper table/figure"
+    )
     exp.add_argument(
         "name",
         choices=["table1", "table2", "table3", "figure8", "figure9", "figure10"],
@@ -105,15 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser(
-        "report", help="summarise results/*.json from a previous benchmark run"
+        "report",
+        parents=[log_flags],
+        help="summarise results/*.json from a previous benchmark run",
     )
 
     srv = sub.add_parser(
         "serve",
+        parents=[log_flags],
         help="run the online netlist-scoring daemon",
         description="Long-running HTTP service scoring .bench netlists with "
         "the best available predictor (POST /score, /reload; GET /healthz, "
-        "/readyz).  SIGTERM drains gracefully.",
+        "/readyz, /metrics — Prometheus text exposition).  SIGTERM drains "
+        "gracefully.",
         epilog=_EXIT_CODES_HELP,
     )
     srv.add_argument(
@@ -170,6 +232,115 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_or_generate(args: argparse.Namespace):
+    """Training designs: the given .bench files or synthetic stand-ins."""
+    from repro.circuit import generate_design, load_bench
+
+    if args.netlists:
+        return [load_bench(path) for path in args.netlists]
+    return [
+        generate_design(args.gates, seed=args.seed + i, name=f"synth-{i}")
+        for i in range(args.designs)
+    ]
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import GCN, GCNConfig, GraphData, TrainConfig, Trainer
+    from repro.core.serialize import save_gcn
+    from repro.obs import RunRecorder
+    from repro.testability import LabelConfig, label_nodes
+
+    config = {
+        "epochs": args.epochs,
+        "lr": args.lr,
+        "optimizer": args.optimizer,
+        "gates": args.gates,
+        "patterns": args.patterns,
+        "threshold": args.threshold,
+        "output": args.output,
+    }
+    with RunRecorder(
+        "train",
+        command="repro train",
+        config=config,
+        seed=args.seed,
+        run_id=args.run_name,
+    ) as run:
+        netlists = _load_or_generate(args)
+        graphs = []
+        for netlist in netlists:
+            labels = label_nodes(
+                netlist,
+                LabelConfig(n_patterns=args.patterns, threshold=args.threshold),
+            )
+            graphs.append(
+                GraphData.from_netlist(netlist, labels=labels.labels, name=netlist.name)
+            )
+        run.set_dataset(graphs)
+        model = GCN(GCNConfig(seed=args.seed))
+        trainer = Trainer(
+            model,
+            TrainConfig(
+                epochs=args.epochs, lr=args.lr, optimizer=args.optimizer
+            ),
+        )
+        history = trainer.fit(graphs)
+        model_path = save_gcn(model, args.output)
+        run.note(
+            model_path=str(model_path),
+            final_loss=history.loss[-1] if history.loss else None,
+            final_train_accuracy=history.final_train_accuracy(),
+        )
+    print(
+        f"trained on {len(graphs)} graph(s) for {args.epochs} epochs: "
+        f"train accuracy {history.final_train_accuracy():.2%}"
+    )
+    print(f"model: {model_path}")
+    print(f"manifest: {run.manifest_path}")
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    import numpy as _np
+
+    from repro.circuit import load_bench
+    from repro.core import FastInference, GraphData
+    from repro.obs import RunRecorder
+
+    engine = FastInference.from_file(
+        args.model, dtype=_np.float32 if args.fp32 else _np.float64
+    )
+    config = {"model": args.model, "fp32": args.fp32}
+    with RunRecorder(
+        "infer", command="repro infer", config=config, run_id=args.run_name
+    ) as run:
+        graphs = [
+            GraphData.from_netlist(load_bench(path), name=path)
+            for path in args.netlists
+        ]
+        run.set_dataset(graphs)
+        summaries = []
+        for graph in graphs:
+            predictions = engine.predict(graph)
+            positives = int(predictions.sum())
+            summaries.append(
+                {
+                    "design": graph.name,
+                    "num_nodes": graph.num_nodes,
+                    "positives": positives,
+                    "positive_rate": round(positives / max(1, graph.num_nodes), 6),
+                }
+            )
+        run.note(designs=summaries)
+    for row in summaries:
+        print(
+            f"{row['design']}: {row['positives']}/{row['num_nodes']} "
+            f"difficult-to-observe ({row['positive_rate']:.2%})"
+        )
+    print(f"manifest: {run.manifest_path}")
+    return 0
+
+
 def _cmd_atpg(args: argparse.Namespace) -> int:
     from repro.atpg import AtpgConfig, run_atpg
     from repro.circuit import load_bench
@@ -211,21 +382,39 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         run_testability_comparison,
     )
 
-    if args.name == "figure10":
-        print(format_scalability(run_scalability()))
-        return 0
-    scale = benchmark_scale()
-    suite = load_suite(scale=scale, label_config=experiment_label_config())
-    if args.name == "table1":
-        print(format_statistics(suite))
-    elif args.name == "table2":
-        print(format_accuracy(run_accuracy_comparison(suite)))
-    elif args.name == "figure8":
-        print(format_depth_sweep(run_depth_sweep(suite)))
-    elif args.name == "figure9":
-        print(format_f1(run_f1_comparison(suite, scale)))
-    elif args.name == "table3":
-        print(format_testability(run_testability_comparison(suite, scale)))
+    from repro.obs import RunRecorder
+
+    with RunRecorder(
+        f"experiment-{args.name}", command=f"repro experiment {args.name}"
+    ) as run:
+        if args.name == "figure10":
+            result = run_scalability()
+            run.note(
+                sizes=result.sizes,
+                fast_seconds=result.fast_seconds,
+                recursive_seconds=result.recursive_seconds,
+                speedups=result.speedups(),
+            )
+            table = format_scalability(result)
+        else:
+            scale = benchmark_scale()
+            suite = load_suite(scale=scale, label_config=experiment_label_config())
+            run.set_dataset(d.graph for d in suite.values())
+            if args.name == "table1":
+                table = format_statistics(suite)
+            elif args.name == "table2":
+                table = format_accuracy(run_accuracy_comparison(suite))
+            elif args.name == "figure8":
+                table = format_depth_sweep(run_depth_sweep(suite))
+            elif args.name == "figure9":
+                f1 = run_f1_comparison(suite, scale)
+                run.note(single_f1=f1.single, multi_f1=f1.multi)
+                table = format_f1(f1)
+            elif args.name == "table3":
+                table = format_testability(run_testability_comparison(suite, scale))
+        run.note(table=table)
+    print(table)
+    print(f"manifest: {run.manifest_path}")
     return 0
 
 
@@ -247,16 +436,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         debug=args.debug,
     )
-    return serve(config=config, model_path=args.model)
+    return serve(config=config, model_path=args.model, announce=print)
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs import logs
     from repro.resilience.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    logs.configure_from_args(args)
     handlers = {
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
+        "train": _cmd_train,
+        "infer": _cmd_infer,
         "atpg": _cmd_atpg,
         "experiment": _cmd_experiment,
         "report": _cmd_report,

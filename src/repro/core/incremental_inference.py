@@ -19,8 +19,24 @@ import numpy as np
 
 from repro.core.graphdata import GraphData
 from repro.core.model import GCNWeights
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 
 __all__ = ["IncrementalInference"]
+
+
+def _obs():
+    reg = get_registry()
+    return (
+        reg.counter(
+            "repro_inference_incremental_updates_total",
+            "region-limited re-inference passes",
+        ),
+        reg.counter(
+            "repro_inference_incremental_rows_total",
+            "embedding rows recomputed by incremental updates",
+        ),
+    )
 
 
 class IncrementalInference:
@@ -35,6 +51,10 @@ class IncrementalInference:
     # ------------------------------------------------------------------ #
     def full_pass(self) -> np.ndarray:
         """Run whole-graph inference and (re)build the layer cache."""
+        with span("inference.full_pass", nodes=self.graph.num_nodes):
+            return self._full_pass()
+
+    def _full_pass(self) -> np.ndarray:
         w = self.weights
         pred = self.graph.pred.to_scipy()
         succ = self.graph.succ.to_scipy()
@@ -98,6 +118,15 @@ class IncrementalInference:
         """
         if self._logits is None:
             raise RuntimeError("run full_pass() before update()")
+        changed_nodes = list(changed_nodes)
+        with span("inference.incremental_update", changed=len(changed_nodes)):
+            affected = self._update(changed_nodes)
+        updates, rows = _obs()
+        updates.inc()
+        rows.inc(len(affected))
+        return affected
+
+    def _update(self, changed_nodes) -> np.ndarray:
         w = self.weights
         n = self.graph.num_nodes
         n_cached = self._layers[0].shape[0]

@@ -12,13 +12,34 @@ adjacency, in-place ReLU.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.graphdata import GraphData
 from repro.core.model import GCNWeights
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.resilience.errors import NumericalError
 
 __all__ = ["FastInference"]
+
+
+def _obs():
+    """Inference metrics in the process-default registry (lazy lookup so
+    a registry swapped in by tests is honoured)."""
+    reg = get_registry()
+    return (
+        reg.counter(
+            "repro_inference_calls_total", "whole-graph fast-inference calls"
+        ),
+        reg.counter(
+            "repro_inference_nodes_total", "nodes scored by fast inference"
+        ),
+        reg.histogram(
+            "repro_inference_seconds", "wall time of one whole-graph logits pass"
+        ),
+    )
 
 
 class FastInference:
@@ -66,18 +87,22 @@ class FastInference:
     def embed(self, graph: GraphData) -> np.ndarray:
         """Compute final node embeddings for the whole graph."""
         w = self.weights
-        pred = graph.pred.to_scipy()
-        succ = graph.succ.to_scipy()
+        with span("inference.csr_cache"):
+            pred = graph.pred.to_scipy()
+            succ = graph.succ.to_scipy()
         embeddings = graph.attributes
         if self.dtype != np.float64:
             pred = pred.astype(self.dtype)
             succ = succ.astype(self.dtype)
             embeddings = embeddings.astype(self.dtype)
         for d in range(w.depth):
-            aggregated = (
-                embeddings + w.w_pr * (pred @ embeddings) + w.w_su * (succ @ embeddings)
-            )
-            embeddings = aggregated @ w.encoder_weights[d]
+            with span("inference.sparse_matmul", layer=d):
+                aggregated = (
+                    embeddings
+                    + w.w_pr * (pred @ embeddings)
+                    + w.w_su * (succ @ embeddings)
+                )
+                embeddings = aggregated @ w.encoder_weights[d]
             bias = w.encoder_biases[d]
             if bias is not None:
                 embeddings += bias
@@ -91,17 +116,23 @@ class FastInference:
         logit is NaN/inf — corrupt weights or overflowing attributes must
         surface as a typed failure, not propagate garbage scores.
         """
-        h = self.embed(graph)
-        last = len(self.weights.fc_weights) - 1
-        for i, (weight, bias) in enumerate(
-            zip(self.weights.fc_weights, self.weights.fc_biases)
-        ):
-            h = h @ weight
-            if bias is not None:
-                h += bias
-            if i < last:
-                np.maximum(h, 0.0, out=h)
-        self._check_finite(h, graph, "logits")
+        start = time.perf_counter()
+        with span("inference.logits", graph=graph.name, nodes=graph.num_nodes):
+            h = self.embed(graph)
+            last = len(self.weights.fc_weights) - 1
+            for i, (weight, bias) in enumerate(
+                zip(self.weights.fc_weights, self.weights.fc_biases)
+            ):
+                h = h @ weight
+                if bias is not None:
+                    h += bias
+                if i < last:
+                    np.maximum(h, 0.0, out=h)
+            self._check_finite(h, graph, "logits")
+        calls, nodes, seconds = _obs()
+        calls.inc()
+        nodes.inc(graph.num_nodes)
+        seconds.observe(time.perf_counter() - start)
         return h
 
     def predict(self, graph: GraphData) -> np.ndarray:

@@ -25,6 +25,9 @@ from repro.core.model import GCN
 from repro.nn.functional import cross_entropy
 from repro.nn.optim import SGD, Adam
 from repro.nn.tensor import no_grad
+from repro.obs import logs
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.resilience.checkpoint import Checkpoint, Checkpointer
 from repro.resilience.errors import (
     CheckpointCorruptError,
@@ -34,6 +37,26 @@ from repro.resilience.errors import (
 from repro.resilience.retry import RetryPolicy
 
 __all__ = ["TrainConfig", "TrainHistory", "Trainer", "ParallelTrainer"]
+
+_log = logs.get_logger("train")
+
+
+def _obs():
+    """Training metrics (process-default registry, looked up lazily)."""
+    reg = get_registry()
+    return {
+        "epochs": reg.counter("repro_train_epochs_total", "completed epochs"),
+        "epoch_seconds": reg.histogram(
+            "repro_train_epoch_seconds", "wall time of one optimisation epoch"
+        ),
+        "loss": reg.gauge("repro_train_loss", "most recent training loss"),
+        "grad_norm": reg.histogram(
+            "repro_train_grad_norm",
+            "global L2 gradient norm per optimisation step",
+            buckets=(0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0),
+        ),
+        "lr": reg.gauge("repro_train_lr", "current learning rate"),
+    }
 
 
 @dataclass
@@ -101,6 +124,8 @@ class Trainer:
         self.model = model
         self.config = config or TrainConfig()
         self.optimizer = self._make_optimizer()
+        #: global L2 gradient norm of the most recent optimisation step
+        self.last_grad_norm: float | None = None
 
     def _make_optimizer(self):
         cfg = self.config
@@ -139,8 +164,47 @@ class Trainer:
             snapshot = checkpoint.latest()
             if snapshot is not None:
                 start_epoch = self._restore(snapshot, history)
+        if cfg.verbose:
+            logs.ensure_configured()
+        metrics = _obs()
+        with span(
+            "train.fit",
+            epochs=cfg.epochs,
+            graphs=len(train_graphs),
+            optimizer=cfg.optimizer,
+            resumed_from=start_epoch,
+        ):
+            self._fit_loop(
+                train_graphs,
+                test_graphs,
+                checkpoint,
+                checkpoint_every,
+                history,
+                start_epoch,
+                metrics,
+            )
+        return history
+
+    def _fit_loop(
+        self,
+        train_graphs,
+        test_graphs,
+        checkpoint,
+        checkpoint_every,
+        history,
+        start_epoch,
+        metrics,
+    ) -> None:
+        cfg = self.config
         for epoch in range(start_epoch + 1, cfg.epochs + 1):
+            epoch_start = time.perf_counter()
             loss_value = self.train_step(train_graphs)
+            metrics["epochs"].inc()
+            metrics["epoch_seconds"].observe(time.perf_counter() - epoch_start)
+            metrics["loss"].set(loss_value)
+            metrics["lr"].set(getattr(self.optimizer, "lr", cfg.lr))
+            if self.last_grad_norm is not None:
+                metrics["grad_norm"].observe(self.last_grad_norm)
             if not np.isfinite(loss_value):
                 # Diverged: every later epoch would train on NaN weights.
                 # Abort with the trajectory so the failure is diagnosable
@@ -160,28 +224,29 @@ class Trainer:
             if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
                 history.epochs.append(epoch)
                 history.loss.append(loss_value)
-                history.train_accuracy.append(
-                    masked_accuracy(self.model, train_graphs)
-                )
-                if test_graphs:
-                    history.test_accuracy.append(
-                        masked_accuracy(self.model, test_graphs)
+                with span("train.eval", epoch=epoch):
+                    history.train_accuracy.append(
+                        masked_accuracy(self.model, train_graphs)
                     )
+                    if test_graphs:
+                        history.test_accuracy.append(
+                            masked_accuracy(self.model, test_graphs)
+                        )
                 if cfg.verbose:
-                    test_part = (
-                        f" test={history.test_accuracy[-1]:.3f}"
-                        if test_graphs
-                        else ""
-                    )
-                    print(
-                        f"epoch {epoch:4d} loss={loss_value:.4f} "
-                        f"train={history.train_accuracy[-1]:.3f}{test_part}"
-                    )
+                    fields = {
+                        "epoch": epoch,
+                        "loss": round(loss_value, 4),
+                        "train_accuracy": round(history.train_accuracy[-1], 3),
+                    }
+                    if test_graphs:
+                        fields["test_accuracy"] = round(
+                            history.test_accuracy[-1], 3
+                        )
+                    _log.info("epoch", extra=fields)
             if checkpoint is not None and (
                 epoch % checkpoint_every == 0 or epoch == cfg.epochs
             ):
                 self._snapshot(checkpoint, epoch, history)
-        return history
 
     # ------------------------------------------------------------------ #
     def _snapshot(
@@ -232,6 +297,14 @@ class Trainer:
         ]
         return int(snapshot.meta.get("epoch", snapshot.step))
 
+    def _grad_norm(self) -> float:
+        """Global L2 norm over every parameter gradient (pre-step)."""
+        total = 0.0
+        for p in self.model.parameters():
+            if p.grad is not None:
+                total += float(np.sum(np.square(p.grad)))
+        return float(np.sqrt(total))
+
     def train_step(self, train_graphs: list[GraphData]) -> float:
         """One optimisation step over all graphs; returns the mean loss."""
         cfg = self.config
@@ -242,6 +315,7 @@ class Trainer:
             loss = _graph_loss(self.model, graph, cfg.class_weights) * scale
             loss.backward()
             total += loss.item()
+        self.last_grad_norm = self._grad_norm()
         self.optimizer.step()
         return total
 
@@ -312,6 +386,7 @@ class ParallelTrainer(Trainer):
         for i, p in enumerate(params):
             accumulated = sum(grads[i] for grads in grad_lists) * scale
             p.grad = accumulated
+        self.last_grad_norm = self._grad_norm()
         self.optimizer.step()
 
         with no_grad():

@@ -26,7 +26,9 @@ from repro.core.graphdata import GraphData
 from repro.core.inference import FastInference
 from repro.core.model import GCN
 from repro.experiments.common import default_gcn_config, full_mode
+from repro.obs.trace import span
 from repro.utils.tables import format_table
+from repro.utils.timing import time_call
 
 __all__ = ["ScalabilityResult", "run_scalability", "format_scalability"]
 
@@ -85,31 +87,34 @@ def run_scalability(
     rng = np.random.default_rng(seed)
 
     for n in sizes:
-        netlist = generate_design(n, seed=seed)
-        graph = GraphData.from_netlist(netlist)
-        engine = FastInference(weights, dtype=np.float32)
-        fast_time = float("inf")
-        for _ in range(3):  # min-of-3: single-core boxes time noisily
-            start = time.perf_counter()
-            engine.logits(graph)
-            fast_time = min(fast_time, time.perf_counter() - start)
+        with span("figure10.size", requested_nodes=n):
+            with span("figure10.generate"):
+                netlist = generate_design(n, seed=seed)
+                graph = GraphData.from_netlist(netlist)
+            engine = FastInference(weights, dtype=np.float32)
+            with span("figure10.fast_inference", nodes=graph.num_nodes):
+                # min-of-3: single-core boxes time noisily
+                fast_time, _ = time_call(engine.logits, graph, repeat=3)
 
-        embedder = RecursiveEmbedder(weights, graph, memoize=False)
-        n_nodes = graph.num_nodes
-        exhaustive = n_nodes <= recursive_exhaustive_cutoff
-        if exhaustive:
-            sample = np.arange(n_nodes)
-        else:
-            sample = rng.choice(n_nodes, size=recursive_sample, replace=False)
-        start = time.perf_counter()
-        embedder.logits(sample)
-        sampled_time = time.perf_counter() - start
-        recursive_time = sampled_time * (n_nodes / len(sample))
+            embedder = RecursiveEmbedder(weights, graph, memoize=False)
+            n_nodes = graph.num_nodes
+            exhaustive = n_nodes <= recursive_exhaustive_cutoff
+            if exhaustive:
+                sample = np.arange(n_nodes)
+            else:
+                sample = rng.choice(n_nodes, size=recursive_sample, replace=False)
+            with span(
+                "figure10.recursive", nodes=n_nodes, sample=len(sample)
+            ):
+                start = time.perf_counter()
+                embedder.logits(sample)
+                sampled_time = time.perf_counter() - start
+            recursive_time = sampled_time * (n_nodes / len(sample))
 
-        result.sizes.append(n_nodes)
-        result.fast_seconds.append(fast_time)
-        result.recursive_seconds.append(recursive_time)
-        result.recursive_measured.append(exhaustive)
+            result.sizes.append(n_nodes)
+            result.fast_seconds.append(fast_time)
+            result.recursive_seconds.append(recursive_time)
+            result.recursive_measured.append(exhaustive)
     return result
 
 

@@ -19,6 +19,7 @@ from repro.experiments.common import (
     fit_cascade_cached,
 )
 from repro.metrics import f1_score
+from repro.obs.trace import span
 from repro.utils.tables import format_table
 
 __all__ = ["F1Comparison", "run_f1_comparison", "format_f1"]
@@ -50,28 +51,31 @@ def run_f1_comparison(
     result = F1Comparison()
     names = sorted(suite)
     for train_names, test_name in leave_one_out(names):
-        train_graphs = [suite[n].graph for n in train_names]
-        test_graph = suite[test_name].graph
-        labels = suite[test_name].labels.labels
+        with span("figure9.split", held_out=test_name):
+            train_graphs = [suite[n].graph for n in train_names]
+            test_graph = suite[test_name].graph
+            labels = suite[test_name].labels.labels
 
-        from repro.experiments.common import fit_gcn_cached
+            from repro.experiments.common import fit_gcn_cached
 
-        single, _ = fit_gcn_cached(
-            train_graphs,
-            default_gcn_config(seed=seed),
-            default_train_config(),
-            scale=scale,
-            tag="figure9-single",
-        )
-        result.single[test_name] = f1_score(labels, single.predict(test_graph))
+            with span("figure9.fit_single"):
+                single, _ = fit_gcn_cached(
+                    train_graphs,
+                    default_gcn_config(seed=seed),
+                    default_train_config(),
+                    scale=scale,
+                    tag="figure9-single",
+                )
+            result.single[test_name] = f1_score(labels, single.predict(test_graph))
 
-        cascade = fit_cascade_cached(
-            train_graphs, default_multistage_config(n_stages), scale
-        )
-        # The cascade is threshold-based end to end; its final decision
-        # threshold is calibrated on the TRAINING designs only.
-        cascade.calibrate(train_graphs)
-        result.multi[test_name] = f1_score(labels, cascade.predict(test_graph))
+            with span("figure9.fit_cascade", stages=n_stages):
+                cascade = fit_cascade_cached(
+                    train_graphs, default_multistage_config(n_stages), scale
+                )
+                # The cascade is threshold-based end to end; its final decision
+                # threshold is calibrated on the TRAINING designs only.
+                cascade.calibrate(train_graphs)
+            result.multi[test_name] = f1_score(labels, cascade.predict(test_graph))
     return result
 
 

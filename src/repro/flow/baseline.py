@@ -20,8 +20,11 @@ import numpy as np
 from repro.circuit.cells import GateType
 from repro.circuit.netlist import Netlist
 from repro.testability.cop import compute_cop
+from repro.obs import logs
 
 __all__ = ["BaselineOpiConfig", "BaselineOpiResult", "run_baseline_opi"]
+
+_log = logs.get_logger("flow")
 
 
 @dataclass
@@ -84,6 +87,8 @@ def run_baseline_opi(
 ) -> BaselineOpiResult:
     """Run the COP-greedy baseline OPI flow on a copy of ``netlist``."""
     config = config or BaselineOpiConfig()
+    if config.verbose:
+        logs.ensure_configured()
     work = netlist.copy()
     result = BaselineOpiResult(netlist=work)
 
@@ -92,7 +97,14 @@ def run_baseline_opi(
         n_hard = int(hard.sum())
         result.hard_history.append(n_hard)
         if config.verbose:
-            print(f"iteration {iteration}: {n_hard} hard nodes, {result.n_ops} OPs")
+            _log.info(
+                "baseline opi iteration",
+                extra={
+                    "iteration": iteration,
+                    "hard_nodes": n_hard,
+                    "n_ops": result.n_ops,
+                },
+            )
         if n_hard == 0:
             break
         result.iterations = iteration

@@ -32,6 +32,7 @@ from repro.circuit.netlist import Netlist
 from repro.core.attributes import AttributeConfig
 from repro.core.graphdata import GraphData
 from repro.utils.rng import as_rng
+from repro.obs import logs
 
 __all__ = [
     "ControlLabelConfig",
@@ -41,6 +42,8 @@ __all__ = [
     "CpiResult",
     "run_gcn_cpi",
 ]
+
+_log = logs.get_logger("flow")
 
 
 @dataclass
@@ -135,6 +138,8 @@ def run_gcn_cpi(
     CP comes from a cheap simulation of the current netlist.
     """
     config = config or CpiConfig()
+    if config.verbose:
+        logs.ensure_configured()
     work = netlist.copy()
     result = CpiResult(netlist=work)
 
@@ -145,9 +150,13 @@ def run_gcn_cpi(
         candidates = _cp_candidates(work, predictions)
         result.positives_history.append(len(candidates))
         if config.verbose:
-            print(
-                f"iteration {iteration}: {len(candidates)} difficult-to-control "
-                f"predictions, {result.n_cps} CPs so far"
+            _log.info(
+                "cpi iteration",
+                extra={
+                    "iteration": iteration,
+                    "positives": len(candidates),
+                    "n_cps": result.n_cps,
+                },
             )
         if not candidates:
             break

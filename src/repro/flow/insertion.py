@@ -27,11 +27,37 @@ from repro.core.attributes import AttributeConfig
 from repro.core.graphdata import GraphData
 from repro.flow.impact import ImpactEvaluator
 from repro.flow.modify import IncrementalDesign
+from repro.obs import logs
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.resilience.checkpoint import Checkpointer
 from repro.resilience.errors import CheckpointCorruptError
 from repro.resilience.watchdog import ConvergenceWatchdog
 
 __all__ = ["OpiConfig", "OpiResult", "run_gcn_opi"]
+
+_log = logs.get_logger("flow")
+
+
+def _obs():
+    reg = get_registry()
+    return {
+        "iterations": reg.counter(
+            "repro_opi_iterations_total", "completed OPI flow iterations"
+        ),
+        "ops": reg.counter(
+            "repro_opi_ops_inserted_total", "observation points inserted"
+        ),
+        "impact": reg.histogram(
+            "repro_opi_impact_nodes",
+            "impact metric (affected-cone size) of ranked OP candidates",
+            buckets=(1, 2, 5, 10, 20, 50, 100, 250, 1000),
+        ),
+        "positives": reg.gauge(
+            "repro_opi_positive_predictions",
+            "positive predictions at the latest iteration",
+        ),
+    }
 
 Predictor = Callable[[GraphData], np.ndarray]
 
@@ -107,47 +133,68 @@ def run_gcn_opi(
             if watchdog is not None:
                 watchdog.prime([float(p) for p in result.positives_history])
 
+    if config.verbose:
+        logs.ensure_configured()
+    metrics = _obs()
     for iteration in range(start_iteration, config.max_iterations + 1):
-        predictions = np.asarray(predictor(design.graph))
-        candidates = _positive_candidates(design.netlist, predictions)
-        result.positives_history.append(len(candidates))
-        if config.verbose:
-            print(
-                f"iteration {iteration}: {len(candidates)} positive predictions, "
-                f"{result.n_ops} OPs so far"
-            )
-        if watchdog is not None:
-            watchdog.observe(
-                len(candidates),
-                context={"iteration": iteration, "n_ops": result.n_ops},
-            )
-        if not candidates:
-            break
-        result.iterations = iteration
+        with span("opi.iteration", iteration=iteration):
+            with span("opi.predict"):
+                predictions = np.asarray(predictor(design.graph))
+            candidates = _positive_candidates(design.netlist, predictions)
+            result.positives_history.append(len(candidates))
+            metrics["positives"].set(len(candidates))
+            if config.verbose:
+                _log.info(
+                    "opi iteration",
+                    extra={
+                        "iteration": iteration,
+                        "positives": len(candidates),
+                        "n_ops": result.n_ops,
+                    },
+                )
+            if watchdog is not None:
+                watchdog.observe(
+                    len(candidates),
+                    context={"iteration": iteration, "n_ops": result.n_ops},
+                )
+            if not candidates:
+                break
+            result.iterations = iteration
+            metrics["iterations"].inc()
 
-        if config.use_impact:
-            ranked = evaluator.rank(candidates, predictions)
-            ranked = [(c, imp) for c, imp in ranked if imp >= config.min_impact]
-            if not ranked:
-                # No candidate helps its cone; observe the hardest directly.
+            if config.use_impact:
+                with span("opi.rank_impact", candidates=len(candidates)):
+                    ranked = evaluator.rank(candidates, predictions)
+                for _, imp in ranked:
+                    metrics["impact"].observe(imp)
+                ranked = [
+                    (c, imp) for c, imp in ranked if imp >= config.min_impact
+                ]
+                if not ranked:
+                    # No candidate helps its cone; observe the hardest directly.
+                    ranked = [(c, 0) for c in candidates]
+            else:
                 ranked = [(c, 0) for c in candidates]
-        else:
-            ranked = [(c, 0) for c in candidates]
 
-        take = max(
-            config.min_per_iteration,
-            int(round(config.select_fraction * len(ranked))),
-        )
-        selected = [c for c, _ in ranked[:take]]
-        for target in selected:
+            take = max(
+                config.min_per_iteration,
+                int(round(config.select_fraction * len(ranked))),
+            )
+            selected = [c for c, _ in ranked[:take]]
+            with span("opi.insert", selected=len(selected)):
+                for target in selected:
+                    if (
+                        config.max_ops is not None
+                        and result.n_ops >= config.max_ops
+                    ):
+                        break
+                    design.insert_op(target)
+                    result.inserted.append(target)
+                    metrics["ops"].inc()
+            if checkpoint is not None:
+                _save_opi(checkpoint, iteration, netlist, result)
             if config.max_ops is not None and result.n_ops >= config.max_ops:
                 break
-            design.insert_op(target)
-            result.inserted.append(target)
-        if checkpoint is not None:
-            _save_opi(checkpoint, iteration, netlist, result)
-        if config.max_ops is not None and result.n_ops >= config.max_ops:
-            break
 
     return result
 

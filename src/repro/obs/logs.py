@@ -1,0 +1,225 @@
+"""Structured logging: JSON-lines output with run/request context.
+
+``get_logger(component)`` hands out stdlib loggers under the ``repro.``
+namespace; :func:`configure` installs one handler on that namespace with
+either a human-readable text formatter or a JSON-lines formatter.  A
+run id (set once per CLI invocation) and a request id (set per served
+request) propagate through :mod:`contextvars`, so every line a worker
+thread emits is attributable without threading ids through call
+signatures.
+
+CLI surface: ``--log-level``, ``--log-format {text,json}``,
+``--log-file`` (see :func:`add_cli_args` / :func:`configure_from_args`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import datetime
+import json
+import logging
+import sys
+import uuid
+
+__all__ = [
+    "get_logger",
+    "configure",
+    "ensure_configured",
+    "add_cli_args",
+    "configure_from_args",
+    "set_run_id",
+    "get_run_id",
+    "new_run_id",
+    "run_context",
+    "request_context",
+    "JsonFormatter",
+    "TextFormatter",
+]
+
+_ROOT = "repro"
+
+run_id_var: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_run_id", default=None
+)
+request_id_var: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_request_id", default=None
+)
+
+#: logging.LogRecord attributes that are plumbing, not payload
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(component: str) -> logging.Logger:
+    """Logger for one subsystem, e.g. ``get_logger("serve")``."""
+    return logging.getLogger(f"{_ROOT}.{component}")
+
+
+def set_run_id(run_id: str | None) -> None:
+    run_id_var.set(run_id)
+
+
+def get_run_id() -> str | None:
+    return run_id_var.get()
+
+
+def new_run_id(prefix: str = "run") -> str:
+    return f"{prefix}-{uuid.uuid4().hex[:10]}"
+
+
+@contextlib.contextmanager
+def run_context(run_id: str):
+    """Scope ``run_id`` onto every log line emitted inside the block."""
+    token = run_id_var.set(run_id)
+    try:
+        yield run_id
+    finally:
+        run_id_var.reset(token)
+
+
+@contextlib.contextmanager
+def request_context(request_id: str | None = None):
+    """Scope a (generated) request id; used per served HTTP request."""
+    request_id = request_id or uuid.uuid4().hex[:12]
+    token = request_id_var.set(request_id)
+    try:
+        yield request_id
+    finally:
+        request_id_var.reset(token)
+
+
+class _ContextFilter(logging.Filter):
+    """Inject the contextvar ids into every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = run_id_var.get()
+        record.request_id = request_id_var.get()
+        return True
+
+
+def _extras(record: logging.LogRecord) -> dict:
+    """Fields passed via ``logger.info(..., extra={...})``."""
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RECORD_FIELDS and key not in ("run_id", "request_id")
+    }
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; machine-parseable, key-ordered."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": datetime.datetime.fromtimestamp(
+                record.created, tz=datetime.timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname.lower(),
+            "component": record.name.removeprefix(_ROOT + ".") or record.name,
+            "message": record.getMessage(),
+        }
+        run_id = getattr(record, "run_id", None)
+        if run_id:
+            payload["run_id"] = run_id
+        request_id = getattr(record, "request_id", None)
+        if request_id:
+            payload["request_id"] = request_id
+        payload.update(_extras(record))
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Terse human format; context ids appended only when set."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record, '%H:%M:%S')} "
+            f"{record.levelname.lower():7s} "
+            f"{record.name.removeprefix(_ROOT + '.')}: {record.getMessage()}"
+        )
+        tags = []
+        if getattr(record, "run_id", None):
+            tags.append(f"run={record.run_id}")
+        if getattr(record, "request_id", None):
+            tags.append(f"req={record.request_id}")
+        for key, value in sorted(_extras(record).items()):
+            tags.append(f"{key}={value}")
+        if tags:
+            base += " [" + " ".join(tags) + "]"
+        if record.exc_info:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+def configure(
+    level: str = "info",
+    format: str = "text",
+    file: str | None = None,
+    stream=None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logging namespace.
+
+    Idempotent: replaces any handler a previous call installed, so tests
+    and repeated CLI entry points do not stack duplicate handlers.
+    """
+    if format not in ("text", "json"):
+        raise ValueError(f"log format must be 'text' or 'json', not {format!r}")
+    root = logging.getLogger(_ROOT)
+    root.setLevel(getattr(logging, level.upper()))
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        handler.close()
+    if file:
+        handler: logging.Handler = logging.FileHandler(file)
+    else:
+        handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if format == "json" else TextFormatter())
+    handler.addFilter(_ContextFilter())
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def ensure_configured(level: str = "info") -> logging.Logger:
+    """Configure default text logging only if nothing configured it yet.
+
+    Lets library code that replaced ``print``-based verbosity (trainer,
+    OPI flow) stay visible when used outside the CLI entry point.
+    """
+    root = logging.getLogger(_ROOT)
+    if not root.handlers:
+        return configure(level=level)
+    return root
+
+
+def add_cli_args(parser) -> None:
+    """Attach the shared logging flags to an argparse parser."""
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="minimum severity emitted (default: info)",
+    )
+    parser.add_argument(
+        "--log-format",
+        default="text",
+        choices=["text", "json"],
+        help="text for humans, json for one machine-readable object per line",
+    )
+    parser.add_argument(
+        "--log-file",
+        default=None,
+        help="append logs to this file instead of stderr",
+    )
+
+
+def configure_from_args(args) -> logging.Logger:
+    return configure(
+        level=getattr(args, "log_level", "info"),
+        format=getattr(args, "log_format", "text"),
+        file=getattr(args, "log_file", None),
+    )

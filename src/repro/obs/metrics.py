@@ -1,0 +1,447 @@
+"""Thread-safe metrics registry: Counter / Gauge / Histogram.
+
+The instrumentation substrate every subsystem emits into.  Stdlib-only and
+deliberately small: three metric kinds, labeled children, and two render
+targets — Prometheus text exposition (served by ``GET /metrics``) and a
+JSON snapshot (embedded in run manifests, compared across benchmark runs).
+
+Naming convention (enforced nowhere, followed everywhere):
+``repro_<subsystem>_<name>_<unit>``, e.g. ``repro_serve_requests_total``,
+``repro_train_epoch_seconds``.  See docs/architecture.md.
+
+Metrics are cheap enough for per-call (not per-node) hot-path use: one
+lock acquisition per update, no allocation on the labeled fast path once
+the child exists.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+]
+
+#: Prometheus' classic latency buckets (seconds); +Inf is implicit.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_RESERVED_LABELS = frozenset({"le"})
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """Base: a named family of labeled children sharing one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()):
+        _validate_name(name)
+        for label in labelnames:
+            _validate_name(label)
+            if label in _RESERVED_LABELS:
+                raise ValueError(f"label name {label!r} is reserved")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], _Metric] = {}
+        # An unlabeled metric is its own single child.
+        self._labelvalues: tuple[str, ...] = ()
+
+    # ---------------------------------------------------------------- #
+    def labels(self, *values, **kwargs):
+        """The child for one label-value combination (created on demand)."""
+        if not self.labelnames:
+            raise ValueError(f"metric {self.name!r} has no labels")
+        if values and kwargs:
+            raise ValueError("pass label values positionally or by name, not both")
+        if kwargs:
+            try:
+                values = tuple(str(kwargs.pop(name)) for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(f"missing label {exc} for {self.name!r}") from exc
+            if kwargs:
+                raise ValueError(f"unknown labels {sorted(kwargs)} for {self.name!r}")
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes {len(self.labelnames)} label "
+                f"value(s), got {len(values)}"
+            )
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._new_child()
+                child.name = self.name
+                child.labelnames = self.labelnames
+                child._labelvalues = values
+                child._lock = self._lock
+                self._children[values] = child
+            return child
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def _samples(self) -> list:
+        """(labelvalues, state) for every child, sorted for stable output."""
+        with self._lock:
+            if self.labelnames:
+                return sorted(
+                    (values, child._state()) for values, child in self._children.items()
+                )
+            return [((), self._state())]
+
+    def _state(self):
+        raise NotImplementedError
+
+
+def _validate_name(name: str) -> None:
+    if not name or not (name[0].isalpha() or name[0] == "_"):
+        raise ValueError(f"invalid metric/label name {name!r}")
+    for ch in name:
+        if not (ch.isalnum() or ch == "_"):
+            raise ValueError(f"invalid metric/label name {name!r}")
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def _new_child(self):
+        child = Counter.__new__(Counter)
+        child.help = self.help
+        child._children = {}
+        child._value = 0.0
+        return child
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        if self.labelnames and self._labelvalues == ():
+            raise ValueError(f"metric {self.name!r} needs .labels(...) first")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _state(self) -> float:
+        return self._value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down; optionally callback-backed."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+        self._fn = None
+
+    def _new_child(self):
+        child = Gauge.__new__(Gauge)
+        child.help = self.help
+        child._children = {}
+        child._value = 0.0
+        child._fn = None
+        return child
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, fn) -> None:
+        """Pull-style gauge: ``fn()`` is called at collection time."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            return float(fn())
+        with self._lock:
+            return self._value
+
+    def _state(self) -> float:
+        # Called with the family lock held; a callback gauge must not
+        # re-enter it, so read _fn directly.
+        fn = self._fn
+        if fn is not None:
+            return float(fn())
+        return self._value
+
+
+class Histogram(_Metric):
+    """Cumulative histogram over fixed bucket boundaries."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", labelnames=(), buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate histogram bucket boundaries")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+
+    def _new_child(self):
+        child = Histogram.__new__(Histogram)
+        child.help = self.help
+        child._children = {}
+        child.buckets = self.buckets
+        child._counts = [0] * (len(self.buckets) + 1)
+        child._sum = 0.0
+        return child
+
+    def observe(self, value: float) -> None:
+        # Prometheus buckets are `le` (<=): the first bound >= value wins.
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    class _HistTimer:
+        __slots__ = ("_hist", "_start")
+
+        def __init__(self, hist):
+            self._hist = hist
+
+        def __enter__(self):
+            import time
+
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc):
+            import time
+
+            self._hist.observe(time.perf_counter() - self._start)
+
+    def time(self) -> "Histogram._HistTimer":
+        """Context manager observing the elapsed wall-clock seconds."""
+        return Histogram._HistTimer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def _state(self):
+        return (list(self._counts), self._sum)
+
+
+class MetricsRegistry:
+    """Get-or-create home for metric families; renders all of them."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    # ---------------------------------------------------------------- #
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name, help="", labelnames=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name, help="", labelnames=(), buckets=DEFAULT_BUCKETS) -> Histogram:
+        metric = self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+        if metric.buckets != tuple(sorted(float(b) for b in buckets)):
+            raise ValueError(f"histogram {name!r} already registered with other buckets")
+        return metric
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> list[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # ---------------------------------------------------------------- #
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for metric in self.collect():
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for labelvalues, state in metric._samples():
+                if metric.kind == "histogram":
+                    counts, total = state
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets, counts):
+                        cumulative += count
+                        labels = _format_labels(
+                            metric.labelnames + ("le",),
+                            labelvalues + (_format_value(bound),),
+                        )
+                        lines.append(
+                            f"{metric.name}_bucket{labels} {cumulative}"
+                        )
+                    cumulative += counts[-1]
+                    labels = _format_labels(
+                        metric.labelnames + ("le",), labelvalues + ("+Inf",)
+                    )
+                    lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                    plain = _format_labels(metric.labelnames, labelvalues)
+                    lines.append(f"{metric.name}_sum{plain} {_format_value(total)}")
+                    lines.append(f"{metric.name}_count{plain} {cumulative}")
+                else:
+                    labels = _format_labels(metric.labelnames, labelvalues)
+                    lines.append(f"{metric.name}{labels} {_format_value(state)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """JSON-able view of every metric's current state."""
+        out: dict = {}
+        for metric in self.collect():
+            samples = []
+            for labelvalues, state in metric._samples():
+                labels = dict(zip(metric.labelnames, labelvalues))
+                if metric.kind == "histogram":
+                    counts, total = state
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": {
+                                _format_value(b): c
+                                for b, c in zip(metric.buckets, counts)
+                            },
+                            "overflow": counts[-1],
+                            "sum": total,
+                            "count": sum(counts),
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": state})
+            out[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+                "samples": samples,
+            }
+        return out
+
+    def render_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+# --------------------------------------------------------------------- #
+# The process-default registry.  Library instrumentation (trainer,
+# inference, ATPG, OPI) emits here; the serve layer keeps a per-server
+# registry so embedded/test servers stay isolated, and /metrics renders
+# both.
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-default registry (tests); returns the old one."""
+    global _default_registry
+    with _default_lock:
+        old = _default_registry
+        _default_registry = registry
+    return old

@@ -24,6 +24,8 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs import logs
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.serve.admission import admit
 from repro.serve.config import ServeConfig
 from repro.serve.models import ModelManager
@@ -39,6 +41,8 @@ from repro.serve.protocol import (
 from repro.serve.service import ScoringService
 
 __all__ = ["NetlistScoreServer", "serve"]
+
+_log = logs.get_logger("serve")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -101,25 +105,43 @@ class _Handler(BaseHTTPRequestHandler):
         return self.rfile.read(length)
 
     # ------------------------------------------------------------------ #
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection or self.app.service.draining:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
+    # ------------------------------------------------------------------ #
     def do_GET(self) -> None:
         if self.path == "/healthz":
             self._send(200, self.app.health())
         elif self.path == "/readyz":
             ready, payload = self.app.readiness()
             self._send(200 if ready else 503, payload)
+        elif self.path == "/metrics":
+            self._send_text(
+                200,
+                self.app.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._send(404, {"error": {"code": "not_found", "message": self.path}})
 
     def do_POST(self) -> None:
         try:
-            if self.path == "/score":
-                self._score()
-            elif self.path == "/reload":
-                self._reload()
-            else:
-                self._send(
-                    404, {"error": {"code": "not_found", "message": self.path}}
-                )
+            with logs.request_context():
+                if self.path == "/score":
+                    self._score()
+                elif self.path == "/reload":
+                    self._reload()
+                else:
+                    self._send(
+                        404, {"error": {"code": "not_found", "message": self.path}}
+                    )
         except ConnectionError:
             return  # client went away; nothing to answer
         except BaseException as exc:  # never leak a traceback to the wire
@@ -139,6 +161,7 @@ class _Handler(BaseHTTPRequestHandler):
                 f"({self.app.config.admission_capacity} concurrent requests)",
                 retry_after_s=self.app.config.retry_after_s,
             )
+        admitted = time.monotonic()
         try:
             request = admit(self._read_body(), self.app.config)
         finally:
@@ -146,6 +169,9 @@ class _Handler(BaseHTTPRequestHandler):
         start = time.monotonic()
         labels, info = service.score(request)
         latency_ms = (time.monotonic() - start) * 1000.0
+        # Observed before the response is written, so a scrape racing the
+        # client never sees a 200 whose latency sample is missing.
+        self.app.request_latency.observe(time.monotonic() - admitted)
         labels_list = [int(x) for x in labels]
         payload = {
             "design": request.design,
@@ -199,6 +225,7 @@ class NetlistScoreServer:
         config: ServeConfig | None = None,
         manager: ModelManager | None = None,
         model_path=None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.manager = manager or ModelManager(
@@ -206,7 +233,15 @@ class NetlistScoreServer:
             breaker_threshold=self.config.breaker_threshold,
             breaker_reset_s=self.config.breaker_reset_s,
         )
-        self.service = ScoringService(self.manager, self.config)
+        # Per-instance registry so parallel test servers never share counts;
+        # /metrics also appends the process-default registry (library
+        # instrumentation like inference spans land there).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.service = ScoringService(self.manager, self.config, registry=self.registry)
+        self.request_latency = self.registry.histogram(
+            "repro_serve_request_latency_seconds",
+            "wall time of /score requests, admission through response",
+        )
         self.admission_gate = threading.BoundedSemaphore(
             self.config.admission_capacity
         )
@@ -229,6 +264,14 @@ class NetlistScoreServer:
             "model": self.manager.describe(),
             "service": self.service.snapshot(),
         }
+
+    def render_metrics(self) -> str:
+        """Prometheus text for this server plus the process-default registry."""
+        text = self.registry.render_prometheus()
+        default = get_registry()
+        if default is not self.registry:
+            text += default.render_prometheus()
+        return text
 
     def readiness(self) -> tuple[bool, dict]:
         ready = not self.service.draining and self.service.workers_alive() > 0
@@ -291,12 +334,17 @@ def serve(
     config: ServeConfig | None = None,
     model_path=None,
     install_signals: bool = True,
+    announce=None,
 ) -> int:
     """Blocking runner behind ``repro serve``; returns the exit status.
 
     SIGTERM/SIGINT initiate the drain sequence from a helper thread (the
     signal handler itself only sets it off): stop accepting, finish every
     accepted request, flush responses, exit 0.
+
+    ``announce`` is called with the one-line startup banner once the socket
+    is bound; the CLI passes ``print`` so wrappers (smoke tests, systemd
+    logs) can watch stdout for readiness regardless of log configuration.
     """
     server = NetlistScoreServer(config=config, model_path=model_path)
 
@@ -311,12 +359,23 @@ def serve(
 
     host, port = server.address
     model = server.manager.describe()
-    print(
+    banner = (
         f"repro-serve listening on http://{host}:{port} "
         f"(model level={model['level']}, workers={server.config.workers}, "
-        f"queue={server.config.queue_capacity})",
-        flush=True,
+        f"queue={server.config.queue_capacity})"
     )
+    _log.info(
+        "listening",
+        extra={
+            "host": host,
+            "port": port,
+            "model_level": model["level"],
+            "workers": server.config.workers,
+            "queue": server.config.queue_capacity,
+        },
+    )
+    if announce is not None:
+        announce(banner)
     server.serve_forever()  # returns once the drain thread calls shutdown()
     # Handler threads are still being joined at this point; wait for the
     # drain to actually finish before deciding the exit status.  The join

@@ -26,6 +26,8 @@ import queue
 import threading
 import time
 
+from repro.obs import logs
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.admission import ScoreRequest
 from repro.serve.config import ServeConfig
 from repro.serve.models import ModelManager
@@ -36,6 +38,20 @@ from repro.serve.protocol import (
 )
 
 __all__ = ["Job", "ScoringService"]
+
+_log = logs.get_logger("serve")
+
+#: request lifecycle events mirrored 1:1 into the legacy ``stats()`` keys
+_STAT_EVENTS = (
+    "accepted",
+    "completed",
+    "failed",
+    "degraded",
+    "rejected_overload",
+    "rejected_admission",
+    "rejected_draining",
+    "expired",
+)
 
 _PENDING, _RUNNING, _DONE, _FAILED, _CANCELLED = (
     "pending",
@@ -113,6 +129,7 @@ class ScoringService:
         config: ServeConfig | None = None,
         clock=time.monotonic,
         sleep=time.sleep,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.manager = manager
         self.config = config or ServeConfig()
@@ -123,18 +140,33 @@ class ScoringService:
         self._draining = threading.Event()
         self._lock = threading.Lock()
         self._in_flight = 0
+        # Shadow of queue depth, mutated only under self._lock so snapshot()
+        # can read it consistently with the counters (qsize() has no such
+        # guarantee relative to our accounting).
+        self._queued = 0
         self._idle = threading.Condition(self._lock)
-        self.stats = {
-            "accepted": 0,
-            "completed": 0,
-            "failed": 0,
-            "degraded": 0,
-            "rejected_overload": 0,
-            "rejected_admission": 0,
-            "rejected_draining": 0,
-            "expired": 0,
-            "worker_restarts": 0,
+        self.registry = registry if registry is not None else MetricsRegistry()
+        requests = self.registry.counter(
+            "repro_serve_requests_total",
+            "scoring requests by lifecycle event",
+            labelnames=("event",),
+        )
+        self._stat_counters = {
+            event: requests.labels(event) for event in _STAT_EVENTS
         }
+        self._worker_restarts = self.registry.counter(
+            "repro_serve_worker_restarts_total",
+            "worker threads respawned after dying",
+        )
+        self.registry.gauge(
+            "repro_serve_queue_depth", "jobs waiting in the scoring queue"
+        ).set_function(self.queue_depth)
+        self.registry.gauge(
+            "repro_serve_in_flight", "jobs currently running on a worker"
+        ).set_function(self.in_flight)
+        self.registry.gauge(
+            "repro_serve_workers_alive", "live worker threads"
+        ).set_function(self.workers_alive)
         self._workers: list[threading.Thread] = []
         for i in range(self.config.workers):
             self._workers.append(self._spawn(i))
@@ -160,7 +192,7 @@ class ScoringService:
             for i, thread in enumerate(self._workers):
                 if not thread.is_alive():
                     self._workers[i] = self._spawn(i)
-                    self.stats["worker_restarts"] += 1
+                    self._worker_restarts.inc()
                     respawned += 1
         return respawned
 
@@ -182,7 +214,7 @@ class ScoringService:
             for i, thread in enumerate(self._workers):
                 if thread is dying:
                     self._workers[i] = self._spawn(i)
-                    self.stats["worker_restarts"] += 1
+                    self._worker_restarts.inc()
                     break
 
     def _worker_main(self) -> None:
@@ -192,6 +224,7 @@ class ScoringService:
             except queue.Empty:
                 continue
             with self._lock:
+                self._queued -= 1
                 self._in_flight += 1
             try:
                 self._run_job(job)
@@ -215,7 +248,7 @@ class ScoringService:
             if job.cancel():
                 # Sat in the queue past its deadline with no waiter left.
                 with self._lock:
-                    self.stats["expired"] += 1
+                    self._stat_counters["expired"].inc()
             return
         try:
             if job.request.debug_sleep_s:
@@ -223,40 +256,43 @@ class ScoringService:
             labels, info = self.manager.predict(job.request.graph)
         except Exception as exc:
             with self._lock:
-                self.stats["failed"] += 1
+                self._stat_counters["failed"].inc()
             job.fail(exc)
             return
         with self._lock:
-            self.stats["completed"] += 1
+            self._stat_counters["completed"].inc()
             if info.get("degraded"):
-                self.stats["degraded"] += 1
+                self._stat_counters["degraded"].inc()
         job.finish(labels, info)
 
     def note_admission_reject(self) -> None:
         """Count a request turned away at the HTTP admission gate."""
         with self._lock:
-            self.stats["rejected_admission"] += 1
+            self._stat_counters["rejected_admission"].inc()
 
     # ------------------------------------------------------------------ #
     def submit(self, request: ScoreRequest) -> Job:
         """Admit ``request`` to the queue or raise 429/503 typed errors."""
         if self._draining.is_set() or self._stop.is_set():
             with self._lock:
-                self.stats["rejected_draining"] += 1
+                self._stat_counters["rejected_draining"].inc()
             raise DrainingError("server is draining; not accepting new work")
         self.ensure_workers()
         job = Job(request, deadline=self._clock() + request.deadline_s)
-        try:
-            self._queue.put_nowait(job)
-        except queue.Full:
-            with self._lock:
-                self.stats["rejected_overload"] += 1
-            raise OverloadedError(
-                f"work queue full ({self.config.queue_capacity} jobs)",
-                retry_after_s=self.config.retry_after_s,
-            ) from None
+        # The enqueue and its accounting happen under one lock acquisition
+        # (put_nowait never blocks), so a snapshot can never see an accepted
+        # job missing from queue_depth or vice versa.
         with self._lock:
-            self.stats["accepted"] += 1
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._stat_counters["rejected_overload"].inc()
+                raise OverloadedError(
+                    f"work queue full ({self.config.queue_capacity} jobs)",
+                    retry_after_s=self.config.retry_after_s,
+                ) from None
+            self._stat_counters["accepted"].inc()
+            self._queued += 1
         return job
 
     def score(self, request: ScoreRequest) -> tuple[object, dict]:
@@ -272,7 +308,7 @@ class ScoringService:
         if not job.wait(timeout=max(0.0, remaining)):
             job.cancel()
             with self._lock:
-                self.stats["expired"] += 1
+                self._stat_counters["expired"].inc()
             raise DeadlineExceededError(
                 f"deadline of {request.deadline_s:.3f}s expired for "
                 f"design {request.design!r}"
@@ -287,20 +323,42 @@ class ScoringService:
         return job.result, job.info
 
     # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> dict:
+        """Legacy dict view of the lifecycle counters (now registry-backed)."""
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
+        stats = {
+            event: int(counter.value)
+            for event, counter in self._stat_counters.items()
+        }
+        stats["worker_restarts"] = int(self._worker_restarts.value)
+        return stats
+
     def queue_depth(self) -> int:
-        return self._queue.qsize()
+        with self._lock:
+            return self._queued
 
     def in_flight(self) -> int:
         with self._lock:
             return self._in_flight
 
     def snapshot(self) -> dict:
+        """Consistent point-in-time view: counters and depths under one lock.
+
+        Every mutation site increments its counter and adjusts
+        ``_queued``/``_in_flight`` while holding ``self._lock``, so within
+        one snapshot ``completed + failed + expired <= accepted`` and, once
+        drained, ``accepted == completed + failed + expired``.
+        """
         with self._lock:
-            stats = dict(self.stats)
-        stats["queue_depth"] = self.queue_depth()
-        stats["in_flight"] = self.in_flight()
-        stats["workers_alive"] = self.workers_alive()
-        stats["draining"] = self._draining.is_set()
+            stats = self._stats_locked()
+            stats["queue_depth"] = self._queued
+            stats["in_flight"] = self._in_flight
+            stats["workers_alive"] = sum(1 for t in self._workers if t.is_alive())
+            stats["draining"] = self._draining.is_set()
         return stats
 
     @property

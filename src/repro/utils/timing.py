@@ -34,11 +34,21 @@ class Timer:
 
 
 def time_call(fn, *args, repeat: int = 1, **kwargs):
-    """Call ``fn`` ``repeat`` times; return ``(best_seconds, last_result)``."""
+    """Call ``fn`` ``repeat`` times; return ``(best_seconds, best_result)``.
+
+    The returned result is the one produced by the best-timed repeat, so
+    the pair is internally consistent even for functions whose output
+    varies between calls.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
     best = float("inf")
     result = None
     for _ in range(repeat):
         start = time.perf_counter()
-        result = fn(*args, **kwargs)
-        best = min(best, time.perf_counter() - start)
+        this_result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            result = this_result
     return best, result

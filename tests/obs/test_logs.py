@@ -1,0 +1,120 @@
+"""Structured logging: JSON lines, context propagation, configuration."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import logs
+
+
+@pytest.fixture
+def restore_logging():
+    root = logging.getLogger("repro")
+    saved = list(root.handlers)
+    saved_level = root.level
+    yield
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    for handler in saved:
+        root.addHandler(handler)
+    root.setLevel(saved_level)
+
+
+def capture(format="json", level="info"):
+    stream = io.StringIO()
+    logs.configure(level=level, format=format, stream=stream)
+    return stream
+
+
+class TestJsonFormat:
+    def test_one_object_per_line_with_extras(self, restore_logging):
+        stream = capture()
+        logs.get_logger("train").info("epoch", extra={"epoch": 3, "loss": 0.5})
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "info"
+        assert record["component"] == "train"
+        assert record["message"] == "epoch"
+        assert record["epoch"] == 3
+        assert record["loss"] == 0.5
+        assert record["ts"].endswith("+00:00")
+
+    def test_run_and_request_ids_propagate(self, restore_logging):
+        stream = capture()
+        with logs.run_context("run-1"):
+            with logs.request_context("req-9"):
+                logs.get_logger("serve").info("hit")
+        record = json.loads(stream.getvalue().strip())
+        assert record["run_id"] == "run-1"
+        assert record["request_id"] == "req-9"
+
+    def test_ids_absent_outside_context(self, restore_logging):
+        stream = capture()
+        logs.get_logger("serve").info("hit")
+        record = json.loads(stream.getvalue().strip())
+        assert "run_id" not in record
+        assert "request_id" not in record
+
+    def test_exception_serialised(self, restore_logging):
+        stream = capture()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logs.get_logger("x").exception("failed")
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "error"
+        assert "RuntimeError: boom" in record["exc"]
+
+
+class TestTextFormat:
+    def test_tags_appended(self, restore_logging):
+        stream = capture(format="text")
+        with logs.run_context("r1"):
+            logs.get_logger("flow").info("step", extra={"iteration": 2})
+        line = stream.getvalue().strip()
+        assert "flow: step" in line
+        assert "run=r1" in line
+        assert "iteration=2" in line
+
+
+class TestConfigure:
+    def test_idempotent_no_duplicate_handlers(self, restore_logging):
+        capture()
+        capture()
+        assert len(logging.getLogger("repro").handlers) == 1
+
+    def test_level_filtering(self, restore_logging):
+        stream = capture(level="warning")
+        logs.get_logger("x").info("quiet")
+        logs.get_logger("x").warning("loud")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+
+    def test_bad_format_rejected(self, restore_logging):
+        with pytest.raises(ValueError):
+            logs.configure(format="xml")
+
+    def test_ensure_configured_respects_existing(self, restore_logging):
+        stream = capture()
+        logs.ensure_configured()
+        logs.get_logger("x").info("once")
+        assert len(stream.getvalue().strip().splitlines()) == 1
+
+    def test_log_file(self, restore_logging, tmp_path):
+        path = tmp_path / "run.log"
+        logs.configure(level="info", format="json", file=str(path))
+        logs.get_logger("x").info("to file")
+        logging.getLogger("repro").handlers[0].flush()
+        assert "to file" in path.read_text()
+
+
+class TestCliArgs:
+    def test_round_trip(self, restore_logging):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        logs.add_cli_args(parser)
+        args = parser.parse_args(["--log-level", "debug", "--log-format", "json"])
+        root = logs.configure_from_args(args)
+        assert root.level == logging.DEBUG

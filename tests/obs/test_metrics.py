@@ -1,0 +1,224 @@
+"""Metrics registry: semantics, golden Prometheus text, JSON round-trip."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = MetricsRegistry().counter("x_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_children_are_cached(self):
+        c = MetricsRegistry().counter("x_total", labelnames=("kind",))
+        a = c.labels("a")
+        assert c.labels("a") is a
+        a.inc()
+        assert a.value == 1
+        assert c.labels("b").value == 0
+
+    def test_labels_by_keyword(self):
+        c = MetricsRegistry().counter("x_total", labelnames=("kind", "phase"))
+        child = c.labels(kind="a", phase="b")
+        assert child is c.labels("a", "b")
+
+    def test_family_itself_not_incrementable_when_labeled(self):
+        c = MetricsRegistry().counter("x_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4
+
+    def test_callback_gauge(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set_function(lambda: 7)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_le_semantics_boundary_inclusive(self):
+        h = MetricsRegistry().histogram("h_seconds", buckets=(1.0, 2.0))
+        h.observe(1.0)  # exactly on a boundary counts in that bucket (le)
+        h.observe(1.5)
+        h.observe(99.0)  # overflow
+        assert h.count == 3
+        assert h.sum == pytest.approx(101.5)
+        text = _registry_of(h).render_prometheus()
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="2"} 2' in text
+        assert 'h_seconds_bucket{le="+Inf"} 3' in text
+
+    def test_timer_observes(self):
+        h = MetricsRegistry().histogram("h_seconds")
+        with h.time():
+            pass
+        assert h.count == 1
+
+    def test_rejects_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h_seconds", buckets=(1.0, 1.0))
+
+
+def _registry_of(metric):
+    reg = MetricsRegistry()
+    with reg._lock:
+        reg._metrics[metric.name] = metric
+    return reg
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total")
+        with pytest.raises(ValueError):
+            reg.gauge("a_total")
+
+    def test_labelnames_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", labelnames=("x",))
+        with pytest.raises(ValueError):
+            reg.counter("a_total", labelnames=("y",))
+
+    def test_reserved_label_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a_total", labelnames=("le",))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad-name")
+
+    def test_set_registry_swaps_default(self):
+        mine = MetricsRegistry()
+        old = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(old)
+
+    def test_thread_safety_under_contention(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a_total", labelnames=("t",))
+
+        def worker(tag):
+            child = c.labels(tag)
+            for _ in range(2000):
+                child.inc()
+
+        threads = [
+            threading.Thread(target=worker, args=(str(i % 2),)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.labels("0").value + c.labels("1").value == 8000
+
+
+GOLDEN = """\
+# HELP demo_requests_total requests with "quotes" and back\\\\slash and\\nnewline
+# TYPE demo_requests_total counter
+demo_requests_total{method="get",path="/a\\"b\\\\c\\nd"} 2
+demo_requests_total{method="post",path="/x"} 1
+# HELP demo_seconds latency
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.125"} 1
+demo_seconds_bucket{le="0.5"} 3
+demo_seconds_bucket{le="+Inf"} 4
+demo_seconds_sum 3.0625
+demo_seconds_count 4
+# HELP demo_temperature current
+# TYPE demo_temperature gauge
+demo_temperature -2.5
+"""
+
+
+class TestPrometheusGolden:
+    def build(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        c = reg.counter(
+            "demo_requests_total",
+            'requests with "quotes" and back\\slash and\nnewline',
+            labelnames=("method", "path"),
+        )
+        c.labels("get", '/a"b\\c\nd').inc(2)
+        c.labels("post", "/x").inc()
+        # Exact binary fractions so _sum renders without float noise.
+        h = reg.histogram("demo_seconds", "latency", buckets=(0.125, 0.5))
+        for v in (0.0625, 0.25, 0.25, 2.5):
+            h.observe(v)
+        reg.gauge("demo_temperature", "current").set(-2.5)
+        return reg
+
+    def test_exact_text(self):
+        # Pins families sorted by name, label values sorted, cumulative
+        # buckets, +Inf, _sum/_count, HELP/label escaping, int formatting.
+        assert self.build().render_prometheus() == GOLDEN
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestJsonSnapshot:
+    def test_round_trip(self):
+        reg = TestPrometheusGolden().build()
+        snap = json.loads(reg.render_json())
+        assert set(snap) == {
+            "demo_requests_total",
+            "demo_seconds",
+            "demo_temperature",
+        }
+        counter = snap["demo_requests_total"]
+        assert counter["kind"] == "counter"
+        assert counter["labelnames"] == ["method", "path"]
+        by_labels = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in counter["samples"]
+        }
+        assert by_labels[(("method", "get"), ("path", '/a"b\\c\nd'))] == 2
+        hist = snap["demo_seconds"]["samples"][0]
+        assert hist["buckets"] == {"0.125": 1, "0.5": 2}
+        assert hist["overflow"] == 1
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(3.0625)
+        assert snap["demo_temperature"]["samples"][0]["value"] == -2.5
+
+    def test_snapshot_is_json_clean(self):
+        # Everything json.dumps-able without default=: no numpy leakage.
+        reg = TestPrometheusGolden().build()
+        json.dumps(reg.snapshot())
+
+
+class TestKindClasses:
+    def test_kinds(self):
+        assert Counter("a").kind == "counter"
+        assert Gauge("a").kind == "gauge"
+        assert Histogram("a").kind == "histogram"

@@ -1,0 +1,31 @@
+"""The no-print lint holds: library code logs, only the CLI prints."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def test_library_has_no_bare_print():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_no_print.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_lint_catches_a_violation(tmp_path):
+    # The linter itself must actually detect prints (no vacuous pass).
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        from check_no_print import print_calls
+    finally:
+        sys.path.pop(0)
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f():\n    print('x')  # print in a comment is fine\n")
+    assert print_calls(bad) == [2]
+    clean = tmp_path / "clean.py"
+    clean.write_text("s = 'print(1)'\nobj.print()\n")
+    assert print_calls(clean) == []

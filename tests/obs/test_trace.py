@@ -1,0 +1,116 @@
+"""Trace spans: nesting, no-op fast path, caps, serialisation."""
+
+import json
+
+import numpy as np
+
+import sys
+
+import repro.obs.trace  # noqa: F401 - imported for its sys.modules entry
+
+# `repro.obs`'s __init__ re-exports the trace *function* under the name
+# `trace`, shadowing the submodule attribute; go through sys.modules.
+tr = sys.modules["repro.obs.trace"]
+
+
+class TestSpanNesting:
+    def test_tree_structure(self):
+        with tr.trace("root") as root:
+            with tr.span("a"):
+                with tr.span("a.1"):
+                    pass
+            with tr.span("b", nodes=5):
+                pass
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert root.children[0].children[0].name == "a.1"
+        assert root.children[1].attrs == {"nodes": 5}
+        assert root.wall_s >= root.children[0].wall_s >= 0.0
+
+    def test_noop_outside_trace(self):
+        with tr.span("orphan") as node:
+            assert node is None
+        assert tr.current_span() is None
+
+    def test_current_span_tracks_innermost(self):
+        with tr.trace("root") as root:
+            assert tr.current_span() is root
+            with tr.span("a") as a:
+                assert tr.current_span() is a
+            assert tr.current_span() is root
+
+    def test_last_trace(self):
+        with tr.trace("done"):
+            pass
+        assert tr.last_trace().name == "done"
+
+    def test_exception_still_finishes_span(self):
+        try:
+            with tr.trace("root") as root:
+                with tr.span("failing"):
+                    raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert root.children[0].wall_s >= 0.0
+        assert root.wall_s > 0.0
+
+    def test_span_cap_drops_not_crashes(self, monkeypatch):
+        monkeypatch.setattr(tr, "MAX_SPANS", 3)
+        with tr.trace("root") as root:
+            for _ in range(5):
+                with tr.span("s"):
+                    pass
+        assert len(root.children) == 2  # root counts towards the cap
+        assert root.dropped == 3
+        assert root.to_dict()["dropped_spans"] == 3
+
+
+class TestSerialisation:
+    def test_to_dict_json_clean_with_numpy_attrs(self):
+        with tr.trace("root", n=np.int64(4), f=np.float32(0.5), arr=[1]):
+            with tr.span("child"):
+                pass
+        payload = tr.last_trace().to_dict()
+        text = json.dumps(payload)  # must not raise
+        assert payload["attrs"]["n"] == 4
+        assert payload["attrs"]["f"] == 0.5
+        assert isinstance(payload["attrs"]["arr"], str)
+        assert payload["children"][0]["name"] == "child"
+        assert "child" in text
+
+    def test_find(self):
+        with tr.trace("root"):
+            with tr.span("a"):
+                with tr.span("deep"):
+                    pass
+        assert tr.last_trace().find("deep").name == "deep"
+        assert tr.last_trace().find("missing") is None
+
+    def test_format_tree(self):
+        with tr.trace("root"):
+            with tr.span("child", nodes=3):
+                pass
+        text = tr.format_tree(tr.last_trace())
+        assert "root" in text
+        assert "child" in text
+        assert "nodes=3" in text
+
+    def test_self_wall_excludes_children(self):
+        with tr.trace("root") as root:
+            with tr.span("child"):
+                pass
+        assert root.self_wall_s <= root.wall_s
+
+
+class TestOverheadBudget:
+    def test_noop_span_is_cheap(self):
+        # The <3% sweep budget rides on the un-traced fast path; guard it
+        # coarsely (well under 50µs/call even on a loaded CI box).
+        import time
+
+        n = 20_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with tr.span("x"):
+                pass
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 50e-6

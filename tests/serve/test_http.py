@@ -338,3 +338,49 @@ class TestLifecycle:
         assert body["error"]["code"] == "draining"
         t.join(timeout=15)
         drainer.join(timeout=15)
+
+
+def fetch_metrics(srv):
+    host, port = srv.address
+    with urllib.request.urlopen(
+        f"http://{host}:{port}/metrics", timeout=30
+    ) as resp:
+        return resp.status, resp.headers["Content-Type"], resp.read().decode()
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_content_type(self, server):
+        status, ctype, text = fetch_metrics(server())
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "# TYPE repro_serve_request_latency_seconds histogram" in text
+        assert "repro_serve_queue_depth 0" in text
+
+    def test_counters_and_latency_move_with_traffic(self, server, bench_text):
+        srv = server()
+        status, _, _ = call(srv, "/score", {"netlist": bench_text, "design": "m"})
+        assert status == 200
+        _, _, text = fetch_metrics(srv)
+        assert 'repro_serve_requests_total{event="accepted"} 1' in text
+        assert 'repro_serve_requests_total{event="completed"} 1' in text
+        assert "repro_serve_request_latency_seconds_count 1" in text
+        assert 'repro_serve_request_latency_seconds_bucket{le="+Inf"} 1' in text
+
+    def test_rejections_are_counted(self, server):
+        srv = server()
+        status, _, _ = call(srv, "/score", {"netlist": "not a bench"})
+        assert status in (400, 422)
+        _, _, text = fetch_metrics(srv)
+        # Admission failures happen before the queue; the request counter
+        # families exist regardless, so scrapers see stable series.
+        assert 'repro_serve_requests_total{event="rejected_overload"} 0' in text
+
+    def test_servers_have_isolated_registries(self, server, bench_text):
+        a = server()
+        b = server()
+        call(a, "/score", {"netlist": bench_text, "design": "m"})
+        _, _, text_a = fetch_metrics(a)
+        _, _, text_b = fetch_metrics(b)
+        assert 'repro_serve_requests_total{event="accepted"} 1' in text_a
+        assert 'repro_serve_requests_total{event="accepted"} 0' in text_b

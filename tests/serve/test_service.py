@@ -196,3 +196,112 @@ class TestDrain:
         assert service.drain(timeout=0.1) is False
         manager.release.set()
         service.stop()
+
+
+class TestStatsRegistry:
+    def test_stats_dict_view_matches_legacy_keys(self):
+        service = make_service()
+        try:
+            service.score(request())
+            stats = service.stats
+            assert stats["accepted"] == 1
+            assert stats["completed"] == 1
+            assert set(stats) == {
+                "accepted",
+                "completed",
+                "failed",
+                "degraded",
+                "rejected_overload",
+                "rejected_admission",
+                "rejected_draining",
+                "expired",
+                "worker_restarts",
+            }
+        finally:
+            service.stop()
+
+    def test_counters_land_in_the_service_registry(self):
+        service = make_service()
+        try:
+            service.score(request())
+            text = service.registry.render_prometheus()
+            assert 'repro_serve_requests_total{event="accepted"} 1' in text
+            assert 'repro_serve_requests_total{event="completed"} 1' in text
+            assert "repro_serve_workers_alive 1" in text
+        finally:
+            service.stop()
+
+    def test_services_do_not_share_registries(self):
+        a, b = make_service(), make_service()
+        try:
+            a.score(request())
+            assert a.stats["accepted"] == 1
+            assert b.stats["accepted"] == 0
+        finally:
+            a.stop()
+            b.stop()
+
+
+class TestSnapshotConsistency:
+    def test_snapshot_is_internally_consistent_under_load(self):
+        """Satellite fix: depths and counters are read under one lock.
+
+        While submitters hammer the service, no snapshot may show more
+        settled work than was accepted, and the depth fields must stay in
+        range; after the load stops and the queue drains, the identity
+        ``accepted == completed + failed`` holds exactly (the generous
+        deadline rules out expiry).
+        """
+        service = make_service(workers=2, queue_capacity=32)
+        stop = threading.Event()
+        errors = []
+
+        def submitter():
+            while not stop.is_set():
+                try:
+                    service.score(request(deadline_s=30.0))
+                except (OverloadedError, DrainingError) as exc:
+                    if isinstance(exc, DrainingError):
+                        errors.append(exc)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            deadline = time.monotonic() + 1.0
+            snapshots = 0
+            while time.monotonic() < deadline:
+                snap = service.snapshot()
+                settled = snap["completed"] + snap["failed"] + snap["expired"]
+                assert settled <= snap["accepted"], snap
+                assert 0 <= snap["queue_depth"] <= 32, snap
+                assert 0 <= snap["in_flight"] <= 2, snap
+                snapshots += 1
+            assert snapshots > 10
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30.0)
+        assert not errors
+        assert service.drain(timeout=30.0)
+        snap = service.snapshot()
+        assert snap["accepted"] == snap["completed"] + snap["failed"], snap
+        assert snap["expired"] == 0
+        assert snap["queue_depth"] == 0
+        assert snap["in_flight"] == 0
+
+    def test_queue_depth_counts_accepted_not_yet_running(self):
+        manager = BlockingManager()
+        service = make_service(manager, workers=1, queue_capacity=4)
+        try:
+            service.submit(request())  # claimed by the worker
+            assert manager.started.wait(timeout=5.0)
+            service.submit(request())  # parked in the queue
+            snap = service.snapshot()
+            assert snap["accepted"] == 2
+            assert snap["in_flight"] == 1
+            assert snap["queue_depth"] == 1
+            manager.release.set()
+        finally:
+            manager.release.set()
+            service.stop()

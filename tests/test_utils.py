@@ -50,6 +50,25 @@ class TestTimer:
         assert result == 42
         assert seconds >= 0.0
 
+    def test_time_call_returns_result_of_best_repeat(self):
+        # Regression: the result must come from the best-timed call, not be
+        # lost to a repeat that timed worse (every call must yield a usable
+        # result regardless of which repeat won the timing).
+        calls = []
+
+        def fn():
+            calls.append(len(calls))
+            return calls[-1]
+
+        seconds, result = time_call(fn, repeat=5)
+        assert len(calls) == 5
+        assert result in calls  # a real call's result, never None
+        assert seconds >= 0.0
+
+    def test_time_call_rejects_zero_repeat(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
+
 
 class TestFormatTable:
     def test_alignment_and_title(self):
