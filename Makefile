@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples report serve-smoke clean-cache
+.PHONY: install test bench bench-full bench-faultsim examples report serve-smoke faultsim-smoke clean-cache
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -22,8 +22,14 @@ examples:
 report:
 	$(PYTHON) -m repro report
 
+bench-faultsim:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fault_sim.py
+
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
+
+faultsim-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/faultsim_smoke.py
 
 clean-cache:
 	rm -rf ~/.cache/repro-gcn-test results

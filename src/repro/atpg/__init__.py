@@ -11,6 +11,18 @@ from repro.atpg.simulator import (
     random_pattern_words,
     unpack_values,
 )
+from repro.atpg.cones import (
+    ConeIndex,
+    cone_cache_info,
+    get_cone_index,
+    invalidate_cone_cache,
+)
+from repro.atpg.ppsfp import (
+    BatchedConeEngine,
+    PpsfpConfig,
+    PpsfpEngine,
+    resolve_backend,
+)
 from repro.atpg.observability import ObservabilityAnalyzer, observability_counts
 from repro.atpg.faults import Fault, collapse_faults, full_fault_list
 from repro.atpg.fault_sim import FaultSimResult, FaultSimulator
@@ -28,6 +40,14 @@ __all__ = [
     "pack_patterns",
     "random_pattern_words",
     "unpack_values",
+    "ConeIndex",
+    "cone_cache_info",
+    "get_cone_index",
+    "invalidate_cone_cache",
+    "BatchedConeEngine",
+    "PpsfpConfig",
+    "PpsfpEngine",
+    "resolve_backend",
     "ObservabilityAnalyzer",
     "observability_counts",
     "Fault",

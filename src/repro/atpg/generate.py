@@ -26,7 +26,7 @@ import numpy as np
 from repro.atpg.faults import Fault, collapse_faults
 from repro.atpg.fault_sim import FaultSimulator
 from repro.atpg.podem import Podem, TestCube
-from repro.atpg.simulator import pack_patterns
+from repro.atpg.simulator import pack_patterns, unpack_values
 from repro.circuit.netlist import Netlist
 from repro.utils.rng import as_rng
 
@@ -46,6 +46,9 @@ class AtpgConfig:
     #: weighted-random BIST; see :mod:`repro.atpg.weighted_random`)
     weighted_random: bool = False
     seed: int | None = 0
+    #: fault-simulation backend (``auto`` | ``serial`` | ``batched`` |
+    #: ``parallel``); results are bit-identical, only speed differs
+    fault_sim_backend: str = "auto"
 
 
 @dataclass
@@ -80,7 +83,7 @@ def run_atpg(
     if faults is None:
         faults = collapse_faults(netlist)
     total_faults = len(faults)
-    fsim = FaultSimulator(netlist)
+    fsim = FaultSimulator(netlist, backend=config.fault_sim_backend)
     n_sources = fsim.simulator.n_sources
 
     kept_patterns: list[np.ndarray] = []
@@ -113,7 +116,7 @@ def run_atpg(
             remaining = [f for f in remaining if f not in dropped]
             # Keep only the patterns that first-detected something.
             used_bits = sorted({p for p in result.detecting_pattern.values()})
-            unpacked = _unpack_batch(batch_words, 64)
+            unpacked = unpack_values(batch_words, 64)
             for bit in used_bits:
                 kept_patterns.append(unpacked[bit])
         if len(result.detected) < config.min_batch_yield:
@@ -167,6 +170,7 @@ def run_atpg(
         patterns = _reverse_order_compaction(fsim, graded, patterns)
 
     coverage = detected / detectable if detectable else 1.0
+    fsim.close()
     return AtpgResult(
         patterns=patterns,
         fault_coverage=coverage,
@@ -179,17 +183,6 @@ def run_atpg(
         untestable_faults=untestable_faults,
         undetected_faults=list(remaining),
     )
-
-
-def _unpack_batch(batch_words: np.ndarray, n_patterns: int) -> np.ndarray:
-    """(n_sources, 1) words -> (n_patterns, n_sources) bits."""
-    n_sources = batch_words.shape[0]
-    out = np.zeros((n_patterns, n_sources), dtype=np.uint8)
-    for p in range(n_patterns):
-        out[p] = (
-            (batch_words[:, p // 64] >> np.uint64(p % 64)) & np.uint64(1)
-        ).astype(np.uint8)
-    return out
 
 
 def _reverse_order_compaction(

@@ -39,12 +39,40 @@ _ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
 class ObservabilityAnalyzer:
-    """Per-pattern observability masks for every node of a netlist."""
+    """Per-pattern observability masks for every node of a netlist.
 
-    def __init__(self, netlist: Netlist, exact_stems: bool = True) -> None:
+    ``backend`` picks how the exact stem masks are resolved:
+    ``serial`` walks each stem's cone gate by gate (the oracle);
+    ``batched``/``parallel`` grade every stem in one fault-axis engine
+    call (:mod:`repro.atpg.ppsfp`) before the backward walk — the masks
+    depend only on the good values, never on each other, so they can all
+    be computed up front.  Results are bit-identical across backends.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        exact_stems: bool = True,
+        backend: str = "auto",
+        config=None,
+    ) -> None:
         self.netlist = netlist
         self.simulator = LogicSimulator(netlist)
         self.exact_stems = exact_stems
+        self.backend = backend
+        self._config = config
+        self._engine = None
+
+    def close(self) -> None:
+        """Release the stem-grading engine's worker pool, if any."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "ObservabilityAnalyzer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def masks(self, source_words: np.ndarray) -> np.ndarray:
@@ -56,7 +84,9 @@ class ObservabilityAnalyzer:
         values = self.simulator.simulate(source_words)
         return self.masks_from_values(values)
 
-    def masks_from_values(self, values: np.ndarray) -> np.ndarray:
+    def masks_from_values(
+        self, values: np.ndarray, backend: str | None = None
+    ) -> np.ndarray:
         """Same as :meth:`masks` given precomputed good-circuit values."""
         netlist = self.netlist
         n_words = values.shape[1]
@@ -66,15 +96,27 @@ class ObservabilityAnalyzer:
         observed.update(netlist.observation_points())
         obs[sorted(observed)] = _ONES
 
-        # Reverse topological walk.
-        for v in reversed(self.simulator.order):
-            if v in observed:
-                continue  # directly observed, already all-ones
-            fanouts = [
+        def _nondff_fanouts(v: int) -> list[int]:
+            return [
                 w
                 for w in netlist.fanouts(v)
                 if netlist.gate_type(w) is not GateType.DFF
             ]
+
+        stem_masks: dict[int, np.ndarray] = {}
+        if self.exact_stems:
+            stems = [
+                v
+                for v in self.simulator.order
+                if v not in observed and len(_nondff_fanouts(v)) > 1
+            ]
+            stem_masks = self._resolve_stems(stems, values, backend)
+
+        # Reverse topological walk.
+        for v in reversed(self.simulator.order):
+            if v in observed:
+                continue  # directly observed, already all-ones
+            fanouts = _nondff_fanouts(v)
             if not fanouts:
                 obs[v] = _ZERO
                 continue
@@ -82,13 +124,51 @@ class ObservabilityAnalyzer:
                 g = fanouts[0]
                 obs[v] = obs[g] & _local_sensitisation(netlist, g, v, values)
             elif self.exact_stems:
-                obs[v] = self._stem_mask(v, values)
+                obs[v] = stem_masks[v]
             else:
                 mask = np.zeros(n_words, dtype=np.uint64)
                 for g in fanouts:
                     mask |= obs[g] & _local_sensitisation(netlist, g, v, values)
                 obs[v] = mask
         return obs
+
+    def _resolve_stems(
+        self, stems: list[int], values: np.ndarray, backend: str | None
+    ) -> dict[int, np.ndarray]:
+        """Exact observability mask for every fanout stem at once."""
+        from repro.atpg.ppsfp import resolve_backend
+
+        n_words = values.shape[1]
+        if not stems:
+            return {}
+        resolved = resolve_backend(
+            backend or self.backend, len(stems), n_words
+        )
+        if resolved == "serial":
+            return {v: self._stem_mask(v, values) for v in stems}
+        if self._engine is None:
+            from repro.atpg.ppsfp import PpsfpEngine
+
+            # Stem resolution observes at the observation *sites* only;
+            # inserted OBS cells expose their fanin, which is already a
+            # site — mirroring :meth:`_stem_mask` exactly.
+            self._engine = PpsfpEngine(
+                self.simulator,
+                set(self.netlist.observation_sites),
+                self._config,
+            )
+        sites = np.array(stems, dtype=np.int64)
+        diffs = self._engine.masks(sites, values, stuck=None, backend=resolved)
+        observed = self._engine.observed
+        out: dict[int, np.ndarray] = {}
+        for i, v in enumerate(stems):
+            if not self.simulator.forward_cone(v):
+                out[v] = np.zeros(n_words, dtype=np.uint64)
+            elif v in observed:
+                out[v] = diffs[i] | _ONES
+            else:
+                out[v] = diffs[i]
+        return out
 
     def _stem_mask(self, stem: int, values: np.ndarray) -> np.ndarray:
         """Exact stem observability by faulty-cone resimulation."""
@@ -199,6 +279,7 @@ def observability_counts(
     n_patterns: int,
     seed: int | np.random.Generator | None = 0,
     exact_stems: bool = True,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Count, per node, how many of ``n_patterns`` random patterns observe it.
 
@@ -208,9 +289,11 @@ def observability_counts(
     from repro.utils.rng import as_rng
 
     rng = as_rng(seed)
-    analyzer = ObservabilityAnalyzer(netlist, exact_stems=exact_stems)
-    n_words = (n_patterns + 63) // 64
-    source_words = analyzer.simulator.random_source_words(n_words, rng)
-    masks = analyzer.masks(source_words)
+    with ObservabilityAnalyzer(
+        netlist, exact_stems=exact_stems, backend=backend
+    ) as analyzer:
+        n_words = (n_patterns + 63) // 64
+        source_words = analyzer.simulator.random_source_words(n_words, rng)
+        masks = analyzer.masks(source_words)
     masks = masks & tail_mask(n_patterns)[None, :]
     return np.bitwise_count(masks).sum(axis=1).astype(np.int64)

@@ -23,30 +23,33 @@ _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 def pack_patterns(patterns: np.ndarray) -> np.ndarray:
     """Pack a ``(n_patterns, n_signals)`` 0/1 array into ``(n_signals, W)`` words.
 
-    Pattern ``p`` occupies bit ``p % 64`` of word ``p // 64``.
+    Pattern ``p`` occupies bit ``p % 64`` of word ``p // 64``.  The whole
+    transpose is a single ``np.packbits`` call (little-endian bit order
+    matches the word layout byte for byte), not a per-pattern Python loop.
     """
-    patterns = np.asarray(patterns, dtype=np.uint8)
+    patterns = np.asarray(patterns)
     if patterns.ndim != 2:
         raise ValueError("patterns must be 2-D (n_patterns, n_signals)")
     n_patterns, n_signals = patterns.shape
     n_words = (n_patterns + WORD_BITS - 1) // WORD_BITS
-    words = np.zeros((n_signals, n_words), dtype=np.uint64)
-    for p in range(n_patterns):
-        word, bit = divmod(p, WORD_BITS)
-        mask = np.uint64(1) << np.uint64(bit)
-        rows = patterns[p].astype(bool)
-        words[rows, word] |= mask
-    return words
+    bits = np.zeros((n_signals, n_words * WORD_BITS), dtype=np.uint8)
+    bits[:, :n_patterns] = (patterns != 0).T
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    return packed.view("<u8").astype(np.uint64, copy=False)
 
 
 def unpack_values(words: np.ndarray, n_patterns: int) -> np.ndarray:
     """Inverse of :func:`pack_patterns`: ``(n_signals, W)`` -> ``(n_patterns, n_signals)``."""
     n_signals, n_words = words.shape
-    out = np.zeros((n_patterns, n_signals), dtype=np.uint8)
-    for p in range(n_patterns):
-        word, bit = divmod(p, WORD_BITS)
-        out[p] = (words[:, word] >> np.uint64(bit)).astype(np.uint64) & np.uint64(1)
-    return out
+    if n_patterns > n_words * WORD_BITS:
+        raise ValueError(
+            f"{n_patterns} patterns do not fit in {n_words} packed words"
+        )
+    byts = np.ascontiguousarray(words.astype("<u8", copy=False)).view(np.uint8)
+    bits = np.unpackbits(
+        byts.reshape(n_signals, n_words * 8), axis=1, bitorder="little"
+    )
+    return np.ascontiguousarray(bits[:, :n_patterns].T)
 
 
 def random_pattern_words(
@@ -155,23 +158,16 @@ class LogicSimulator:
         return _eval_group(gate_type, len(fanins), idx, values, n_words)[0]
 
     def forward_cone(self, node: int) -> list[int]:
-        """Nodes strictly downstream of ``node`` (combinationally), topo-sorted."""
-        netlist = self.netlist
-        seen = {node}
-        stack = [node]
-        cone = []
-        while stack:
-            v = stack.pop()
-            for w in netlist.fanouts(v):
-                if w in seen:
-                    continue
-                if netlist.gate_type(w) is GateType.DFF:
-                    continue  # value captured; no further combinational travel
-                seen.add(w)
-                cone.append(w)
-                stack.append(w)
-        cone.sort(key=lambda v: (self.levels[v], v))
-        return cone
+        """Nodes strictly downstream of ``node`` (combinationally), topo-sorted.
+
+        Cached: the traversal runs once per node per netlist *content* and
+        is shared across simulator instances through the fingerprint-keyed
+        LRU in :mod:`repro.atpg.cones`.  Like the uncached implementation
+        this always reflects the netlist's current structure.
+        """
+        from repro.atpg.cones import get_cone_index
+
+        return list(get_cone_index(self.netlist).cone(node))
 
 
 def _eval_group(

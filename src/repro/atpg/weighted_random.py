@@ -100,8 +100,9 @@ def weighted_pattern_words(
     rng = as_rng(rng)
     n_sources = len(weights)
     bits = rng.random((n_sources, n_words * 64)) < weights[:, None]
-    words = np.zeros((n_sources, n_words), dtype=np.uint64)
-    for b in range(64):
-        chunk = bits[:, b::64]
-        words |= chunk.astype(np.uint64) << np.uint64(b)
-    return words
+    # Pattern p sits at bit p % 64 of word p // 64 — exactly the
+    # pack_patterns layout, and the same RNG draw order as the old
+    # shift-and-or loop, so packing is bit-identical.
+    from repro.atpg.simulator import pack_patterns
+
+    return pack_patterns(bits.T)

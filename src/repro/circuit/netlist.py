@@ -36,6 +36,11 @@ class Netlist:
         self._names: list[str | None] = []
         self._po_marks: set[int] = set()
         self._name_to_id: dict[str, int] = {}
+        #: monotonically increasing structural-mutation counter; guards the
+        #: cached content fingerprint below.
+        self._version: int = 0
+        self._fingerprint: str | None = None
+        self._fingerprint_version: int = -1
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -57,6 +62,7 @@ class Netlist:
             if not 0 <= u < len(self._types):
                 raise ValueError(f"fanin id {u} does not exist")
         node = len(self._types)
+        self._version += 1
         self._types.append(gate_type)
         self._fanins.append(fanins)
         self._fanouts.append([])
@@ -76,6 +82,8 @@ class Netlist:
     def mark_output(self, node: int) -> None:
         """Mark ``node`` as a primary output (idempotent)."""
         self._validate_node(node)
+        if node not in self._po_marks:
+            self._version += 1
         self._po_marks.add(node)
 
     @staticmethod
@@ -174,6 +182,51 @@ class Netlist:
     def is_output(self, node: int) -> bool:
         return node in self._po_marks
 
+    # ------------------------------------------------------------------ #
+    # Structural identity
+    # ------------------------------------------------------------------ #
+    @property
+    def mutation_count(self) -> int:
+        """Number of structural mutations applied so far (cache guard)."""
+        return self._version
+
+    def note_external_mutation(self) -> None:
+        """Invalidate cached structural state after out-of-band edits.
+
+        Code that reaches into the private lists directly (the incremental
+        OPI rollback does) must call this so :meth:`fingerprint` never
+        serves a hash of content that has since changed.
+        """
+        self._version += 1
+
+    def fingerprint(self) -> str:
+        """Content hash of the structure (types, fanins, output marks).
+
+        Two netlists with identical structure — regardless of object
+        identity, cell names or design name — share a fingerprint, which is
+        what keys the shared forward-cone cache
+        (:mod:`repro.atpg.cones`).  The hash is memoised and recomputed
+        only after a structural mutation.
+        """
+        if self._fingerprint_version == self._version and self._fingerprint:
+            return self._fingerprint
+        import hashlib
+
+        import numpy as np
+
+        h = hashlib.sha256()
+        h.update(np.array(self._types, dtype=np.int16).tobytes())
+        lengths = np.fromiter(
+            (len(f) for f in self._fanins), dtype=np.int64, count=len(self._fanins)
+        )
+        h.update(lengths.tobytes())
+        flat = [u for fanins in self._fanins for u in fanins]
+        h.update(np.array(flat, dtype=np.int64).tobytes())
+        h.update(np.array(sorted(self._po_marks), dtype=np.int64).tobytes())
+        self._fingerprint = h.hexdigest()
+        self._fingerprint_version = self._version
+        return self._fingerprint
+
     def observation_points(self) -> list[int]:
         """Return ids of inserted ``OBS`` cells."""
         return [v for v, t in enumerate(self._types) if t is GateType.OBS]
@@ -211,6 +264,7 @@ class Netlist:
                 f"node {old_driver} does not drive node {sink}"
             ) from None
         fanins[pin] = new_driver
+        self._version += 1
         self._fanouts[old_driver].remove(sink)
         self._fanouts[new_driver].append(sink)
 
@@ -258,6 +312,9 @@ class Netlist:
         dup._names = list(self._names)
         dup._po_marks = set(self._po_marks)
         dup._name_to_id = dict(self._name_to_id)
+        dup._version = self._version
+        dup._fingerprint = self._fingerprint
+        dup._fingerprint_version = self._fingerprint_version
         return dup
 
     def type_counts(self) -> dict[str, int]:

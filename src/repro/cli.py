@@ -100,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("netlist", help="input .bench path")
     ana.add_argument("--patterns", type=int, default=256)
     ana.add_argument("--threshold", type=float, default=0.01)
+    ana.add_argument(
+        "--fault-sim-backend",
+        choices=["auto", "serial", "batched", "parallel"],
+        default="auto",
+        help="fault-simulation engine for the exact observability labels",
+    )
 
     train = sub.add_parser(
         "train",
@@ -147,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("netlist", help="input .bench path")
     atpg.add_argument("--max-random", type=int, default=2048)
     atpg.add_argument("--seed", type=int, default=0)
+    atpg.add_argument(
+        "--fault-sim-backend",
+        choices=["auto", "serial", "batched", "parallel"],
+        default="auto",
+        help="fault-simulation engine for the random/compaction phases",
+    )
 
     exp = sub.add_parser(
         "experiment", parents=[log_flags], help="regenerate a paper table/figure"
@@ -218,7 +230,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     scoap = compute_scoap(netlist)
     cop = compute_cop(netlist)
     labels = label_nodes(
-        netlist, LabelConfig(n_patterns=args.patterns, threshold=args.threshold)
+        netlist,
+        LabelConfig(
+            n_patterns=args.patterns,
+            threshold=args.threshold,
+            backend=args.fault_sim_backend,
+        ),
     )
     print(f"SCOAP CO: median={np.median(scoap.co):.1f} max={scoap.co.max():.0f}")
     print(f"COP obs:  median={np.median(cop.obs):.4f} min={cop.obs.min():.2e}")
@@ -348,7 +365,11 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     netlist = load_bench(args.netlist)
     result = run_atpg(
         netlist,
-        config=AtpgConfig(max_random_patterns=args.max_random, seed=args.seed),
+        config=AtpgConfig(
+            max_random_patterns=args.max_random,
+            seed=args.seed,
+            fault_sim_backend=args.fault_sim_backend,
+        ),
     )
     print(
         f"faults={result.n_faults} coverage={result.fault_coverage:.2%} "

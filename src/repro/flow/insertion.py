@@ -82,6 +82,13 @@ class OpiConfig:
     #: iterations without a drop in the positive count (None = no watchdog)
     stall_patience: int | None = None
     verbose: bool = False
+    #: after the flow exits, re-run the exact observability labelling on
+    #: the final design (ground truth, not predictions) and record the
+    #: residual difficult-to-observe count on the result — affordable now
+    #: that the labelling rides the batched fault-simulation engine
+    validate_labels: bool = False
+    #: labelling parameters for the validation pass (None = defaults)
+    label_config: object | None = None
 
 
 @dataclass
@@ -92,6 +99,10 @@ class OpiResult:
     inserted: list[int] = field(default_factory=list)  #: targets, in order
     iterations: int = 0
     positives_history: list[int] = field(default_factory=list)
+    #: ground-truth difficult-to-observe nodes left after insertion
+    #: (``OpiConfig.validate_labels`` only)
+    residual_positives: int | None = None
+    residual_positive_rate: float | None = None
 
     @property
     def n_ops(self) -> int:
@@ -195,6 +206,27 @@ def run_gcn_opi(
                 _save_opi(checkpoint, iteration, netlist, result)
             if config.max_ops is not None and result.n_ops >= config.max_ops:
                 break
+
+    if config.validate_labels:
+        from repro.testability.labels import LabelConfig, label_nodes
+
+        with span("opi.validate_labels", nodes=design.netlist.num_nodes):
+            label_config = config.label_config or LabelConfig()
+            labelled = label_nodes(design.netlist, label_config)
+        result.residual_positives = labelled.n_positive
+        result.residual_positive_rate = labelled.positive_rate
+        get_registry().gauge(
+            "repro_opi_residual_positives",
+            "ground-truth difficult-to-observe nodes after the OPI flow",
+        ).set(labelled.n_positive)
+        if config.verbose:
+            _log.info(
+                "opi validation",
+                extra={
+                    "residual_positives": labelled.n_positive,
+                    "positive_rate": labelled.positive_rate,
+                },
+            )
 
     return result
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.atpg.cones import invalidate_cone_cache
 from repro.circuit.levelize import logic_levels, topological_order
 from repro.circuit.netlist import Netlist
 from repro.core.attributes import AttributeConfig, OP_ATTRIBUTES, normalize_attributes
@@ -98,6 +99,10 @@ class IncrementalDesign:
             changed_co=[],
             attr_rows=[],
         )
+        # Drop the shared forward-cone index *before* the structure changes
+        # so a concurrent reader can never warm it with mixed-generation
+        # cones (see repro.atpg.cones).
+        invalidate_cone_cache(self.netlist)
         p = self.netlist.insert_observation_point(target)
         n = self.netlist.num_nodes
         self.graph.pred.resize((n, n))
@@ -126,6 +131,7 @@ class IncrementalDesign:
     def rollback(self, checkpoint: _Checkpoint) -> None:
         """Undo the most recent insertion recorded in ``checkpoint``."""
         n = checkpoint.n_nodes
+        invalidate_cone_cache(self.netlist)
         target = self.netlist._fanins[-1][0]
         self.netlist._types.pop()
         self.netlist._fanins.pop()
@@ -148,6 +154,11 @@ class IncrementalDesign:
         for v, row in checkpoint.attr_rows:
             self.graph.attributes[v] = row
         self.graph.attributes = self._attr_store[:n]
+        # The pops above bypass the Netlist mutators, so the structural
+        # version (and with it the memoised fingerprint) must be advanced
+        # by hand — otherwise the reverted netlist would keep serving the
+        # post-insert fingerprint and poison the cone cache.
+        self.netlist.note_external_mutation()
 
     def tentative_insert(self, target: int):
         """Insert an OP, returning a zero-argument undo callable."""

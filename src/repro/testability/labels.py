@@ -42,6 +42,9 @@ class LabelConfig:
     threshold: float = 0.01
     seed: int = 0
     exact_stems: bool = True
+    #: fault-simulation backend for the exact stem analysis
+    #: (``auto`` | ``serial`` | ``batched`` | ``parallel``)
+    backend: str = "auto"
 
 
 @dataclass
@@ -77,6 +80,7 @@ def label_nodes(netlist: Netlist, config: LabelConfig | None = None) -> LabelRes
         n_patterns=config.n_patterns,
         seed=config.seed,
         exact_stems=config.exact_stems,
+        backend=config.backend,
     )
     cutoff = config.threshold * config.n_patterns
     labels = (counts < cutoff).astype(np.int64)
