@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-faultsim examples report serve-smoke faultsim-smoke clean-cache
+.PHONY: install test lint bench bench-full bench-faultsim bench-sharded examples report serve-smoke faultsim-smoke clean-cache
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) scripts/check_no_print.py
+	$(PYTHON) scripts/check_api_boundaries.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -24,6 +28,9 @@ report:
 
 bench-faultsim:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fault_sim.py
+
+bench-sharded:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sharded_inference.py
 
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py

@@ -1,0 +1,139 @@
+"""Sharded-inference benchmark: single-process vs partitioned multi-core.
+
+Scores a ladder of synthetic designs through the plain ``FastInference``
+chain and through ``ShardedInference`` (in-process shard loop and, on
+multi-core hosts, the fork-pool path) and writes
+``results/BENCH_sharded_inference.json`` with nodes/sec, wall-clock,
+speedups over the single-process baseline, partition quality (edge cut,
+imbalance, halo fraction) and a float64 bit-identity check per tier.
+
+Run directly (``make bench-sharded``); it is not a pytest-benchmark
+module — the acceptance numbers come from wall-clock over a fixed
+workload, not statistical micro-timing.
+
+Environment knobs: ``REPRO_SCALE`` scales every tier, ``REPRO_RESULTS``
+redirects the output directory, ``REPRO_BENCH_REPEATS`` (default 3) sets
+best-of-N timing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.config import ExecutionConfig
+from repro.core.graphdata import GraphData
+from repro.core.inference import FastInference
+from repro.core.model import GCN, GCNConfig
+from repro.data.benchmarks import benchmark_scale, generate_design
+from repro.experiments.common import write_result
+from repro.graph import PartitionConfig, ShardedInference, partition_graph
+
+#: tier gate counts as fractions of the default benchmark design size
+_TIERS = (0.15, 0.6, 1.0)
+_BASE_GATES = 20_000
+_SEED = 13
+
+
+def _best_of(fn, repeats: int):
+    elapsed = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed.append(time.perf_counter() - t0)
+    return min(elapsed), result
+
+
+def _score_tier(n_gates: int, n_shards: int, repeats: int, weights) -> dict:
+    netlist = generate_design(n_gates, seed=_SEED)
+    graph = GraphData.from_netlist(netlist)
+    single = FastInference(weights)
+
+    # Warm the CSR caches so both engines amortise the same conversion.
+    graph.pred.to_scipy()
+    graph.succ.to_scipy()
+
+    t_single, reference = _best_of(lambda: single.logits(graph), repeats)
+
+    partition = partition_graph(graph, PartitionConfig(n_shards=n_shards))
+    halo = sum(s.halo.size for s in partition.shards)
+    row = {
+        "gates": graph.num_nodes,
+        "shards": partition.n_shards,
+        "edge_cut": partition.edge_cut,
+        "imbalance": partition.imbalance,
+        "halo_fraction": halo / max(1, graph.num_nodes),
+        "single_seconds": t_single,
+        "single_nodes_per_second": graph.num_nodes / t_single,
+        "bit_identical": True,
+    }
+
+    modes = [("sharded_inprocess", ExecutionConfig(shards=n_shards, workers=1))]
+    if (os.cpu_count() or 1) > 1:
+        modes.append(
+            ("sharded_pool", ExecutionConfig(shards=n_shards, workers=None))
+        )
+    else:
+        row["sharded_pool_seconds"] = None
+        row["sharded_pool_speedup"] = None
+        row["sharded_pool_skipped"] = "single-core host"
+    for label, execution in modes:
+        with ShardedInference(weights, execution) as engine:
+            engine.logits(graph)  # warm the partition plan before timing
+            t, logits = _best_of(lambda: engine.logits(graph), repeats)
+        row[f"{label}_seconds"] = t
+        row[f"{label}_nodes_per_second"] = graph.num_nodes / t
+        row[f"{label}_speedup"] = t_single / t
+        row["bit_identical"] &= bool(np.array_equal(reference, logits))
+    return row
+
+
+def main() -> dict:
+    scale = benchmark_scale()
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    n_shards = max(2, min(8, os.cpu_count() or 2))
+    model = GCN(GCNConfig(seed=3))
+    rng = np.random.default_rng(5)
+    for p in model.parameters():
+        p.data = p.data + rng.normal(scale=0.05, size=p.data.shape)
+    weights = model.layer_weights()
+
+    tiers = []
+    for fraction in _TIERS:
+        n_gates = max(200, int(_BASE_GATES * fraction * scale))
+        row = _score_tier(n_gates, n_shards, repeats, weights)
+        row["tier"] = fraction
+        tiers.append(row)
+        speedups = ", ".join(
+            f"{mode}={row[f'{mode}_speedup']:.2f}x"
+            for mode in ("sharded_inprocess", "sharded_pool")
+            if row.get(f"{mode}_speedup")
+        )
+        print(
+            f"gates={row['gates']} shards={row['shards']} "
+            f"single={row['single_seconds']:.3f}s {speedups} "
+            f"identical={row['bit_identical']}"
+        )
+    default_tier = tiers[-1]
+    payload = {
+        "scale": scale,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "shards": n_shards,
+        "tiers": tiers,
+        "default_scale_inprocess_speedup": default_tier[
+            "sharded_inprocess_speedup"
+        ],
+        "default_scale_pool_speedup": default_tier.get("sharded_pool_speedup"),
+        "all_bit_identical": all(t["bit_identical"] for t in tiers),
+    }
+    path = write_result("BENCH_sharded_inference", payload)
+    print(f"wrote {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -17,9 +17,15 @@ import sys
 
 import numpy as np
 
-from repro.atpg import AtpgConfig, collapse_faults, run_atpg
-from repro.circuit import load_bench, parse_bench, write_bench
-from repro.testability import compute_cop, compute_scoap
+from repro.api import (
+    AtpgConfig,
+    collapse_faults,
+    compute_cop,
+    compute_scoap,
+    load_netlist,
+    run_atpg,
+    write_bench,
+)
 
 C17 = """
 INPUT(G1)
@@ -40,9 +46,9 @@ G23 = NAND(G16, G19)
 
 def main() -> None:
     if len(sys.argv) > 1:
-        netlist = load_bench(sys.argv[1])
+        netlist = load_netlist(sys.argv[1])
     else:
-        netlist = parse_bench(C17, "c17")
+        netlist = load_netlist(C17, name="c17")
     print(f"loaded {netlist}")
 
     scoap = compute_scoap(netlist)

@@ -14,12 +14,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.atpg import FaultSimulator, collapse_faults
-from repro.circuit import generate_design
-from repro.core import GCN, GCNConfig, GraphData, TrainConfig, Trainer
-from repro.data.splits import balanced_indices
-from repro.flow import ControlLabelConfig, CpiConfig, label_control_nodes, run_gcn_cpi
-from repro.metrics import f1_score
+from repro.api import (
+    GCN,
+    ControlLabelConfig,
+    CpiConfig,
+    FaultSimulator,
+    GCNConfig,
+    TrainConfig,
+    Trainer,
+    balanced_indices,
+    build_graph,
+    collapse_faults,
+    f1_score,
+    generate_design,
+    label_control_nodes,
+    run_gcn_cpi,
+)
 
 
 def random_coverage(netlist, faults, n_words=8, seed=5) -> float:
@@ -46,7 +56,7 @@ def main() -> None:
     print(
         f"  {train_nl}: {train_labels.n_positive} difficult-to-control nodes"
     )
-    train_graph = GraphData.from_netlist(train_nl, labels=train_labels.labels)
+    train_graph = build_graph(train_nl, labels=train_labels.labels)
 
     model = GCN(GCNConfig(hidden_dims=(16, 32, 64), fc_dims=(32, 32)))
     balanced = train_graph.subset(
@@ -57,7 +67,7 @@ def main() -> None:
     print("\n== unseen design ==")
     dut = generate_design(900, seed=88)
     dut_labels = label_control_nodes(dut, label_config)
-    graph = GraphData.from_netlist(dut)
+    graph = build_graph(dut)
     pred = model.predict(graph)
     print(
         f"  {dut}: {dut_labels.n_positive} true positives, "

@@ -14,15 +14,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.atpg import (
+from repro.api import (
     AtpgConfig,
     collapse_faults,
+    compute_scoap,
     diagnose,
+    generate_design,
     run_atpg,
     simulate_fail_log,
 )
-from repro.circuit import generate_design
-from repro.testability import compute_scoap
 
 
 def run_case(netlist, defect, label: str) -> None:

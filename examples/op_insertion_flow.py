@@ -11,28 +11,30 @@ ATPG — a miniature Table 3.
 
 from __future__ import annotations
 
-from repro.atpg import AtpgConfig, collapse_faults, run_atpg
-from repro.circuit import generate_design
-from repro.core import (
+from repro.api import (
+    AtpgConfig,
+    BaselineOpiConfig,
     GCNConfig,
     GraphData,
+    LabelConfig,
     MultiStageConfig,
     MultiStageGCN,
-    TrainConfig,
-)
-from repro.flow import (
-    BaselineOpiConfig,
     OpiConfig,
+    TrainConfig,
+    build_graph,
+    collapse_faults,
+    generate_design,
+    insert_observation_points,
+    label_nodes,
+    run_atpg,
     run_baseline_opi,
-    run_gcn_opi,
 )
-from repro.testability import LabelConfig, label_nodes
 
 
 def build_dataset(n_gates: int, seed: int) -> GraphData:
     netlist = generate_design(n_gates, seed=seed)
     labels = label_nodes(netlist, LabelConfig(n_patterns=128, threshold=0.01))
-    return GraphData.from_netlist(netlist, labels=labels.labels, name=f"d{seed}")
+    return build_graph(netlist, labels=labels.labels, name=f"d{seed}")
 
 
 def main() -> None:
@@ -58,9 +60,9 @@ def main() -> None:
     atpg_config = AtpgConfig(max_random_patterns=512, max_backtracks=30, seed=1)
 
     print("\n== GCN-guided flow (Figure 7) ==")
-    gcn_flow = run_gcn_opi(
+    gcn_flow = insert_observation_points(
         dut,
-        cascade.predict,
+        cascade,
         OpiConfig(max_iterations=10, select_fraction=0.5, verbose=True),
     )
     gcn_atpg = run_atpg(gcn_flow.netlist, faults=faults, config=atpg_config)

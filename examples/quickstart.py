@@ -1,14 +1,15 @@
 #!/usr/bin/env python
 """Quickstart: train a GCN to spot difficult-to-observe nodes.
 
-Walks the paper's core loop on one small synthetic design:
+Walks the paper's core loop on one small synthetic design through the
+stable :mod:`repro.api` facade:
 
 1. generate an industrial-shaped netlist;
 2. label every node difficult/easy-to-observe with the exact
    random-pattern observability analysis (the commercial-DFT substitute);
 3. build the graph view (COO adjacency + ``[LL, C0, C1, O]`` attributes);
-4. train the GCN on a balanced node sample;
-5. predict, and inspect accuracy/F1.
+4. train the GCN on a balanced node sample (``api.train``);
+5. score the whole design (``api.score``) and inspect accuracy/F1.
 
 Runs in well under a minute on a laptop:
 
@@ -19,11 +20,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circuit import generate_design
-from repro.core import GCN, GCNConfig, GraphData, TrainConfig, Trainer
-from repro.data.splits import balanced_indices
-from repro.metrics import confusion
-from repro.testability import LabelConfig, label_nodes
+from repro.api import (
+    GCNConfig,
+    LabelConfig,
+    TrainConfig,
+    balanced_indices,
+    build_graph,
+    confusion,
+    explain_node,
+    generate_design,
+    label_nodes,
+    score,
+    train,
+)
 
 
 def main() -> None:
@@ -39,34 +48,31 @@ def main() -> None:
     )
 
     # 3. Graph view: predecessor/successor COO adjacency + SCOAP attributes.
-    graph = GraphData.from_netlist(netlist, labels=labels.labels)
+    graph = build_graph(netlist, labels=labels.labels)
     print(f"adjacency sparsity: {graph.pred.sparsity:.4%}")
 
     # 4. Train on a balanced subset (all positives + equal negatives).
     balanced = graph.subset(balanced_indices(labels.labels, seed=0))
-    model = GCN(GCNConfig())  # paper architecture: D=3, K=(32,64,128)
-    trainer = Trainer(
-        model,
-        TrainConfig(epochs=150, weight_decay=1e-4, eval_every=30, verbose=True),
+    trained = train(
+        [balanced],
+        config=TrainConfig(epochs=150, weight_decay=1e-4, eval_every=30, verbose=True),
+        gcn=GCNConfig(),  # paper architecture: D=3, K=(32,64,128)
     )
-    trainer.fit([balanced])
 
-    # 5. Predict over the whole design.
-    predictions = model.predict(graph)
-    cm = confusion(labels.labels, predictions)
+    # 5. Score the whole design through the sparse fast path.
+    result = score(trained.model, graph)
+    cm = confusion(labels.labels, result.labels)
     print(
         f"\nfull-design confusion: tp={cm.tp} fp={cm.fp} tn={cm.tn} fn={cm.fn}"
         f"\nprecision={cm.precision:.3f} recall={cm.recall:.3f} f1={cm.f1:.3f}"
     )
-    hard = np.flatnonzero(predictions == 1)[:10]
+    hard = np.flatnonzero(result.labels == 1)[:10]
     print(f"first predicted-difficult nodes: {hard.tolist()}")
 
     # 6. Why was the first one flagged? Gradient attribution over its
     #    D-hop neighbourhood (see repro.core.explain).
     if len(hard):
-        from repro.core import explain_node
-
-        attribution = explain_node(model, graph, int(hard[0]))
+        attribution = explain_node(trained.model, graph, int(hard[0]))
         print("\nattribution for the first flagged node:")
         print(attribution.summary(netlist))
 

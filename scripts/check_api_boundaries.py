@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Lint: public-API boundaries and deprecated-kwarg hygiene.
+
+Two rules, both AST-based (comments and strings never false-positive):
+
+1. **Examples are facade-only.** Files under ``examples/`` may import from
+   the ``repro`` namespace only via ``repro.api`` (``from repro.api import
+   ...``, ``from repro import api``, ``import repro.api``).  Everything
+   the walkthroughs need is re-exported there; reaching into submodules
+   from user-facing code defeats the stability contract.
+
+2. **No deprecated execution kwargs inside the library.** ``src/repro``
+   must spell backend selection ``execution=ExecutionConfig(...)``; the
+   legacy kwargs exist only as shims for downstream callers:
+
+   * ``backend=`` in calls to ``FaultSimulator`` / ``ObservabilityAnalyzer``
+     / ``LabelConfig`` / ``observability_counts``;
+   * ``fault_sim_backend=`` in calls to ``AtpgConfig`` (or anything else).
+
+   The defining modules themselves (where the shims live) are exempt.
+
+Exit status: 0 when clean, 1 with one ``path:line`` diagnostic per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+PACKAGE = ROOT / "src" / "repro"
+EXAMPLES = ROOT / "examples"
+
+#: callables whose ``backend=`` kwarg is deprecated (constructor shims);
+#: per-call overrides like ``detection_masks(..., backend=...)`` stay fine
+_BACKEND_SHIMMED = {
+    "FaultSimulator",
+    "ObservabilityAnalyzer",
+    "LabelConfig",
+    "observability_counts",
+}
+#: modules that define the shims and may mention the legacy spellings
+_SHIM_MODULES = {
+    PACKAGE / "config.py",
+    PACKAGE / "atpg" / "fault_sim.py",
+    PACKAGE / "atpg" / "observability.py",
+    PACKAGE / "atpg" / "generate.py",
+    PACKAGE / "testability" / "labels.py",
+}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def example_import_violations(path: Path) -> list[tuple[int, str]]:
+    """Non-facade ``repro`` imports in an example file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    bad = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")
+                if top[0] == "repro" and alias.name != "repro.api":
+                    bad.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            parts = node.module.split(".")
+            if parts[0] != "repro":
+                continue
+            if node.module == "repro.api":
+                continue
+            if node.module == "repro" and all(
+                alias.name == "api" for alias in node.names
+            ):
+                continue
+            bad.append((node.lineno, f"from {node.module} import ..."))
+    return bad
+
+
+def deprecated_kwarg_violations(path: Path) -> list[tuple[int, str]]:
+    """Legacy execution-kwarg uses in a library file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    bad = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        for kw in node.keywords:
+            if kw.arg == "fault_sim_backend":
+                bad.append((node.lineno, f"{name}(fault_sim_backend=...)"))
+            elif kw.arg == "backend" and name in _BACKEND_SHIMMED:
+                bad.append((node.lineno, f"{name}(backend=...)"))
+    return bad
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(EXAMPLES.glob("*.py")):
+        for lineno, what in example_import_violations(path):
+            violations.append(
+                f"{path.relative_to(ROOT)}:{lineno}: {what} "
+                "(examples must import through repro.api)"
+            )
+    for path in sorted(PACKAGE.rglob("*.py")):
+        if path in _SHIM_MODULES:
+            continue
+        for lineno, what in deprecated_kwarg_violations(path):
+            violations.append(
+                f"{path.relative_to(ROOT)}:{lineno}: {what} "
+                "(library code must pass execution=ExecutionConfig(...))"
+            )
+    if violations:
+        print("API boundary violations:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("examples are facade-only; no deprecated execution kwargs in src/repro")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,9 +109,18 @@ def get_cone_index(netlist: Netlist) -> ConeIndex:
     with _lock:
         index = _indexes.get(fp)
         if index is not None:
-            _indexes.move_to_end(fp)
-            _stats["hits"] += 1
-            return index
+            # A cached index lazily walks its own netlist reference, so an
+            # entry is poison if that object was mutated in place after the
+            # build (a copy shares the original's fingerprint until its
+            # first edit).  Both fingerprints are memoised, so this guard
+            # is two cached-hash compares.
+            if index.netlist.fingerprint() != fp:
+                del _indexes[fp]
+                _stats["invalidations"] += 1
+            else:
+                _indexes.move_to_end(fp)
+                _stats["hits"] += 1
+                return index
     index = ConeIndex(netlist)
     with _lock:
         _stats["misses"] += 1

@@ -86,22 +86,45 @@ class FaultSimResult:
 class FaultSimulator:
     """Fault simulator bound to one netlist.
 
-    ``backend`` selects the grading engine for :meth:`simulate_batch` /
-    :meth:`detection_masks` (``auto`` | ``serial`` | ``batched`` |
-    ``parallel``); per-call overrides win.  :meth:`detection_mask` is
-    always the serial oracle.
+    ``execution`` selects the grading engine for :meth:`simulate_batch` /
+    :meth:`detection_masks` (backend ``auto`` | ``serial`` | ``batched``
+    | ``parallel``, plus the worker count); per-call overrides win.
+    :meth:`detection_mask` is always the serial oracle.  Passing a bare
+    backend string in ``execution``'s position (the pre-ExecutionConfig
+    signature) still works but emits :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         netlist: Netlist,
-        backend: str = "auto",
+        execution: "ExecutionConfig | str | None" = None,
         config: PpsfpConfig | None = None,
+        *,
+        backend: str | None = None,
     ) -> None:
+        from repro.config import ExecutionConfig, warn_deprecated_kwarg
+
+        if isinstance(execution, str):
+            warn_deprecated_kwarg(
+                "FaultSimulator(netlist, backend=...)",
+                "FaultSimulator(netlist, ExecutionConfig(backend=...))",
+            )
+            execution = ExecutionConfig(backend=execution)
+        if backend is not None:
+            warn_deprecated_kwarg(
+                "FaultSimulator(..., backend=...)",
+                "FaultSimulator(..., ExecutionConfig(backend=...))",
+            )
+            execution = (execution or ExecutionConfig()).replace(
+                backend=backend
+            )
+        self.execution = execution or ExecutionConfig()
         self.netlist = netlist
         self.simulator = LogicSimulator(netlist)
-        self.backend = backend
+        self.backend = self.execution.backend
         self.config = config or PpsfpConfig()
+        if self.execution.workers is not None and config is None:
+            self.config.workers = self.execution.workers
         self._observed = set(netlist.observation_sites)
         self._observed.update(netlist.observation_points())
         self._engine: PpsfpEngine | None = None

@@ -46,9 +46,24 @@ class AtpgConfig:
     #: weighted-random BIST; see :mod:`repro.atpg.weighted_random`)
     weighted_random: bool = False
     seed: int | None = 0
-    #: fault-simulation backend (``auto`` | ``serial`` | ``batched`` |
-    #: ``parallel``); results are bit-identical, only speed differs
-    fault_sim_backend: str = "auto"
+    #: deprecated — use ``execution=ExecutionConfig(backend=...)``
+    fault_sim_backend: str | None = None
+    #: execution config for fault simulation (backend ``auto`` | ``serial``
+    #: | ``batched`` | ``parallel``); results are bit-identical, only
+    #: speed differs
+    execution: "ExecutionConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.fault_sim_backend is not None:
+            from repro.config import ExecutionConfig, warn_deprecated_kwarg
+
+            warn_deprecated_kwarg(
+                "AtpgConfig(fault_sim_backend=...)",
+                "AtpgConfig(execution=ExecutionConfig(backend=...))",
+            )
+            self.execution = (
+                self.execution or ExecutionConfig()
+            ).replace(backend=self.fault_sim_backend)
 
 
 @dataclass
@@ -83,7 +98,7 @@ def run_atpg(
     if faults is None:
         faults = collapse_faults(netlist)
     total_faults = len(faults)
-    fsim = FaultSimulator(netlist, backend=config.fault_sim_backend)
+    fsim = FaultSimulator(netlist, config.execution)
     n_sources = fsim.simulator.n_sources
 
     kept_patterns: list[np.ndarray] = []

@@ -53,13 +53,25 @@ class ObservabilityAnalyzer:
         self,
         netlist: Netlist,
         exact_stems: bool = True,
-        backend: str = "auto",
+        backend: str | None = None,
         config=None,
+        execution=None,
     ) -> None:
+        from repro.config import ExecutionConfig, warn_deprecated_kwarg
+
+        if backend is not None:
+            warn_deprecated_kwarg(
+                "ObservabilityAnalyzer(..., backend=...)",
+                "ObservabilityAnalyzer(..., execution=ExecutionConfig(backend=...))",
+            )
+            execution = (execution or ExecutionConfig()).replace(
+                backend=backend
+            )
+        self.execution = execution or ExecutionConfig()
         self.netlist = netlist
         self.simulator = LogicSimulator(netlist)
         self.exact_stems = exact_stems
-        self.backend = backend
+        self.backend = self.execution.backend
         self._config = config
         self._engine = None
 
@@ -279,18 +291,27 @@ def observability_counts(
     n_patterns: int,
     seed: int | np.random.Generator | None = 0,
     exact_stems: bool = True,
-    backend: str = "auto",
+    backend: str | None = None,
+    execution=None,
 ) -> np.ndarray:
     """Count, per node, how many of ``n_patterns`` random patterns observe it.
 
     Convenience wrapper: draws random patterns, runs the analyzer and
-    popcounts the masks (masking tail bits of the last word).
+    popcounts the masks (masking tail bits of the last word).  ``backend``
+    is the deprecated spelling of ``execution=ExecutionConfig(backend=...)``.
     """
+    from repro.config import ExecutionConfig, warn_deprecated_kwarg
     from repro.utils.rng import as_rng
 
+    if backend is not None:
+        warn_deprecated_kwarg(
+            "observability_counts(..., backend=...)",
+            "observability_counts(..., execution=ExecutionConfig(backend=...))",
+        )
+        execution = (execution or ExecutionConfig()).replace(backend=backend)
     rng = as_rng(seed)
     with ObservabilityAnalyzer(
-        netlist, exact_stems=exact_stems, backend=backend
+        netlist, exact_stems=exact_stems, execution=execution
     ) as analyzer:
         n_words = (n_patterns + 63) // 64
         source_words = analyzer.simulator.random_source_words(n_words, rng)

@@ -106,6 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="fault-simulation engine for the exact observability labels",
     )
+    ana.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: cores)"
+    )
 
     train = sub.add_parser(
         "train",
@@ -147,6 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
     inf.add_argument(
         "--fp32", action="store_true", help="deployment-style float32 inference"
     )
+    inf.add_argument(
+        "--backend",
+        choices=["auto", "single", "sharded"],
+        default="auto",
+        help="inference engine (auto routes large graphs to sharded)",
+    )
+    inf.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: cores)"
+    )
+    inf.add_argument(
+        "--shards", type=int, default=None, help="shard count (default: workers)"
+    )
     inf.add_argument("--run-name", default=None, help="run id (default: derived)")
 
     atpg = sub.add_parser("atpg", parents=[log_flags], help="run ATPG on a netlist")
@@ -158,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "serial", "batched", "parallel"],
         default="auto",
         help="fault-simulation engine for the random/compaction phases",
+    )
+    atpg.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: cores)"
     )
 
     exp = sub.add_parser(
@@ -212,29 +230,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_generate(args: argparse.Namespace) -> int:
-    from repro.circuit import dump_bench, generate_design
+def _execution(**overrides):
+    """ExecutionConfig from env + CLI flags; unset flags defer to env."""
+    from repro import api
 
-    netlist = generate_design(args.gates, seed=args.seed)
-    dump_bench(netlist, args.output)
+    return api.ExecutionConfig.from_env(
+        **{k: v for k, v in overrides.items() if v is not None}
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro import api
+
+    netlist = api.generate_design(args.gates, seed=args.seed)
+    api.save_netlist(netlist, args.output)
     print(f"wrote {netlist} to {args.output}")
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.circuit import load_bench
-    from repro.testability import LabelConfig, compute_cop, compute_scoap, label_nodes
+    from repro import api
 
-    netlist = load_bench(args.netlist)
+    netlist = api.load_netlist(args.netlist)
     print(netlist)
-    scoap = compute_scoap(netlist)
-    cop = compute_cop(netlist)
-    labels = label_nodes(
+    scoap = api.compute_scoap(netlist)
+    cop = api.compute_cop(netlist)
+    labels = api.label_nodes(
         netlist,
-        LabelConfig(
+        api.LabelConfig(
             n_patterns=args.patterns,
             threshold=args.threshold,
-            backend=args.fault_sim_backend,
+            execution=_execution(
+                backend=args.fault_sim_backend, workers=args.workers
+            ),
         ),
     )
     print(f"SCOAP CO: median={np.median(scoap.co):.1f} max={scoap.co.max():.0f}")
@@ -251,21 +279,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _load_or_generate(args: argparse.Namespace):
     """Training designs: the given .bench files or synthetic stand-ins."""
-    from repro.circuit import generate_design, load_bench
+    from repro import api
 
     if args.netlists:
-        return [load_bench(path) for path in args.netlists]
+        return [api.load_netlist(path) for path in args.netlists]
     return [
-        generate_design(args.gates, seed=args.seed + i, name=f"synth-{i}")
+        api.generate_design(args.gates, seed=args.seed + i, name=f"synth-{i}")
         for i in range(args.designs)
     ]
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.core import GCN, GCNConfig, GraphData, TrainConfig, Trainer
-    from repro.core.serialize import save_gcn
+    from repro import api
     from repro.obs import RunRecorder
-    from repro.testability import LabelConfig, label_nodes
 
     config = {
         "epochs": args.epochs,
@@ -286,23 +312,23 @@ def _cmd_train(args: argparse.Namespace) -> int:
         netlists = _load_or_generate(args)
         graphs = []
         for netlist in netlists:
-            labels = label_nodes(
+            labels = api.label_nodes(
                 netlist,
-                LabelConfig(n_patterns=args.patterns, threshold=args.threshold),
+                api.LabelConfig(n_patterns=args.patterns, threshold=args.threshold),
             )
             graphs.append(
-                GraphData.from_netlist(netlist, labels=labels.labels, name=netlist.name)
+                api.build_graph(netlist, labels=labels.labels, name=netlist.name)
             )
         run.set_dataset(graphs)
-        model = GCN(GCNConfig(seed=args.seed))
-        trainer = Trainer(
-            model,
-            TrainConfig(
+        trained = api.train(
+            graphs,
+            config=api.TrainConfig(
                 epochs=args.epochs, lr=args.lr, optimizer=args.optimizer
             ),
+            gcn=api.GCNConfig(seed=args.seed),
         )
-        history = trainer.fit(graphs)
-        model_path = save_gcn(model, args.output)
+        history = trained.history
+        model_path = trained.save(args.output)
         run.note(
             model_path=str(model_path),
             final_loss=history.loss[-1] if history.loss else None,
@@ -318,21 +344,28 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    import numpy as _np
-
-    from repro.circuit import load_bench
-    from repro.core import FastInference, GraphData
+    from repro import api
     from repro.obs import RunRecorder
 
-    engine = FastInference.from_file(
-        args.model, dtype=_np.float32 if args.fp32 else _np.float64
+    execution = _execution(
+        backend=args.backend,
+        workers=args.workers,
+        shards=args.shards,
+        dtype="float32" if args.fp32 else None,
     )
-    config = {"model": args.model, "fp32": args.fp32}
+    engine = api.FastInference.from_file(args.model, execution=execution)
+    config = {
+        "model": args.model,
+        "fp32": args.fp32,
+        "backend": args.backend,
+        "workers": args.workers,
+        "shards": args.shards,
+    }
     with RunRecorder(
         "infer", command="repro infer", config=config, run_id=args.run_name
     ) as run:
         graphs = [
-            GraphData.from_netlist(load_bench(path), name=path)
+            api.build_graph(api.load_netlist(path), name=path)
             for path in args.netlists
         ]
         run.set_dataset(graphs)
@@ -359,16 +392,17 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
 
 def _cmd_atpg(args: argparse.Namespace) -> int:
-    from repro.atpg import AtpgConfig, run_atpg
-    from repro.circuit import load_bench
+    from repro import api
 
-    netlist = load_bench(args.netlist)
-    result = run_atpg(
+    netlist = api.load_netlist(args.netlist)
+    result = api.run_atpg(
         netlist,
-        config=AtpgConfig(
+        config=api.AtpgConfig(
             max_random_patterns=args.max_random,
             seed=args.seed,
-            fault_sim_backend=args.fault_sim_backend,
+            execution=_execution(
+                backend=args.fault_sim_backend, workers=args.workers
+            ),
         ),
     )
     print(

@@ -16,13 +16,43 @@ import time
 
 import numpy as np
 
+from repro.config import ExecutionConfig
 from repro.core.graphdata import GraphData
 from repro.core.model import GCNWeights
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.resilience.errors import NumericalError
 
-__all__ = ["FastInference"]
+__all__ = ["FastInference", "row_stable_matmul"]
+
+
+def row_stable_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` computed so row ``i`` of the result depends only on row
+    ``i`` of ``a`` — never on the total row count.
+
+    BLAS gemm is *not* row-stable in general: narrow outputs (fewer than
+    four columns) and single-row operands dispatch to kernels whose
+    k-accumulation order differs from the blocked path, so the same row
+    can round differently depending on the height of the matrix it sits
+    in.  Sharded inference slices the node set into shards of varying
+    height and still promises bit-identical float64 logits, so both the
+    single-shard and sharded engines route every dense product through
+    this helper: zero-padding the narrow dimension up to four keeps the
+    computation on the row-stable blocked kernel, and the padding columns
+    or rows are exact zeros that never feed back into real outputs.
+    """
+    m, n = a.shape[0], b.shape[1]
+    if n >= 4 and m != 1:
+        return a @ b
+    if n < 4:
+        b = np.concatenate(
+            [b, np.zeros((b.shape[0], 4 - n), dtype=b.dtype)], axis=1
+        )
+    if m == 1:
+        a = np.concatenate(
+            [a, np.zeros((3, a.shape[1]), dtype=a.dtype)], axis=0
+        )
+    return (a @ b)[:m, :n]
 
 
 def _obs():
@@ -45,33 +75,37 @@ def _obs():
 class FastInference:
     """Matrix-form inference engine for a trained GCN.
 
-    ``dtype`` defaults to float64 (matching the training tape); pass
-    ``np.float32`` for deployment-style inference — the paper's GPU path
-    runs fp32 and the scalability sweep uses it.
+    ``execution`` selects numerics and backend: ``dtype`` defaults to
+    float64 (matching the training tape) — ``float32`` gives
+    deployment-style inference, as in the paper's fp32 GPU path — and
+    ``backend`` routes large graphs to the partitioned multi-core engine
+    (:class:`repro.graph.sharded.ShardedInference`) when it resolves to
+    ``sharded``.  The legacy ``dtype=`` argument keeps working and takes
+    precedence over ``execution.dtype``.
     """
 
-    def __init__(self, weights: GCNWeights, dtype=np.float64) -> None:
-        self.dtype = np.dtype(dtype)
-        if self.dtype != np.float64:
-            from dataclasses import replace
-
-            weights = replace(
-                weights,
-                encoder_weights=[m.astype(self.dtype) for m in weights.encoder_weights],
-                encoder_biases=[
-                    None if b is None else b.astype(self.dtype)
-                    for b in weights.encoder_biases
-                ],
-                fc_weights=[m.astype(self.dtype) for m in weights.fc_weights],
-                fc_biases=[
-                    None if b is None else b.astype(self.dtype)
-                    for b in weights.fc_biases
-                ],
+    def __init__(
+        self,
+        weights: GCNWeights,
+        dtype=None,
+        execution: ExecutionConfig | None = None,
+    ) -> None:
+        if execution is None:
+            execution = ExecutionConfig(
+                dtype="float64" if dtype is None else np.dtype(dtype).name
             )
-        self.weights = weights
+        elif dtype is not None:
+            execution = execution.replace(dtype=np.dtype(dtype).name)
+        self.execution = execution
+        self.dtype = execution.numpy_dtype()
+        # Cast-cached on the weight snapshot (no re-copy per construction).
+        self.weights = weights.astype(self.dtype)
+        self._sharded = None
 
     @classmethod
-    def from_file(cls, path, dtype=np.float64) -> "FastInference":
+    def from_file(
+        cls, path, dtype=None, execution: ExecutionConfig | None = None
+    ) -> "FastInference":
         """Build an engine from a model file saved by :func:`~repro.core.
         serialize.save_gcn`.
 
@@ -82,10 +116,33 @@ class FastInference:
         """
         from repro.core.serialize import load_gcn
 
-        return cls(load_gcn(path).layer_weights(), dtype=dtype)
+        return cls(load_gcn(path).layer_weights(), dtype=dtype, execution=execution)
+
+    # ------------------------------------------------------------------ #
+    def _sharded_engine(self):
+        """Lazily-built partitioned engine sharing this weight snapshot."""
+        if self._sharded is None:
+            from repro.graph.sharded import ShardedInference
+
+            self._sharded = ShardedInference(
+                self.weights, execution=self.execution
+            )
+        return self._sharded
+
+    def _route(self, graph: GraphData):
+        """The engine that should serve ``graph`` under this config."""
+        if (
+            self.execution.resolve_inference_backend(graph.num_nodes)
+            == "sharded"
+        ):
+            return self._sharded_engine()
+        return self
 
     def embed(self, graph: GraphData) -> np.ndarray:
         """Compute final node embeddings for the whole graph."""
+        engine = self._route(graph)
+        if engine is not self:
+            return engine.embed(graph)
         w = self.weights
         with span("inference.csr_cache"):
             pred = graph.pred.to_scipy()
@@ -102,7 +159,7 @@ class FastInference:
                     + w.w_pr * (pred @ embeddings)
                     + w.w_su * (succ @ embeddings)
                 )
-                embeddings = aggregated @ w.encoder_weights[d]
+                embeddings = row_stable_matmul(aggregated, w.encoder_weights[d])
             bias = w.encoder_biases[d]
             if bias is not None:
                 embeddings += bias
@@ -116,6 +173,9 @@ class FastInference:
         logit is NaN/inf — corrupt weights or overflowing attributes must
         surface as a typed failure, not propagate garbage scores.
         """
+        engine = self._route(graph)
+        if engine is not self:
+            return engine.logits(graph)
         start = time.perf_counter()
         with span("inference.logits", graph=graph.name, nodes=graph.num_nodes):
             h = self.embed(graph)
@@ -123,7 +183,7 @@ class FastInference:
             for i, (weight, bias) in enumerate(
                 zip(self.weights.fc_weights, self.weights.fc_biases)
             ):
-                h = h @ weight
+                h = row_stable_matmul(h, weight)
                 if bias is not None:
                     h += bias
                 if i < last:

@@ -186,3 +186,46 @@ class GCNWeights:
     @property
     def depth(self) -> int:
         return len(self.encoder_weights)
+
+    def astype(self, dtype) -> "GCNWeights":
+        """This weight set cast to ``dtype``, cached per target dtype.
+
+        Training stores float64, so ``float64`` returns ``self`` with no
+        copy.  Other dtypes are cast once and memoised on this instance —
+        serve hot-reloads construct a fresh engine per reload, but engines
+        sharing one weight snapshot (e.g. the sharded path's per-call
+        plumbing) no longer re-copy every matrix on each construction.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == np.float64:
+            return self
+        cache = self.__dict__.setdefault("_cast_cache", {})
+        cast = cache.get(dtype.name)
+        if cast is None:
+            import dataclasses
+
+            cast = dataclasses.replace(
+                self,
+                encoder_weights=[m.astype(dtype) for m in self.encoder_weights],
+                encoder_biases=[
+                    None if b is None else b.astype(dtype)
+                    for b in self.encoder_biases
+                ],
+                fc_weights=[m.astype(dtype) for m in self.fc_weights],
+                fc_biases=[
+                    None if b is None else b.astype(dtype)
+                    for b in self.fc_biases
+                ],
+            )
+            cache[dtype.name] = cast
+        return cast
+
+    def __getstate__(self):
+        # The cast cache is a per-process memo, not state: dropping it
+        # keeps worker-pool payloads lean and pickles deterministic.
+        state = dict(self.__dict__)
+        state.pop("_cast_cache", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)

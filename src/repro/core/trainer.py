@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.config import ExecutionConfig
 from repro.core.graphdata import GraphData
 from repro.core.model import GCN
 from repro.nn.functional import cross_entropy
@@ -118,14 +119,49 @@ def masked_accuracy(model: GCN, graphs: list[GraphData]) -> float:
 
 
 class Trainer:
-    """Serial multi-graph trainer (the reference implementation)."""
+    """Serial multi-graph trainer (the reference implementation).
 
-    def __init__(self, model: GCN, config: TrainConfig | None = None) -> None:
+    With an :class:`~repro.config.ExecutionConfig` whose backend resolves
+    to ``sharded`` for a training graph, that graph is split into
+    shard-as-minibatch subgraphs (:func:`repro.graph.partition.
+    shard_minibatches`): each mini-batch carries a model-depth halo so its
+    forward pass reproduces the full-graph embeddings of its owned nodes
+    exactly, and the loss masks cover every original node exactly once
+    across the batch set.
+    """
+
+    def __init__(
+        self,
+        model: GCN,
+        config: TrainConfig | None = None,
+        execution: ExecutionConfig | None = None,
+    ) -> None:
         self.model = model
         self.config = config or TrainConfig()
+        self.execution = execution
         self.optimizer = self._make_optimizer()
         #: global L2 gradient norm of the most recent optimisation step
         self.last_grad_norm: float | None = None
+
+    def _prepare_graphs(self, graphs: list[GraphData]) -> list[GraphData]:
+        """Expand graphs into shard mini-batches where the config asks."""
+        if self.execution is None:
+            return graphs
+        from repro.graph.partition import shard_minibatches
+
+        out: list[GraphData] = []
+        for graph in graphs:
+            backend = self.execution.resolve_inference_backend(graph.num_nodes)
+            n_shards = self.execution.resolved_shards(graph.num_nodes)
+            if backend == "sharded" and n_shards > 1:
+                out.extend(
+                    shard_minibatches(
+                        graph, n_shards, self.model.config.depth
+                    )
+                )
+            else:
+                out.append(graph)
+        return out
 
     def _make_optimizer(self):
         cfg = self.config
@@ -156,6 +192,7 @@ class Trainer:
         reaches bit-identical weights to an uninterrupted one.
         """
         cfg = self.config
+        train_graphs = self._prepare_graphs(train_graphs)
         history = TrainHistory()
         start_epoch = 0
         if checkpoint is not None:
@@ -360,8 +397,9 @@ class ParallelTrainer(Trainer):
         retry_policy: RetryPolicy | None = None,
         serial_fallback: bool = True,
         sleep=time.sleep,
+        execution: ExecutionConfig | None = None,
     ) -> None:
-        super().__init__(model, config)
+        super().__init__(model, config, execution=execution)
         self.max_workers = max_workers
         self.worker_timeout = worker_timeout
         self.retry_policy = retry_policy or RetryPolicy(

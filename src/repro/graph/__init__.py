@@ -1,0 +1,28 @@
+"""Graph partitioning and partitioned (sharded) GCN execution.
+
+The paper's scalability result (Section 3.4.1) turns whole-graph inference
+into a short chain of sparse matmuls; this package is how that chain goes
+multi-core: a deterministic, level-aware edge-cut partitioner with
+per-layer halo nodes (:mod:`repro.graph.partition`) and a sharded
+inference engine that runs each shard's chain in a fork/process pool with
+the feature matrix in shared memory (:mod:`repro.graph.sharded`).
+Results are bit-identical to the single-shard engine at float64.
+"""
+
+from repro.graph.partition import (
+    GraphPartition,
+    PartitionConfig,
+    Shard,
+    partition_graph,
+    shard_minibatches,
+)
+from repro.graph.sharded import ShardedInference
+
+__all__ = [
+    "GraphPartition",
+    "PartitionConfig",
+    "Shard",
+    "partition_graph",
+    "shard_minibatches",
+    "ShardedInference",
+]

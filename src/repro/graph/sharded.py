@@ -1,0 +1,490 @@
+"""Partitioned (sharded) GCN inference across a fork/process pool.
+
+:class:`ShardedInference` runs the same sparse-matmul chain as
+:class:`~repro.core.inference.FastInference`, but per shard of a
+level-aware edge-cut partition (:mod:`repro.graph.partition`): each
+shard's local graph is its owned nodes plus a ``depth``-hop halo, so the
+chain over the local sub-CSRs reproduces the whole-graph embeddings of the
+owned rows *bit-identically* at float64 — the sub-CSRs are sliced from the
+same cached global CSR (duplicate summation already done, per-row column
+order preserved by the sorted local id map), and every dense step is
+row-independent.
+
+The multi-core path mirrors :class:`~repro.atpg.ppsfp.PpsfpEngine`: a
+fork-based ``ProcessPoolExecutor`` whose workers hold the (dtype-cast)
+weights and global adjacency, the attribute matrix passed once per call
+through ``multiprocessing.shared_memory``, and the PR-1 resilience ladder
+— failed shards are retried with a pool rebuild, then graded in-process
+(bit-identical, since both paths run the same chain function) once retries
+are exhausted.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import ExecutionConfig
+from repro.core.graphdata import GraphData
+from repro.core.inference import row_stable_matmul
+from repro.core.model import GCNWeights
+from repro.graph.partition import GraphPartition, PartitionConfig, partition_graph
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["ShardedInference"]
+
+
+def _obs():
+    reg = get_registry()
+    return (
+        reg.counter(
+            "repro_sharded_inference_calls_total",
+            "sharded whole-graph inference calls",
+        ),
+        reg.gauge(
+            "repro_sharded_inference_shards",
+            "shard count of the most recent sharded inference call",
+        ),
+        reg.gauge(
+            "repro_sharded_inference_imbalance",
+            "partition weight imbalance (max/mean) of the most recent call",
+        ),
+        reg.histogram(
+            "repro_sharded_inference_seconds",
+            "wall time of one sharded logits pass",
+        ),
+        reg.counter(
+            "repro_sharded_worker_failures_total",
+            "sharded-inference worker failures (retried or rescued)",
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# The per-shard compute chain (shared by every execution path)
+# --------------------------------------------------------------------- #
+def _slice_shard(
+    pred: sp.csr_matrix, succ: sp.csr_matrix, nodes: np.ndarray
+) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """Local sub-CSRs for one shard's node universe.
+
+    Slicing the cached whole-graph CSR keeps entry values (duplicates
+    already summed once, globally) and per-row column order exactly as the
+    single-shard engine sees them — the root of bit-identity.
+    """
+    return pred[nodes][:, nodes], succ[nodes][:, nodes]
+
+
+def _shard_chain(
+    weights: GCNWeights,
+    dtype: np.dtype,
+    pred_sub: sp.csr_matrix,
+    succ_sub: sp.csr_matrix,
+    attributes: np.ndarray,
+    local_owned: np.ndarray,
+    with_head: bool,
+) -> np.ndarray:
+    """Run the GCN chain on one shard; return the owned rows.
+
+    Identical operation sequence to ``FastInference.embed``/``logits`` —
+    any change there must land here too, or the equivalence suite fails.
+    """
+    embeddings = attributes
+    if dtype != np.float64:
+        pred_sub = pred_sub.astype(dtype)
+        succ_sub = succ_sub.astype(dtype)
+        embeddings = embeddings.astype(dtype)
+    for d in range(weights.depth):
+        aggregated = (
+            embeddings
+            + weights.w_pr * (pred_sub @ embeddings)
+            + weights.w_su * (succ_sub @ embeddings)
+        )
+        embeddings = row_stable_matmul(aggregated, weights.encoder_weights[d])
+        bias = weights.encoder_biases[d]
+        if bias is not None:
+            embeddings += bias
+        np.maximum(embeddings, 0.0, out=embeddings)
+    if not with_head:
+        return embeddings[local_owned]
+    h = embeddings
+    last = len(weights.fc_weights) - 1
+    for i, (weight, bias) in enumerate(
+        zip(weights.fc_weights, weights.fc_biases)
+    ):
+        h = row_stable_matmul(h, weight)
+        if bias is not None:
+            h += bias
+        if i < last:
+            np.maximum(h, 0.0, out=h)
+    return h[local_owned]
+
+
+# --------------------------------------------------------------------- #
+# Worker-process side
+# --------------------------------------------------------------------- #
+_WORKER_STATE: tuple | None = None
+
+
+def _shard_worker_init(payload: bytes) -> None:
+    """Build per-process state once (fork initializer): cast weights and
+    the global adjacency CSRs, shared by every shard this worker grades."""
+    global _WORKER_STATE
+    weights, dtype_name, pred, succ = pickle.loads(payload)
+    dtype = np.dtype(dtype_name)
+    _WORKER_STATE = (weights.astype(dtype), dtype, pred, succ)
+
+
+def _shard_worker_logits(
+    shm_name: str,
+    shape: tuple[int, int],
+    attr_dtype: str,
+    nodes: np.ndarray,
+    local_owned: np.ndarray,
+    with_head: bool,
+) -> np.ndarray:
+    """Grade one shard against the shared attribute matrix."""
+    from multiprocessing import shared_memory
+
+    if _WORKER_STATE is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("sharded-inference worker used before init")
+    weights, dtype, pred, succ = _WORKER_STATE
+    # Fork context: the parent's resource tracker owns the segment, so
+    # attaching here is a no-op registration the parent's unlink clears
+    # (same reasoning as the fault-simulation worker).
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        attributes = np.ndarray(shape, dtype=np.dtype(attr_dtype), buffer=shm.buf)
+        pred_sub, succ_sub = _slice_shard(pred, succ, nodes)
+        # Copy out of the shared segment before compute so the buffer can
+        # be released promptly.
+        attrs = np.array(attributes[nodes])
+        return _shard_chain(
+            weights, dtype, pred_sub, succ_sub, attrs, local_owned, with_head
+        )
+    finally:
+        shm.close()
+
+
+# --------------------------------------------------------------------- #
+@dataclass
+class _ShardSlices:
+    """One shard's precomputed local matrices (in-process path cache)."""
+
+    owned: np.ndarray
+    nodes: np.ndarray
+    local_owned: np.ndarray
+    pred_sub: sp.csr_matrix
+    succ_sub: sp.csr_matrix
+
+
+class _Plan:
+    """Partition + sub-CSR cache for one (graph, shard-count) binding."""
+
+    def __init__(self, graph: GraphData, n_shards: int, halo_hops: int):
+        self.graph = graph
+        self.n_shards = n_shards
+        self.partition: GraphPartition = partition_graph(
+            graph, PartitionConfig(n_shards=n_shards, halo_hops=halo_hops)
+        )
+        pred = graph.pred.to_scipy()
+        succ = graph.succ.to_scipy()
+        self.pred = pred
+        self.succ = succ
+        self.shards = []
+        for shard in self.partition.shards:
+            pred_sub, succ_sub = _slice_shard(pred, succ, shard.nodes)
+            self.shards.append(
+                _ShardSlices(
+                    owned=shard.owned,
+                    nodes=shard.nodes,
+                    local_owned=shard.local_owned,
+                    pred_sub=pred_sub,
+                    succ_sub=succ_sub,
+                )
+            )
+
+
+class ShardedInference:
+    """Partitioned multi-core inference engine for a trained GCN.
+
+    Drop-in for :class:`~repro.core.inference.FastInference` (same
+    ``logits`` / ``predict`` / ``predict_proba`` / ``embed`` surface),
+    parameterised by an :class:`~repro.config.ExecutionConfig` for dtype,
+    worker and shard counts.  The partition and per-shard sub-matrices are
+    cached per graph, so repeated scoring of one design (the serve path)
+    pays the partitioning cost once.
+    """
+
+    def __init__(
+        self,
+        weights: GCNWeights,
+        execution: ExecutionConfig | None = None,
+        *,
+        halo_hops: int | None = None,
+    ) -> None:
+        self.execution = execution or ExecutionConfig()
+        self.dtype = self.execution.numpy_dtype()
+        self.weights = weights.astype(self.dtype)
+        #: halo depth; must cover every aggregation layer for exactness
+        self.halo_hops = weights.depth if halo_hops is None else halo_hops
+        if self.halo_hops < weights.depth:
+            raise ValueError(
+                f"halo_hops={self.halo_hops} is shallower than the model "
+                f"depth ({weights.depth}); owned-node aggregation would be "
+                f"inexact"
+            )
+        self.retry: RetryPolicy = RetryPolicy(max_attempts=3, base_delay=0.05)
+        #: per-shard result timeout in seconds (None = wait forever)
+        self.worker_timeout: float | None = 120.0
+        #: grade failed shards in-process (bit-identical) after retries
+        self.serial_fallback: bool = True
+        #: injectable for fault-injection tests (must stay picklable)
+        self.worker_fn = _shard_worker_logits
+        self._plan: _Plan | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_graph: GraphData | None = None
+        self._sleep = time.sleep
+
+    @classmethod
+    def from_file(
+        cls, path, execution: ExecutionConfig | None = None
+    ) -> "ShardedInference":
+        from repro.core.serialize import load_gcn
+
+        return cls(load_gcn(path).layer_weights(), execution=execution)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_graph = None
+
+    def __enter__(self) -> "ShardedInference":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    def plan_for(self, graph: GraphData) -> _Plan:
+        """The cached partition/sub-matrix plan for ``graph``."""
+        n_shards = self.execution.resolved_shards(max(1, graph.num_nodes))
+        plan = self._plan
+        if (
+            plan is None
+            or plan.graph is not graph
+            or plan.n_shards != n_shards
+        ):
+            plan = _Plan(graph, n_shards, self.halo_hops)
+            self._plan = plan
+        return plan
+
+    def embed(self, graph: GraphData) -> np.ndarray:
+        """Final node embeddings for the whole graph (assembled)."""
+        return self._run(graph, with_head=False)
+
+    def logits(self, graph: GraphData) -> np.ndarray:
+        """Class logits for every node; bit-identical to
+        :meth:`FastInference.logits` at float64.
+
+        Raises :class:`~repro.resilience.errors.NumericalError` on
+        non-finite logits, like the single-shard engine.
+        """
+        start = time.perf_counter()
+        out = self._run(graph, with_head=True)
+        from repro.core.inference import FastInference
+
+        FastInference._check_finite(out, graph, "logits")
+        calls, shards_g, imbalance_g, seconds, _ = _obs()
+        calls.inc()
+        if self._plan is not None:
+            shards_g.set(self._plan.partition.n_shards)
+            imbalance_g.set(self._plan.partition.imbalance)
+        seconds.observe(time.perf_counter() - start)
+        return out
+
+    def predict(self, graph: GraphData) -> np.ndarray:
+        """Argmax class per node."""
+        return np.argmax(self.logits(graph), axis=1)
+
+    def predict_proba(self, graph: GraphData) -> np.ndarray:
+        """Softmax probabilities per node."""
+        logits = self.logits(graph)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        proba = exp / exp.sum(axis=1, keepdims=True)
+        from repro.core.inference import FastInference
+
+        FastInference._check_finite(proba, graph, "predict_proba")
+        return proba
+
+    # ------------------------------------------------------------------ #
+    def _run(self, graph: GraphData, with_head: bool) -> np.ndarray:
+        n_cols = (
+            self.weights.fc_weights[-1].shape[1]
+            if with_head
+            else self.weights.encoder_weights[-1].shape[1]
+        )
+        if graph.num_nodes == 0:
+            return np.zeros((0, n_cols), dtype=self.dtype)
+        plan = self.plan_for(graph)
+        out = np.empty((graph.num_nodes, n_cols), dtype=self.dtype)
+        with span(
+            "inference.sharded",
+            graph=graph.name,
+            nodes=graph.num_nodes,
+            shards=plan.n_shards,
+        ):
+            use_pool = (
+                plan.partition.n_shards > 1
+                and self.execution.resolved_workers() > 1
+            )
+            if use_pool:
+                self._pool_run(graph, plan, with_head, out)
+            else:
+                for i, s in enumerate(plan.shards):
+                    out[s.owned] = self._shard_in_process(
+                        graph, s, with_head, index=i
+                    )
+        return out
+
+    def _shard_in_process(
+        self, graph: GraphData, s: _ShardSlices, with_head: bool, index: int
+    ) -> np.ndarray:
+        with span("inference.shard", shard=index, nodes=len(s.nodes)):
+            return _shard_chain(
+                self.weights,
+                self.dtype,
+                s.pred_sub,
+                s.succ_sub,
+                graph.attributes[s.nodes],
+                s.local_owned,
+                with_head,
+            )
+
+    # ------------------------------------------------------------------ #
+    def _make_pool(self, plan: _Plan) -> ProcessPoolExecutor:
+        import multiprocessing
+
+        payload = pickle.dumps(
+            (self.weights, self.dtype.name, plan.pred, plan.succ)
+        )
+        ctx = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(
+            max_workers=max(1, self.execution.resolved_workers()),
+            mp_context=ctx,
+            initializer=_shard_worker_init,
+            initargs=(payload,),
+        )
+
+    def _pool_run(
+        self, graph: GraphData, plan: _Plan, with_head: bool, out: np.ndarray
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        if self._pool is not None and self._pool_graph is not plan.graph:
+            self.close()
+        attributes = np.ascontiguousarray(graph.attributes)
+        *_, failure_counter = _obs()
+        shm = shared_memory.SharedMemory(create=True, size=attributes.nbytes)
+        try:
+            shared = np.ndarray(
+                attributes.shape, dtype=attributes.dtype, buffer=shm.buf
+            )
+            shared[:] = attributes
+            n_shards = len(plan.shards)
+            results: list[np.ndarray | None] = [None] * n_shards
+            pending = list(range(n_shards))
+            rounds = 0
+            while pending:
+                failed, last_exc = self._run_round(
+                    shm.name,
+                    attributes.shape,
+                    attributes.dtype.name,
+                    plan,
+                    with_head,
+                    pending,
+                    results,
+                )
+                if not failed:
+                    break
+                failure_counter.inc(len(failed))
+                rounds += 1
+                if rounds >= self.retry.max_attempts:
+                    if not self.serial_fallback:
+                        raise last_exc
+                    warnings.warn(
+                        f"sharded-inference worker retries exhausted for "
+                        f"{len(failed)} shard(s); grading them in-process",
+                        ResourceWarning,
+                        stacklevel=4,
+                    )
+                    for i in failed:
+                        results[i] = self._shard_in_process(
+                            graph, plan.shards[i], with_head, index=i
+                        )
+                    break
+                warnings.warn(
+                    f"{len(failed)} sharded-inference worker shard(s) failed "
+                    f"({type(last_exc).__name__}: {last_exc}); rebuilding "
+                    f"pool, retry {rounds}/{self.retry.max_attempts - 1}",
+                    ResourceWarning,
+                    stacklevel=4,
+                )
+                self._sleep(self.retry.delay(rounds))
+                self.close()
+                pending = failed
+        finally:
+            shm.close()
+            shm.unlink()
+        for i, s in enumerate(plan.shards):
+            out[s.owned] = results[i]
+
+    def _run_round(
+        self, shm_name, shape, attr_dtype, plan, with_head, pending, results
+    ) -> tuple[list[int], BaseException | None]:
+        if self._pool is None:
+            self._pool = self._make_pool(plan)
+            self._pool_graph = plan.graph
+        failed: list[int] = []
+        last_exc: BaseException | None = None
+        try:
+            futures = {
+                i: self._pool.submit(
+                    self.worker_fn,
+                    shm_name,
+                    shape,
+                    attr_dtype,
+                    plan.shards[i].nodes,
+                    plan.shards[i].local_owned,
+                    with_head,
+                )
+                for i in pending
+            }
+        except BrokenProcessPool as exc:
+            return list(pending), exc
+        for i, future in futures.items():
+            try:
+                results[i] = future.result(timeout=self.worker_timeout)
+            except Exception as exc:  # worker death, timeout, pool breakage
+                failed.append(i)
+                last_exc = exc
+        return failed, last_exc

@@ -58,14 +58,21 @@ def _load_strict(path: str | Path) -> LoadedPredictor:
     )
 
 
-def _predict_fn(loaded: LoadedPredictor) -> Callable[[object], np.ndarray]:
+def _predict_fn(
+    loaded: LoadedPredictor, execution: "ExecutionConfig | None" = None
+) -> Callable[[object], np.ndarray]:
     """Bind the deployment inference path for ``loaded`` at swap time."""
     if loaded.level == "gcn":
         # Single GCNs score through the paper's sparse-matrix fast path,
-        # which also carries the NumericalError non-finite guard.
+        # which also carries the NumericalError non-finite guard; the
+        # execution config routes large graphs to the sharded engine and
+        # picks the serving dtype.  Weight casts are cached on the layer
+        # snapshot, so hot reloads don't re-copy matrices per swap.
         from repro.core.inference import FastInference
 
-        return FastInference(loaded.predictor.layer_weights()).predict
+        return FastInference(
+            loaded.predictor.layer_weights(), execution=execution
+        ).predict
     return loaded.predictor.predict
 
 
@@ -85,8 +92,14 @@ class ModelManager:
         breaker_threshold: int = 3,
         breaker_reset_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        execution: "ExecutionConfig | None" = None,
     ) -> None:
+        from repro.config import ExecutionConfig
+
         self._lock = threading.Lock()
+        #: how GCN scoring executes (backend/dtype/workers); environment
+        #: overrides (``REPRO_BACKEND`` etc.) apply when not given
+        self.execution = execution or ExecutionConfig.from_env()
         self._heuristic = heuristic or HeuristicPredictor()
         self._breaker_threshold = breaker_threshold
         self._breaker_reset_s = breaker_reset_s
@@ -102,7 +115,7 @@ class ModelManager:
             )
         else:
             self._current = load_predictor(model_path, heuristic=self._heuristic)
-        self._fn = _predict_fn(self._current)
+        self._fn = _predict_fn(self._current, self.execution)
         self._breaker = self._fresh_breaker()
         self._last_good: Path | None = (
             self._current.path if self._current.level in _HEALTHY_LEVELS else None
@@ -144,7 +157,7 @@ class ModelManager:
             with self._lock:
                 self._rollbacks += 1
             raise
-        fn = _predict_fn(candidate)
+        fn = _predict_fn(candidate, self.execution)
         with self._lock:
             self._current = candidate
             self._fn = fn

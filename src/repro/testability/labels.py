@@ -42,9 +42,23 @@ class LabelConfig:
     threshold: float = 0.01
     seed: int = 0
     exact_stems: bool = True
-    #: fault-simulation backend for the exact stem analysis
-    #: (``auto`` | ``serial`` | ``batched`` | ``parallel``)
-    backend: str = "auto"
+    #: deprecated — use ``execution=ExecutionConfig(backend=...)``
+    backend: str | None = None
+    #: execution config for the exact stem analysis (backend ``auto`` |
+    #: ``serial`` | ``batched`` | ``parallel``, workers)
+    execution: "ExecutionConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            from repro.config import ExecutionConfig, warn_deprecated_kwarg
+
+            warn_deprecated_kwarg(
+                "LabelConfig(backend=...)",
+                "LabelConfig(execution=ExecutionConfig(backend=...))",
+            )
+            self.execution = (
+                self.execution or ExecutionConfig()
+            ).replace(backend=self.backend)
 
 
 @dataclass
@@ -80,7 +94,7 @@ def label_nodes(netlist: Netlist, config: LabelConfig | None = None) -> LabelRes
         n_patterns=config.n_patterns,
         seed=config.seed,
         exact_stems=config.exact_stems,
-        backend=config.backend,
+        execution=config.execution,
     )
     cutoff = config.threshold * config.n_patterns
     labels = (counts < cutoff).astype(np.int64)

@@ -126,6 +126,23 @@ class TestConeCache:
         invalidate_cone_cache(c17)
         assert cone_cache_info()["entries"] == 0
 
+    def test_stale_copy_mutation_does_not_poison_original(self, c17):
+        # A copy shares the original's fingerprint until its first edit.
+        # If the copy is mutated *in place* (without invalidate_cone_cache)
+        # after an index was built on it, the cached entry's live netlist
+        # reference drifts away from its key.  The next lookup under the
+        # original netlist must detect this and rebuild, not serve cones
+        # computed against the mutated structure.
+        work = c17.copy()
+        get_cone_index(work).cone(0)  # cached under the shared fingerprint
+        g16 = work.find("G16")
+        work.insert_observation_point(g16)  # mutate WITHOUT invalidating
+
+        index = get_cone_index(c17)
+        assert index.netlist.fingerprint() == c17.fingerprint()
+        for v in range(c17.num_nodes):
+            assert all(u < c17.num_nodes for u in index.cone(v))
+
 
 # --------------------------------------------------------------------- #
 # Backend resolution

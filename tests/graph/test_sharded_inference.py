@@ -1,0 +1,194 @@
+"""Sharded inference: bit-identity, routing, pool resilience, training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_design
+from repro.config import ExecutionConfig
+from repro.core.graphdata import GraphData
+from repro.core.inference import FastInference
+from repro.core.model import GCN, GCNConfig
+from repro.core.trainer import TrainConfig, Trainer
+from repro.graph import ShardedInference
+from repro.graph.sharded import _shard_worker_logits
+
+
+@pytest.fixture(scope="module")
+def weights():
+    model = GCN(GCNConfig(seed=5))
+    rng = np.random.default_rng(2)
+    for p in model.parameters():
+        p.data = p.data + rng.normal(scale=0.05, size=p.data.shape)
+    return model.layer_weights()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return GraphData.from_netlist(generate_design(700, seed=23))
+
+
+def _crashing_worker(*args, **kwargs):
+    raise OSError("injected shard-worker failure")
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7])
+    def test_logits_bit_identical_float64(self, weights, graph, n_shards):
+        single = FastInference(weights).logits(graph)
+        with ShardedInference(
+            weights, ExecutionConfig(shards=n_shards, workers=1)
+        ) as engine:
+            sharded = engine.logits(graph)
+        assert sharded.dtype == np.float64
+        assert np.array_equal(single, sharded)
+
+    def test_embed_bit_identical(self, weights, graph):
+        single = FastInference(weights).embed(graph)
+        with ShardedInference(
+            weights, ExecutionConfig(shards=3, workers=1)
+        ) as engine:
+            assert np.array_equal(single, engine.embed(graph))
+
+    def test_pool_path_bit_identical(self, weights, graph):
+        single = FastInference(weights).logits(graph)
+        with ShardedInference(
+            weights, ExecutionConfig(shards=2, workers=2)
+        ) as engine:
+            sharded = engine.logits(graph)
+        assert np.array_equal(single, sharded)
+
+    def test_float32_close(self, weights, graph):
+        single = FastInference(weights, dtype=np.float32).logits(graph)
+        with ShardedInference(
+            weights, ExecutionConfig(shards=3, workers=1, dtype="float32")
+        ) as engine:
+            sharded = engine.logits(graph)
+        assert sharded.dtype == np.float32
+        assert np.allclose(single, sharded, atol=1e-4)
+
+    def test_predictions_match(self, weights, graph):
+        single = FastInference(weights)
+        with ShardedInference(
+            weights, ExecutionConfig(shards=4, workers=1)
+        ) as engine:
+            assert np.array_equal(single.predict(graph), engine.predict(graph))
+            assert np.allclose(
+                single.predict_proba(graph), engine.predict_proba(graph)
+            )
+
+    def test_empty_graph(self, weights):
+        empty = GraphData.from_netlist(generate_design(4, seed=0))
+        # Tiny but non-empty designs still work with absurd shard requests.
+        with ShardedInference(
+            weights, ExecutionConfig(shards=16, workers=1)
+        ) as engine:
+            out = engine.logits(empty)
+        assert out.shape == (empty.num_nodes, 2)
+
+
+class TestConfiguration:
+    def test_halo_shallower_than_depth_rejected(self, weights):
+        with pytest.raises(ValueError, match="halo_hops"):
+            ShardedInference(weights, halo_hops=weights.depth - 1)
+
+    def test_plan_cached_per_graph(self, weights, graph):
+        with ShardedInference(
+            weights, ExecutionConfig(shards=2, workers=1)
+        ) as engine:
+            engine.logits(graph)
+            plan = engine._plan
+            engine.logits(graph)
+            assert engine._plan is plan
+
+
+class TestRouting:
+    def test_fastinference_routes_to_sharded(self, weights, graph, monkeypatch):
+        import repro.config as config_mod
+
+        monkeypatch.setattr(config_mod, "SHARDED_AUTO_MIN_NODES", 100)
+        fast = FastInference(
+            weights, execution=ExecutionConfig(workers=2, shards=2)
+        )
+        routed = fast._route(graph)
+        assert isinstance(routed, ShardedInference)
+        assert np.array_equal(
+            FastInference(weights).logits(graph), fast.logits(graph)
+        )
+
+    def test_single_backend_stays_in_process(self, weights, graph):
+        fast = FastInference(weights, execution=ExecutionConfig(backend="single"))
+        assert fast._route(graph) is fast
+
+    def test_explicit_sharded_backend(self, weights, graph):
+        fast = FastInference(
+            weights,
+            execution=ExecutionConfig(backend="sharded", shards=3, workers=1),
+        )
+        assert isinstance(fast._route(graph), ShardedInference)
+        assert np.array_equal(
+            FastInference(weights).logits(graph), fast.logits(graph)
+        )
+
+
+class TestPoolResilience:
+    def test_worker_crash_falls_back_bit_identical(self, weights, graph):
+        single = FastInference(weights).logits(graph)
+        with ShardedInference(
+            weights, ExecutionConfig(shards=2, workers=2)
+        ) as engine:
+            engine._sleep = lambda s: None
+            engine.worker_fn = _crashing_worker
+            with pytest.warns(ResourceWarning):
+                out = engine.logits(graph)
+        assert np.array_equal(single, out)
+
+    def test_no_fallback_raises_after_retries(self, weights, graph):
+        with ShardedInference(
+            weights, ExecutionConfig(shards=2, workers=2)
+        ) as engine:
+            engine._sleep = lambda s: None
+            engine.serial_fallback = False
+            engine.worker_fn = _crashing_worker
+            with pytest.warns(ResourceWarning):
+                with pytest.raises(OSError):
+                    engine.logits(graph)
+
+    def test_worker_fn_is_real_entrypoint(self):
+        # The injectable default must stay the module-level picklable fn.
+        assert ShardedInference.__init__.__defaults__ is not None or True
+        engine = ShardedInference(
+            GCN(GCNConfig(seed=0)).layer_weights(),
+            ExecutionConfig(shards=1, workers=1),
+        )
+        try:
+            assert engine.worker_fn is _shard_worker_logits
+        finally:
+            engine.close()
+
+
+class TestTrainerIntegration:
+    def test_shard_minibatch_training_runs(self, graph):
+        rng = np.random.default_rng(3)
+        labelled = GraphData(
+            pred=graph.pred,
+            succ=graph.succ,
+            attributes=graph.attributes,
+            labels=rng.integers(0, 2, size=graph.num_nodes),
+            name="labelled",
+        )
+        model = GCN(GCNConfig(seed=1))
+        import repro.config as config_mod
+
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=2),
+            execution=ExecutionConfig(backend="sharded", shards=3, workers=1),
+        )
+        # Force the minibatch path regardless of the auto threshold.
+        assert config_mod.SHARDED_AUTO_MIN_NODES > labelled.num_nodes
+        batches = trainer._prepare_graphs([labelled])
+        assert len(batches) == 3
+        history = trainer.fit([labelled])
+        assert history.loss
