@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Lint: public-API boundaries and deprecated-kwarg hygiene.
 
-Two rules, both AST-based (comments and strings never false-positive):
+Three rules, all AST-based (comments and strings never false-positive):
 
 1. **Examples are facade-only.** Files under ``examples/`` may import from
    the ``repro`` namespace only via ``repro.api`` (``from repro.api import
@@ -18,6 +18,12 @@ Two rules, both AST-based (comments and strings never false-positive):
    * ``fault_sim_backend=`` in calls to ``AtpgConfig`` (or anything else).
 
    The defining modules themselves (where the shims live) are exempt.
+
+3. **Process parallelism lives in the execution fabric.** ``src/repro``
+   must not import ``multiprocessing`` or ``concurrent`` (futures/pools)
+   outside ``src/repro/exec/`` — engines describe shard tasks and submit
+   them to :mod:`repro.exec`; hand-rolled pools are exactly the drift this
+   fabric exists to end.
 
 Exit status: 0 when clean, 1 with one ``path:line`` diagnostic per
 violation otherwise.
@@ -100,6 +106,27 @@ def deprecated_kwarg_violations(path: Path) -> list[tuple[int, str]]:
     return bad
 
 
+#: the one package allowed to touch process pools / shared memory
+_EXEC_PACKAGE = PACKAGE / "exec"
+#: modules whose import (top-level or function-local) is fabric-only
+_POOL_MODULES = ("multiprocessing", "concurrent")
+
+
+def pool_import_violations(path: Path) -> list[tuple[int, str]]:
+    """Direct process-parallelism imports outside ``repro.exec``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    bad = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in _POOL_MODULES:
+                    bad.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            if node.module.split(".")[0] in _POOL_MODULES:
+                bad.append((node.lineno, f"from {node.module} import ..."))
+    return bad
+
+
 def main() -> int:
     violations: list[str] = []
     for path in sorted(EXAMPLES.glob("*.py")):
@@ -116,12 +143,23 @@ def main() -> int:
                 f"{path.relative_to(ROOT)}:{lineno}: {what} "
                 "(library code must pass execution=ExecutionConfig(...))"
             )
+    for path in sorted(PACKAGE.rglob("*.py")):
+        if _EXEC_PACKAGE in path.parents:
+            continue
+        for lineno, what in pool_import_violations(path):
+            violations.append(
+                f"{path.relative_to(ROOT)}:{lineno}: {what} "
+                "(process pools / shared memory live in repro.exec)"
+            )
     if violations:
         print("API boundary violations:")
         for v in violations:
             print(f"  {v}")
         return 1
-    print("examples are facade-only; no deprecated execution kwargs in src/repro")
+    print(
+        "examples are facade-only; no deprecated execution kwargs in "
+        "src/repro; process pools confined to repro.exec"
+    )
     return 0
 
 

@@ -12,11 +12,11 @@ with *fault-axis* vectorisation and optional multi-process sharding:
   once — the same grouping trick ``LogicSimulator.simulate`` uses on the
   pattern axis, applied to the fault axis.
 * :class:`PpsfpEngine` adds the multi-core path: the undetected fault
-  list is sharded across a ``ProcessPoolExecutor`` (fork), the good-value
-  matrix is passed once per pattern batch through
-  ``multiprocessing.shared_memory``, and the PR-1 resilience ladder
-  applies — worker retry with pool rebuild, then a bit-identical
-  in-process fallback.
+  list is sharded across the execution fabric's fork pool
+  (:mod:`repro.exec`), the good-value matrix is passed once per pattern
+  batch through a fabric-owned shared-memory segment, and the fabric's
+  supervision ladder applies — worker retry with pool rebuild, then a
+  bit-identical in-process fallback.
 
 Both paths produce *bit-identical* results to the serial oracle: every
 evaluation is an exact bitwise gate function of the same operands, only
@@ -36,15 +36,20 @@ from __future__ import annotations
 import os
 import pickle
 import time
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.atpg.cones import ConeIndex, get_cone_index
 from repro.circuit.cells import GateType
+from repro.exec import (
+    ExecPolicy,
+    ForkPoolExecutor,
+    ShardTask,
+    attached_ndarray,
+    owned_ndarray,
+    resolve_exec_backend,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.resilience.retry import RetryPolicy
@@ -480,32 +485,21 @@ def _ppsfp_worker_grade(
     stuck: np.ndarray | None,
 ) -> np.ndarray:
     """Grade one fault shard against the shared good-value matrix."""
-    from multiprocessing import shared_memory
-
     if _WORKER_ENGINE is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("fault-simulation worker used before initialization")
-    # Attaching registers the segment with the resource tracker on
-    # CPython < 3.13, but the fork context shares the parent's tracker
-    # process, so the registration is a set no-op against the parent's own
-    # entry and the parent's unlink cleans it up exactly once.  (The usual
-    # worker-side ``resource_tracker.unregister`` workaround would *cause*
-    # a double-unregister here.)
-    shm = shared_memory.SharedMemory(name=shm_name)
-    try:
-        values = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
+    with attached_ndarray(shm_name, shape, np.uint64) as values:
         inject = _inject_rows(sites, stuck, values)
         return _WORKER_ENGINE.propagate(sites, inject, values)
-    finally:
-        shm.close()
 
 
 class PpsfpEngine:
     """Backend-dispatching cone-propagation engine.
 
     Owns the in-process :class:`BatchedConeEngine` and, lazily, a
-    fork-based worker pool for the ``parallel`` backend.  The pool is
-    rebuilt on worker failure (retry ladder) and the batched path is the
-    always-available bit-identical fallback.
+    fork-pool executor from the execution fabric for the ``parallel``
+    backend.  Worker supervision — retry ladder, pool rebuild, the
+    bit-identical batched fallback — lives in :mod:`repro.exec`; this
+    engine only describes its shard tasks.
     """
 
     def __init__(self, simulator, observed, config: PpsfpConfig | None = None):
@@ -519,7 +513,7 @@ class PpsfpEngine:
             max_group_bytes=self.config.max_group_bytes,
             dense_threshold=self.config.dense_threshold,
         )
-        self._pool: ProcessPoolExecutor | None = None
+        self._executor: ForkPoolExecutor | None = None
         self._sleep = time.sleep
         #: injectable for fault-injection tests (must stay picklable)
         self.worker_fn = _ppsfp_worker_grade
@@ -560,9 +554,9 @@ class PpsfpEngine:
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
     def __enter__(self) -> "PpsfpEngine":
         return self
@@ -580,9 +574,7 @@ class PpsfpEngine:
     def _n_workers(self) -> int:
         return max(1, self.config.workers or os.cpu_count() or 1)
 
-    def _make_pool(self) -> ProcessPoolExecutor:
-        import multiprocessing
-
+    def _make_executor(self) -> ForkPoolExecutor:
         payload = pickle.dumps(
             (
                 self.simulator.netlist,
@@ -592,102 +584,76 @@ class PpsfpEngine:
                 self.config.dense_threshold,
             )
         )
-        ctx = multiprocessing.get_context("fork")
-        return ProcessPoolExecutor(
-            max_workers=self._n_workers(),
-            mp_context=ctx,
+        return ForkPoolExecutor(
+            self._n_workers(),
+            name="atpg",
             initializer=_ppsfp_worker_init,
             initargs=(payload,),
+            sleep=self._sleep,
         )
+
+    def _exec_policy(self) -> ExecPolicy:
+        return ExecPolicy(
+            retry=self.config.retry,
+            worker_timeout=self.config.worker_timeout,
+            serial_fallback=self.config.serial_fallback,
+        )
+
+    def _shard_fallback(
+        self, sites: np.ndarray, stuck: np.ndarray | None, values: np.ndarray
+    ) -> np.ndarray:
+        inject = _inject_rows(sites, stuck, values)
+        return self.batched.propagate(sites, inject, values)
 
     def _parallel_masks(
         self, sites: np.ndarray, stuck: np.ndarray | None, values: np.ndarray
     ) -> np.ndarray:
-        from multiprocessing import shared_memory
-
         n_shards = self.config.shards or (2 * self._n_workers())
         n_shards = max(1, min(n_shards, len(sites)))
         bounds = np.array_split(np.arange(len(sites)), n_shards)
         shard_counter, failure_counter = _parallel_obs()
         shard_counter.inc(n_shards)
 
-        shm = shared_memory.SharedMemory(create=True, size=values.nbytes)
-        try:
-            shared = np.ndarray(values.shape, dtype=np.uint64, buffer=shm.buf)
-            shared[:] = values
-            results: list[np.ndarray | None] = [None] * n_shards
-            pending = list(range(n_shards))
-            rounds = 0
-            while pending:
-                failed, last_exc = self._run_round(
-                    shm.name, values.shape, sites, stuck, bounds, pending, results
+        # The engine heuristics picked the fork pool; REPRO_EXEC_BACKEND
+        # can still force the in-process oracle (then no segment is shared
+        # and every shard runs its batched fallback serially).
+        if resolve_exec_backend(None, default="forkpool") == "inprocess":
+            out = np.zeros((len(sites), values.shape[1]), dtype=np.uint64)
+            for idx in bounds:
+                out[idx] = self._shard_fallback(
+                    sites[idx], None if stuck is None else stuck[idx], values
                 )
-                if not failed:
-                    break
-                failure_counter.inc(len(failed))
-                rounds += 1
-                if rounds >= self.config.retry.max_attempts:
-                    if not self.config.serial_fallback:
-                        raise last_exc
-                    warnings.warn(
-                        f"fault-sim worker retries exhausted for "
-                        f"{len(failed)} shard(s); grading them in-process",
-                        ResourceWarning,
-                        stacklevel=3,
-                    )
-                    for i in failed:
-                        idx = bounds[i]
-                        inject = _inject_rows(
+            return out
+
+        if self._executor is None:
+            self._executor = self._make_executor()
+        with owned_ndarray(values.astype(np.uint64, copy=False)) as segment:
+            tasks = [
+                ShardTask(
+                    key=f"shard{i}",
+                    fn=self.worker_fn,
+                    args=(
+                        segment.name,
+                        values.shape,
+                        sites[idx],
+                        None if stuck is None else stuck[idx],
+                    ),
+                    fallback=(
+                        lambda idx=idx: self._shard_fallback(
                             sites[idx],
                             None if stuck is None else stuck[idx],
                             values,
                         )
-                        results[i] = self.batched.propagate(
-                            sites[idx], inject, values
-                        )
-                    break
-                warnings.warn(
-                    f"{len(failed)} fault-sim worker shard(s) failed "
-                    f"({type(last_exc).__name__}: {last_exc}); rebuilding "
-                    f"pool, retry {rounds}/{self.config.retry.max_attempts - 1}",
-                    ResourceWarning,
-                    stacklevel=3,
+                    ),
                 )
-                self._sleep(self.config.retry.delay(rounds))
-                self.close()
-                pending = failed
-        finally:
-            shm.close()
-            shm.unlink()
+                for i, idx in enumerate(bounds)
+            ]
+            results = self._executor.submit(
+                tasks, policy=self._exec_policy(), sleep=self._sleep
+            )
+        if self._executor.last_submit_failures:
+            failure_counter.inc(self._executor.last_submit_failures)
         out = np.zeros((len(sites), values.shape[1]), dtype=np.uint64)
         for i, idx in enumerate(bounds):
             out[idx] = results[i]
         return out
-
-    def _run_round(
-        self, shm_name, shape, sites, stuck, bounds, pending, results
-    ) -> tuple[list[int], BaseException | None]:
-        if self._pool is None:
-            self._pool = self._make_pool()
-        failed: list[int] = []
-        last_exc: BaseException | None = None
-        try:
-            futures = {
-                i: self._pool.submit(
-                    self.worker_fn,
-                    shm_name,
-                    shape,
-                    sites[bounds[i]],
-                    None if stuck is None else stuck[bounds[i]],
-                )
-                for i in pending
-            }
-        except BrokenProcessPool as exc:
-            return list(pending), exc
-        for i, future in futures.items():
-            try:
-                results[i] = future.result(timeout=self.config.worker_timeout)
-            except Exception as exc:  # worker death, timeout, pool breakage
-                failed.append(i)
-                last_exc = exc
-        return failed, last_exc

@@ -198,6 +198,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarise results/*.json from a previous benchmark run",
     )
 
+    sub.add_parser(
+        "exec-info",
+        parents=[log_flags],
+        help="show the resolved execution-fabric configuration",
+        description="Print the execution fabric's resolved backend, worker "
+        "count, chaos-injection state (REPRO_EXEC_BACKEND / REPRO_CHAOS) "
+        "and any leaked shared-memory segments a sweep would reclaim.",
+    )
+
     srv = sub.add_parser(
         "serve",
         parents=[log_flags],
@@ -480,6 +489,43 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_exec_info(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.exec import (
+        CHAOS_ENV,
+        EXEC_BACKEND_ENV,
+        ChaosSpec,
+        leaked_segment_names,
+        resolve_exec_backend,
+    )
+
+    execution = _execution()
+    chaos = ChaosSpec.from_env()
+    info = {
+        "backend": {
+            "requested": execution.exec_backend,
+            "resolved": resolve_exec_backend(execution.exec_backend),
+            "env": os.environ.get(EXEC_BACKEND_ENV) or None,
+        },
+        "workers": execution.resolved_workers(),
+        "chaos": (
+            None
+            if chaos is None
+            else {
+                "mode": chaos.mode,
+                "rate": chaos.rate,
+                "seed": chaos.seed,
+                "env": os.environ.get(CHAOS_ENV),
+            }
+        ),
+        "shm_segments": leaked_segment_names(),
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig, serve
 
@@ -508,6 +554,7 @@ def main(argv: list[str] | None = None) -> int:
         "atpg": _cmd_atpg,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "exec-info": _cmd_exec_info,
         "serve": _cmd_serve,
     }
     try:

@@ -23,6 +23,8 @@ choice is never overridden by the environment.  Environment variables
 
 * ``REPRO_BACKEND`` — inference backend;
 * ``REPRO_FAULT_SIM_BACKEND`` — fault-simulation backend (pre-existing);
+* ``REPRO_EXEC_BACKEND`` — execution-fabric backend (``inprocess`` |
+  ``forkpool``); the process-wide kill-switch for fork pools;
 * ``REPRO_WORKERS`` — worker-process count;
 * ``REPRO_SHARDS`` — inference shard count;
 * ``REPRO_DTYPE`` — inference dtype (``float32`` / ``float64``).
@@ -48,6 +50,7 @@ __all__ = [
     "ExecutionConfig",
     "INFERENCE_BACKENDS",
     "FAULT_SIM_BACKENDS",
+    "EXEC_BACKENDS",
     "warn_deprecated_kwarg",
 ]
 
@@ -55,9 +58,12 @@ __all__ = [
 INFERENCE_BACKENDS = ("auto", "single", "sharded")
 #: vocabulary for the fault-simulation engines (mirrors repro.atpg.ppsfp)
 FAULT_SIM_BACKENDS = ("auto", "serial", "batched", "parallel")
+#: vocabulary for the execution fabric (mirrors repro.exec.policy)
+EXEC_BACKENDS = ("auto", "inprocess", "forkpool")
 
 _ENV_BACKEND = "REPRO_BACKEND"
 _ENV_FAULT_SIM_BACKEND = "REPRO_FAULT_SIM_BACKEND"
+_ENV_EXEC_BACKEND = "REPRO_EXEC_BACKEND"
 _ENV_WORKERS = "REPRO_WORKERS"
 _ENV_SHARDS = "REPRO_SHARDS"
 _ENV_DTYPE = "REPRO_DTYPE"
@@ -97,6 +103,10 @@ class ExecutionConfig:
     dtype: str = "float64"
     #: shard count for partitioned inference (None = derived from workers)
     shards: int | None = None
+    #: execution-fabric backend request (``auto`` | ``inprocess`` |
+    #: ``forkpool``); ``auto`` honours ``REPRO_EXEC_BACKEND`` then the
+    #: engine's own workload heuristic
+    exec_backend: str = "auto"
 
     def __post_init__(self) -> None:
         problems = []
@@ -106,6 +116,13 @@ class ExecutionConfig:
             problems.append("workers must be >= 1 (or None for auto)")
         if self.shards is not None and self.shards < 1:
             problems.append("shards must be >= 1 (or None for auto)")
+        if (
+            not isinstance(self.exec_backend, str)
+            or self.exec_backend.lower() not in EXEC_BACKENDS
+        ):
+            problems.append(
+                f"exec_backend {self.exec_backend!r} must be one of {EXEC_BACKENDS}"
+            )
         try:
             dt = np.dtype(self.dtype)
         except TypeError:
@@ -131,6 +148,9 @@ class ExecutionConfig:
         backend = os.environ.get(_ENV_BACKEND, "").strip().lower()
         if backend:
             env["backend"] = backend
+        exec_backend = os.environ.get(_ENV_EXEC_BACKEND, "").strip().lower()
+        if exec_backend:
+            env["exec_backend"] = exec_backend
         for key, var in (("workers", _ENV_WORKERS), ("shards", _ENV_SHARDS)):
             raw = os.environ.get(var, "").strip()
             if raw:
@@ -214,6 +234,17 @@ class ExecutionConfig:
                 return "sharded"
             return "single"
         return choice
+
+    def resolve_exec_backend(self, default: str = "forkpool") -> str:
+        """Map the fabric request to ``inprocess`` or ``forkpool``.
+
+        Delegates to :func:`repro.exec.policy.resolve_exec_backend`:
+        explicit ``exec_backend`` wins, then ``REPRO_EXEC_BACKEND``, then
+        ``default`` (the backend the caller's workload heuristic picked).
+        """
+        from repro.exec.policy import resolve_exec_backend
+
+        return resolve_exec_backend(self.exec_backend, default=default)
 
     def resolve_fault_sim_backend(
         self, n_sites: int, n_words: int

@@ -10,12 +10,8 @@ per graph computing gradients that the parent averages before stepping.
 
 from __future__ import annotations
 
-import multiprocessing
 import pickle
 import time
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,6 +19,7 @@ import numpy as np
 from repro.config import ExecutionConfig
 from repro.core.graphdata import GraphData
 from repro.core.model import GCN
+from repro.exec import ExecPolicy, ShardTask, make_executor
 from repro.nn.functional import cross_entropy
 from repro.nn.optim import SGD, Adam
 from repro.nn.tensor import no_grad
@@ -371,6 +368,17 @@ def _worker_gradients(payload: bytes) -> list[np.ndarray]:
     ]
 
 
+def _serial_gradients(payload: bytes, graph_name: str | None) -> list[np.ndarray]:
+    """In-process fallback: same math as a worker, typed terminal error."""
+    try:
+        return _worker_gradients(payload)
+    except Exception as exc:
+        raise WorkerFailedError(
+            f"graph {graph_name!r} failed even in the serial fallback: {exc}",
+            graph_name=graph_name,
+        ) from exc
+
+
 class ParallelTrainer(Trainer):
     """Data-parallel trainer: one worker per graph, averaged gradients.
 
@@ -379,8 +387,8 @@ class ParallelTrainer(Trainer):
     graph; outputs are gathered and a single update is applied.  On a
     single-core host this demonstrates the scheme rather than a speedup.
 
-    Fault tolerance: a failed round — a worker raising, dying (which
-    surfaces as :class:`BrokenProcessPool` for every in-flight graph), or
+    Fault tolerance is delegated to the execution fabric
+    (:mod:`repro.exec`): a failed round — a worker raising, dying, or
     exceeding ``worker_timeout`` — rebuilds the pool and retries only the
     failed graphs with exponential backoff.  Once ``retry_policy.
     max_attempts`` rounds are exhausted, the stragglers are computed
@@ -434,84 +442,49 @@ class ParallelTrainer(Trainer):
         return total
 
     # ------------------------------------------------------------------ #
-    def _make_pool(self, n_tasks: int) -> ProcessPoolExecutor:
-        ctx = multiprocessing.get_context("fork")
-        workers = min(self.max_workers or n_tasks, n_tasks)
-        return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    def _exec_policy(self) -> ExecPolicy:
+        """Fabric policy assembled per call so test hooks stay mutable."""
+
+        def exhausted(tasks: list[ShardTask], rounds: int, exc: BaseException):
+            name = tasks[0].meta
+            return WorkerFailedError(
+                f"worker for graph {name!r} failed after {rounds} rounds: {exc}",
+                graph_name=name,
+            )
+
+        return ExecPolicy(
+            retry=self.retry_policy,
+            worker_timeout=self.worker_timeout,
+            serial_fallback=self.serial_fallback,
+            exhausted_error=exhausted,
+        )
 
     def _gradients_with_recovery(
         self, graphs: list[GraphData], payloads: list[bytes]
     ) -> list[list[np.ndarray]]:
         """Per-graph gradients, surviving worker crashes and hangs."""
-        results: list[list[np.ndarray] | None] = [None] * len(payloads)
-        pending = list(range(len(payloads)))
-        pool = self._make_pool(len(payloads))
-        rounds = 0
-        try:
-            while pending:
-                failed, last_exc = self._run_round(pool, pending, payloads, results)
-                if not failed:
-                    break
-                rounds += 1
-                if rounds >= self.retry_policy.max_attempts:
-                    if not self.serial_fallback:
-                        index = failed[0]
-                        raise WorkerFailedError(
-                            f"worker for graph {graphs[index].name!r} failed "
-                            f"after {rounds} rounds: {last_exc}",
-                            graph_name=graphs[index].name,
-                        ) from last_exc
-                    self._serial_rescue(failed, graphs, payloads, results)
-                    break
-                warnings.warn(
-                    f"{len(failed)} training worker(s) failed "
-                    f"({type(last_exc).__name__}: {last_exc}); rebuilding pool, "
-                    f"retry {rounds}/{self.retry_policy.max_attempts - 1}",
-                    ResourceWarning,
-                    stacklevel=3,
-                )
-                self._sleep(self.retry_policy.delay(rounds))
-                # A timed-out worker is still wedged on its task and a dead
-                # one broke the pool — a fresh pool is the only safe state.
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = self._make_pool(len(failed))
-                pending = failed
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+        tasks = [
+            ShardTask(
+                key=graph.name or f"graph{i}",
+                fn=self.worker_fn,
+                args=(payloads[i],),
+                fallback=lambda p=payloads[i], n=graph.name: _serial_gradients(p, n),
+                meta=graph.name,
+            )
+            for i, graph in enumerate(graphs)
+        ]
+        backend = (self.execution or ExecutionConfig()).resolve_exec_backend(
+            default="forkpool"
+        )
+        executor = make_executor(
+            backend,
+            name="train",
+            max_workers=min(self.max_workers or len(tasks), len(tasks)),
+            policy=self._exec_policy(),
+            sleep=self._sleep,
+        )
+        with executor:
+            results = executor.submit(tasks)
         if any(grads is None for grads in results):
             raise WorkerFailedError("gradients missing after recovery")
         return results
-
-    def _run_round(self, pool, pending, payloads, results):
-        """Submit ``pending`` graphs; return (failed indices, last error)."""
-        last_exc: BaseException | None = None
-        failed: list[int] = []
-        try:
-            futures = {i: pool.submit(self.worker_fn, payloads[i]) for i in pending}
-        except BrokenProcessPool as exc:
-            return list(pending), exc
-        for i, future in futures.items():
-            try:
-                results[i] = future.result(timeout=self.worker_timeout)
-            except Exception as exc:  # worker exception, pool breakage, timeout
-                failed.append(i)
-                last_exc = exc
-        return failed, last_exc
-
-    def _serial_rescue(self, failed, graphs, payloads, results) -> None:
-        """Compute the failed graphs' gradients in-process (reference path)."""
-        warnings.warn(
-            f"retries exhausted for {len(failed)} graph(s); "
-            "computing their gradients serially in-process",
-            ResourceWarning,
-            stacklevel=4,
-        )
-        for i in failed:
-            try:
-                results[i] = _worker_gradients(payloads[i])
-            except Exception as exc:
-                raise WorkerFailedError(
-                    f"graph {graphs[i].name!r} failed even in the serial "
-                    f"fallback: {exc}",
-                    graph_name=graphs[i].name,
-                ) from exc

@@ -1,0 +1,65 @@
+"""``repro.exec`` — the fault-tolerant execution fabric.
+
+One executor abstraction under every fork-pool engine in the library:
+:class:`~repro.core.trainer.ParallelTrainer`,
+:class:`~repro.atpg.ppsfp.PpsfpEngine`, and
+:class:`~repro.graph.sharded.ShardedInference` all express their parallel
+work as :class:`ShardTask` lists and let one supervised
+:class:`ForkPoolExecutor` (or the bit-identical serial
+:class:`InProcessExecutor`) run them.
+
+See :mod:`repro.exec.executor` for supervision semantics,
+:mod:`repro.exec.shm` for the guaranteed shared-memory lifecycle, and
+:mod:`repro.exec.chaos` for the built-in fault-injection layer
+(``REPRO_CHAOS``).
+"""
+
+from repro.exec.chaos import (
+    CHAOS_ENV,
+    CHAOS_MODES,
+    ChaosInjectedError,
+    ChaosSpec,
+)
+from repro.exec.executor import (
+    Executor,
+    ForkPoolExecutor,
+    InProcessExecutor,
+    ensure_exec_metrics,
+    make_executor,
+)
+from repro.exec.policy import (
+    EXEC_BACKEND_ENV,
+    EXEC_BACKENDS,
+    ExecPolicy,
+    ShardTask,
+    resolve_exec_backend,
+)
+from repro.exec.shm import (
+    SharedSegment,
+    attached_ndarray,
+    leaked_segment_names,
+    owned_ndarray,
+    sweep_orphans,
+)
+
+__all__ = [
+    "EXEC_BACKENDS",
+    "EXEC_BACKEND_ENV",
+    "CHAOS_ENV",
+    "CHAOS_MODES",
+    "ChaosInjectedError",
+    "ChaosSpec",
+    "ExecPolicy",
+    "Executor",
+    "ForkPoolExecutor",
+    "InProcessExecutor",
+    "ShardTask",
+    "SharedSegment",
+    "attached_ndarray",
+    "ensure_exec_metrics",
+    "leaked_segment_names",
+    "make_executor",
+    "owned_ndarray",
+    "resolve_exec_backend",
+    "sweep_orphans",
+]

@@ -11,21 +11,18 @@ order preserved by the sorted local id map), and every dense step is
 row-independent.
 
 The multi-core path mirrors :class:`~repro.atpg.ppsfp.PpsfpEngine`: a
-fork-based ``ProcessPoolExecutor`` whose workers hold the (dtype-cast)
-weights and global adjacency, the attribute matrix passed once per call
-through ``multiprocessing.shared_memory``, and the PR-1 resilience ladder
-— failed shards are retried with a pool rebuild, then graded in-process
-(bit-identical, since both paths run the same chain function) once retries
-are exhausted.
+supervised fork pool from the execution fabric (:mod:`repro.exec`) whose
+workers hold the (dtype-cast) weights and global adjacency, the attribute
+matrix passed once per call through a fabric-owned shared-memory segment,
+and the fabric's supervision ladder — failed shards are retried with a
+pool rebuild, then graded in-process (bit-identical, since both paths run
+the same chain function) once retries are exhausted.
 """
 
 from __future__ import annotations
 
 import pickle
 import time
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +32,14 @@ from repro.config import ExecutionConfig
 from repro.core.graphdata import GraphData
 from repro.core.inference import row_stable_matmul
 from repro.core.model import GCNWeights
+from repro.exec import (
+    ExecPolicy,
+    ForkPoolExecutor,
+    ShardTask,
+    attached_ndarray,
+    owned_ndarray,
+    resolve_exec_backend,
+)
 from repro.graph.partition import GraphPartition, PartitionConfig, partition_graph
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
@@ -153,26 +158,17 @@ def _shard_worker_logits(
     with_head: bool,
 ) -> np.ndarray:
     """Grade one shard against the shared attribute matrix."""
-    from multiprocessing import shared_memory
-
     if _WORKER_STATE is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("sharded-inference worker used before init")
     weights, dtype, pred, succ = _WORKER_STATE
-    # Fork context: the parent's resource tracker owns the segment, so
-    # attaching here is a no-op registration the parent's unlink clears
-    # (same reasoning as the fault-simulation worker).
-    shm = shared_memory.SharedMemory(name=shm_name)
-    try:
-        attributes = np.ndarray(shape, dtype=np.dtype(attr_dtype), buffer=shm.buf)
+    with attached_ndarray(shm_name, shape, attr_dtype) as attributes:
         pred_sub, succ_sub = _slice_shard(pred, succ, nodes)
         # Copy out of the shared segment before compute so the buffer can
         # be released promptly.
         attrs = np.array(attributes[nodes])
-        return _shard_chain(
-            weights, dtype, pred_sub, succ_sub, attrs, local_owned, with_head
-        )
-    finally:
-        shm.close()
+    return _shard_chain(
+        weights, dtype, pred_sub, succ_sub, attrs, local_owned, with_head
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -251,7 +247,7 @@ class ShardedInference:
         #: injectable for fault-injection tests (must stay picklable)
         self.worker_fn = _shard_worker_logits
         self._plan: _Plan | None = None
-        self._pool: ProcessPoolExecutor | None = None
+        self._executor: ForkPoolExecutor | None = None
         self._pool_graph: GraphData | None = None
         self._sleep = time.sleep
 
@@ -266,9 +262,9 @@ class ShardedInference:
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
             self._pool_graph = None
 
     def __enter__(self) -> "ShardedInference":
@@ -356,6 +352,8 @@ class ShardedInference:
             use_pool = (
                 plan.partition.n_shards > 1
                 and self.execution.resolved_workers() > 1
+                and self.execution.resolve_exec_backend(default="forkpool")
+                == "forkpool"
             )
             if use_pool:
                 self._pool_run(graph, plan, with_head, out)
@@ -381,110 +379,62 @@ class ShardedInference:
             )
 
     # ------------------------------------------------------------------ #
-    def _make_pool(self, plan: _Plan) -> ProcessPoolExecutor:
-        import multiprocessing
-
+    def _make_executor(self, plan: _Plan) -> ForkPoolExecutor:
         payload = pickle.dumps(
             (self.weights, self.dtype.name, plan.pred, plan.succ)
         )
-        ctx = multiprocessing.get_context("fork")
-        return ProcessPoolExecutor(
-            max_workers=max(1, self.execution.resolved_workers()),
-            mp_context=ctx,
+        return ForkPoolExecutor(
+            max(1, self.execution.resolved_workers()),
+            name="inference",
             initializer=_shard_worker_init,
             initargs=(payload,),
+            sleep=self._sleep,
+        )
+
+    def _exec_policy(self) -> ExecPolicy:
+        return ExecPolicy(
+            retry=self.retry,
+            worker_timeout=self.worker_timeout,
+            serial_fallback=self.serial_fallback,
         )
 
     def _pool_run(
         self, graph: GraphData, plan: _Plan, with_head: bool, out: np.ndarray
     ) -> None:
-        from multiprocessing import shared_memory
-
-        if self._pool is not None and self._pool_graph is not plan.graph:
+        # The worker initializer bakes in this plan's global CSRs, so a new
+        # graph needs a new pool.
+        if self._executor is not None and self._pool_graph is not plan.graph:
             self.close()
+        if self._executor is None:
+            self._executor = self._make_executor(plan)
+            self._pool_graph = plan.graph
         attributes = np.ascontiguousarray(graph.attributes)
         *_, failure_counter = _obs()
-        shm = shared_memory.SharedMemory(create=True, size=attributes.nbytes)
-        try:
-            shared = np.ndarray(
-                attributes.shape, dtype=attributes.dtype, buffer=shm.buf
-            )
-            shared[:] = attributes
-            n_shards = len(plan.shards)
-            results: list[np.ndarray | None] = [None] * n_shards
-            pending = list(range(n_shards))
-            rounds = 0
-            while pending:
-                failed, last_exc = self._run_round(
-                    shm.name,
-                    attributes.shape,
-                    attributes.dtype.name,
-                    plan,
-                    with_head,
-                    pending,
-                    results,
-                )
-                if not failed:
-                    break
-                failure_counter.inc(len(failed))
-                rounds += 1
-                if rounds >= self.retry.max_attempts:
-                    if not self.serial_fallback:
-                        raise last_exc
-                    warnings.warn(
-                        f"sharded-inference worker retries exhausted for "
-                        f"{len(failed)} shard(s); grading them in-process",
-                        ResourceWarning,
-                        stacklevel=4,
-                    )
-                    for i in failed:
-                        results[i] = self._shard_in_process(
-                            graph, plan.shards[i], with_head, index=i
+        with owned_ndarray(attributes) as segment:
+            tasks = [
+                ShardTask(
+                    key=f"shard{i}",
+                    fn=self.worker_fn,
+                    args=(
+                        segment.name,
+                        attributes.shape,
+                        attributes.dtype.name,
+                        s.nodes,
+                        s.local_owned,
+                        with_head,
+                    ),
+                    fallback=(
+                        lambda s=s, i=i: self._shard_in_process(
+                            graph, s, with_head, index=i
                         )
-                    break
-                warnings.warn(
-                    f"{len(failed)} sharded-inference worker shard(s) failed "
-                    f"({type(last_exc).__name__}: {last_exc}); rebuilding "
-                    f"pool, retry {rounds}/{self.retry.max_attempts - 1}",
-                    ResourceWarning,
-                    stacklevel=4,
+                    ),
                 )
-                self._sleep(self.retry.delay(rounds))
-                self.close()
-                pending = failed
-        finally:
-            shm.close()
-            shm.unlink()
+                for i, s in enumerate(plan.shards)
+            ]
+            results = self._executor.submit(
+                tasks, policy=self._exec_policy(), sleep=self._sleep
+            )
+        if self._executor.last_submit_failures:
+            failure_counter.inc(self._executor.last_submit_failures)
         for i, s in enumerate(plan.shards):
             out[s.owned] = results[i]
-
-    def _run_round(
-        self, shm_name, shape, attr_dtype, plan, with_head, pending, results
-    ) -> tuple[list[int], BaseException | None]:
-        if self._pool is None:
-            self._pool = self._make_pool(plan)
-            self._pool_graph = plan.graph
-        failed: list[int] = []
-        last_exc: BaseException | None = None
-        try:
-            futures = {
-                i: self._pool.submit(
-                    self.worker_fn,
-                    shm_name,
-                    shape,
-                    attr_dtype,
-                    plan.shards[i].nodes,
-                    plan.shards[i].local_owned,
-                    with_head,
-                )
-                for i in pending
-            }
-        except BrokenProcessPool as exc:
-            return list(pending), exc
-        for i, future in futures.items():
-            try:
-                results[i] = future.result(timeout=self.worker_timeout)
-            except Exception as exc:  # worker death, timeout, pool breakage
-                failed.append(i)
-                last_exc = exc
-        return failed, last_exc

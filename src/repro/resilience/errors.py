@@ -16,6 +16,7 @@ __all__ = [
     "NetlistFormatError",
     "CheckpointCorruptError",
     "WorkerFailedError",
+    "ResultIntegrityError",
     "ConvergenceError",
     "NumericalError",
 ]
@@ -70,6 +71,20 @@ class WorkerFailedError(ReproError, RuntimeError):
     def __init__(self, message: str, graph_name: str | None = None) -> None:
         super().__init__(message)
         self.graph_name = graph_name
+
+
+class ResultIntegrityError(ReproError, RuntimeError):
+    """A worker returned a payload that failed its end-to-end checksum.
+
+    Raised parent-side by the execution fabric (:mod:`repro.exec`) when a
+    result's CRC32 does not match what the worker computed before
+    returning — a corrupted pickle is retried like a crash rather than
+    silently deserialized into wrong numbers.
+    """
+
+    def __init__(self, message: str, task_key: str | None = None) -> None:
+        super().__init__(message)
+        self.task_key = task_key
 
 
 class ConvergenceError(ReproError, RuntimeError):

@@ -1,0 +1,43 @@
+"""Execution-fabric test fixtures.
+
+Every test in this package runs under a hard SIGALRM deadline — the suite
+exists to crash, hang, and corrupt workers on purpose, and a supervision
+bug must fail CI loudly instead of wedging it (stdlib substitute for
+pytest-timeout).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+#: per-test wall-clock budget; generous next to the suite's sub-second
+#: worker timeouts so only a genuine supervision hang trips it
+DEADLINE_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _test_deadline():
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {DEADLINE_S}s deadline — a worker hang "
+            f"escaped the fabric's supervision"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(DEADLINE_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos(monkeypatch):
+    """Chaos is opt-in per test; never inherit it from the environment."""
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS_SEED", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS_HANG_S", raising=False)
+    monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)

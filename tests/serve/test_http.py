@@ -357,6 +357,17 @@ class TestMetricsEndpoint:
         assert "# TYPE repro_serve_request_latency_seconds histogram" in text
         assert "repro_serve_queue_depth 0" in text
 
+    def test_exec_fabric_families_scrapeable_before_any_failure(self, server):
+        # The execution fabric's recovery counters are registered eagerly
+        # by render_metrics, so dashboards can alert on them from scrape
+        # one — not only after the first worker failure.
+        _, _, text = fetch_metrics(server())
+        assert "# TYPE repro_exec_tasks_total counter" in text
+        assert "# TYPE repro_exec_task_retries_total counter" in text
+        assert "# TYPE repro_exec_worker_restarts_total counter" in text
+        assert "# TYPE repro_exec_fallbacks_total counter" in text
+        assert "# TYPE repro_exec_submit_seconds histogram" in text
+
     def test_counters_and_latency_move_with_traffic(self, server, bench_text):
         srv = server()
         status, _, _ = call(srv, "/score", {"netlist": bench_text, "design": "m"})
