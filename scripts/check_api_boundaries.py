@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Lint: public-API boundaries and deprecated-kwarg hygiene.
 
-Three rules, all AST-based (comments and strings never false-positive):
+Four rules, all AST-based (comments and strings never false-positive):
 
 1. **Examples are facade-only.** Files under ``examples/`` may import from
    the ``repro`` namespace only via ``repro.api`` (``from repro.api import
@@ -24,6 +24,14 @@ Three rules, all AST-based (comments and strings never false-positive):
    outside ``src/repro/exec/`` — engines describe shard tasks and submit
    them to :mod:`repro.exec`; hand-rolled pools are exactly the drift this
    fabric exists to end.
+
+4. **Raw sockets live in the execution fabric too.** ``src/repro`` must
+   not import ``socket``, ``socketserver``, ``selectors`` or ``ssl``
+   outside ``src/repro/exec/`` — the distributed backend's wire protocol,
+   heartbeats and fault-tolerance ladder are :mod:`repro.exec.net` /
+   :mod:`repro.exec.coordinator`'s job; a second ad-hoc server would
+   fork the recovery semantics.  (:mod:`repro.serve` builds on
+   ``http.server``, which owns its sockets internally.)
 
 Exit status: 0 when clean, 1 with one ``path:line`` diagnostic per
 violation otherwise.
@@ -127,6 +135,25 @@ def pool_import_violations(path: Path) -> list[tuple[int, str]]:
     return bad
 
 
+#: modules whose import marks hand-rolled network plumbing
+_SOCKET_MODULES = ("socket", "socketserver", "selectors", "ssl")
+
+
+def socket_import_violations(path: Path) -> list[tuple[int, str]]:
+    """Raw socket-layer imports outside ``repro.exec``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    bad = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in _SOCKET_MODULES:
+                    bad.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            if node.module.split(".")[0] in _SOCKET_MODULES:
+                bad.append((node.lineno, f"from {node.module} import ..."))
+    return bad
+
+
 def main() -> int:
     violations: list[str] = []
     for path in sorted(EXAMPLES.glob("*.py")):
@@ -151,6 +178,11 @@ def main() -> int:
                 f"{path.relative_to(ROOT)}:{lineno}: {what} "
                 "(process pools / shared memory live in repro.exec)"
             )
+        for lineno, what in socket_import_violations(path):
+            violations.append(
+                f"{path.relative_to(ROOT)}:{lineno}: {what} "
+                "(raw socket code lives in repro.exec.net / coordinator)"
+            )
     if violations:
         print("API boundary violations:")
         for v in violations:
@@ -158,7 +190,7 @@ def main() -> int:
         return 1
     print(
         "examples are facade-only; no deprecated execution kwargs in "
-        "src/repro; process pools confined to repro.exec"
+        "src/repro; process pools and raw sockets confined to repro.exec"
     )
     return 0
 

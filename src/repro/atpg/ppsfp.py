@@ -44,9 +44,10 @@ from repro.atpg.cones import ConeIndex, get_cone_index
 from repro.circuit.cells import GateType
 from repro.exec import (
     ExecPolicy,
-    ForkPoolExecutor,
+    Executor,
     ShardTask,
     attached_ndarray,
+    make_executor,
     owned_ndarray,
     resolve_exec_backend,
 )
@@ -129,6 +130,9 @@ class PpsfpConfig:
     #: after retries are exhausted, grade failed shards in-process
     #: (bit-identical) instead of raising
     serial_fallback: bool = True
+    #: explicit execution-fabric backend (``inprocess`` | ``forkpool`` |
+    #: ``socket``); None defers to ``REPRO_EXEC_BACKEND`` then forkpool
+    exec_backend: str | None = None
 
 
 def _obs():
@@ -513,7 +517,7 @@ class PpsfpEngine:
             max_group_bytes=self.config.max_group_bytes,
             dense_threshold=self.config.dense_threshold,
         )
-        self._executor: ForkPoolExecutor | None = None
+        self._executor: Executor | None = None
         self._sleep = time.sleep
         #: injectable for fault-injection tests (must stay picklable)
         self.worker_fn = _ppsfp_worker_grade
@@ -574,7 +578,7 @@ class PpsfpEngine:
     def _n_workers(self) -> int:
         return max(1, self.config.workers or os.cpu_count() or 1)
 
-    def _make_executor(self) -> ForkPoolExecutor:
+    def _make_executor(self, backend: str = "forkpool") -> Executor:
         payload = pickle.dumps(
             (
                 self.simulator.netlist,
@@ -584,9 +588,10 @@ class PpsfpEngine:
                 self.config.dense_threshold,
             )
         )
-        return ForkPoolExecutor(
-            self._n_workers(),
+        return make_executor(
+            backend,
             name="atpg",
+            max_workers=self._n_workers(),
             initializer=_ppsfp_worker_init,
             initargs=(payload,),
             sleep=self._sleep,
@@ -616,8 +621,12 @@ class PpsfpEngine:
 
         # The engine heuristics picked the fork pool; REPRO_EXEC_BACKEND
         # can still force the in-process oracle (then no segment is shared
-        # and every shard runs its batched fallback serially).
-        if resolve_exec_backend(None, default="forkpool") == "inprocess":
+        # and every shard runs its batched fallback serially) or route the
+        # shards through the multi-host socket coordinator.
+        resolved = resolve_exec_backend(
+            self.config.exec_backend, default="forkpool"
+        )
+        if resolved == "inprocess":
             out = np.zeros((len(sites), values.shape[1]), dtype=np.uint64)
             for idx in bounds:
                 out[idx] = self._shard_fallback(
@@ -625,8 +634,9 @@ class PpsfpEngine:
                 )
             return out
 
-        if self._executor is None:
-            self._executor = self._make_executor()
+        if self._executor is None or self._executor.kind != resolved:
+            self.close()
+            self._executor = self._make_executor(resolved)
         with owned_ndarray(values.astype(np.uint64, copy=False)) as segment:
             tasks = [
                 ShardTask(

@@ -9,6 +9,9 @@ Commands:
 * ``infer``      — score netlists with a trained model; writes a manifest;
 * ``atpg``       — run the random+PODEM ATPG on a ``.bench`` netlist;
 * ``experiment`` — regenerate one of the paper's tables/figures;
+* ``exec-info``  — print the resolved execution-fabric configuration;
+* ``exec-worker`` — join a distributed coordinator as a compute worker
+  (the remote end of the ``socket`` execution backend);
 * ``serve``      — run the online netlist-scoring daemon (``GET /metrics``
   exposes Prometheus text).
 
@@ -203,8 +206,31 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[log_flags],
         help="show the resolved execution-fabric configuration",
         description="Print the execution fabric's resolved backend, worker "
-        "count, chaos-injection state (REPRO_EXEC_BACKEND / REPRO_CHAOS) "
-        "and any leaked shared-memory segments a sweep would reclaim.",
+        "count, chaos-injection state (REPRO_EXEC_BACKEND / REPRO_CHAOS), "
+        "the distributed-coordinator settings, and the result of sweeping "
+        "orphaned shared-memory segments.",
+    )
+
+    wkr = sub.add_parser(
+        "exec-worker",
+        parents=[log_flags],
+        help="join a distributed execution coordinator as a worker",
+        description="Connect to a repro.exec coordinator (the 'socket' "
+        "execution backend) and serve ShardTasks until the coordinator "
+        "shuts the fleet down.  Run one per core on each compute host.",
+    )
+    wkr.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address, e.g. 127.0.0.1:7077 (the coordinator "
+        "prints its bound address; see also REPRO_EXEC_COORD)",
+    )
+    wkr.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity for re-registration after reconnects "
+        "(default: host-pid derived)",
     )
 
     srv = sub.add_parser(
@@ -495,14 +521,20 @@ def _cmd_exec_info(args: argparse.Namespace) -> int:
 
     from repro.exec import (
         CHAOS_ENV,
+        COORD_ENV,
         EXEC_BACKEND_ENV,
         ChaosSpec,
+        coordinator_address,
         leaked_segment_names,
         resolve_exec_backend,
+        sweep_orphans,
     )
+    from repro.exec import net as exec_net
 
     execution = _execution()
     chaos = ChaosSpec.from_env()
+    host, port = coordinator_address()
+    removed = sweep_orphans()
     info = {
         "backend": {
             "requested": execution.exec_backend,
@@ -517,12 +549,28 @@ def _cmd_exec_info(args: argparse.Namespace) -> int:
                 "mode": chaos.mode,
                 "rate": chaos.rate,
                 "seed": chaos.seed,
+                "hang_seconds": chaos.hang_seconds,
                 "env": os.environ.get(CHAOS_ENV),
             }
         ),
-        "shm_segments": leaked_segment_names(),
+        "coordinator": {
+            "address": f"{host}:{port}",
+            "env": os.environ.get(COORD_ENV) or None,
+            "connect_timeout_s": exec_net.connect_timeout(),
+            "heartbeat_interval_s": exec_net.heartbeat_interval(),
+            "heartbeat_timeout_s": exec_net.heartbeat_timeout(),
+        },
+        "sweep": {"removed": removed, "remaining": leaked_segment_names()},
     }
     print(json.dumps(info, indent=2))
+    return 0
+
+
+def _cmd_exec_worker(args: argparse.Namespace) -> int:
+    from repro.exec import parse_address, run_worker
+
+    address = parse_address(args.connect)
+    run_worker(address, worker_id=args.worker_id)
     return 0
 
 
@@ -555,6 +603,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "exec-info": _cmd_exec_info,
+        "exec-worker": _cmd_exec_worker,
         "serve": _cmd_serve,
     }
     try:

@@ -24,7 +24,9 @@ choice is never overridden by the environment.  Environment variables
 * ``REPRO_BACKEND`` — inference backend;
 * ``REPRO_FAULT_SIM_BACKEND`` — fault-simulation backend (pre-existing);
 * ``REPRO_EXEC_BACKEND`` — execution-fabric backend (``inprocess`` |
-  ``forkpool``); the process-wide kill-switch for fork pools;
+  ``forkpool`` | ``socket``); ``inprocess`` is the process-wide
+  kill-switch for fork pools, ``socket`` routes every engine through the
+  multi-host coordinator (see :mod:`repro.exec.coordinator`);
 * ``REPRO_WORKERS`` — worker-process count;
 * ``REPRO_SHARDS`` — inference shard count;
 * ``REPRO_DTYPE`` — inference dtype (``float32`` / ``float64``).
@@ -59,7 +61,7 @@ INFERENCE_BACKENDS = ("auto", "single", "sharded")
 #: vocabulary for the fault-simulation engines (mirrors repro.atpg.ppsfp)
 FAULT_SIM_BACKENDS = ("auto", "serial", "batched", "parallel")
 #: vocabulary for the execution fabric (mirrors repro.exec.policy)
-EXEC_BACKENDS = ("auto", "inprocess", "forkpool")
+EXEC_BACKENDS = ("auto", "inprocess", "forkpool", "socket")
 
 _ENV_BACKEND = "REPRO_BACKEND"
 _ENV_FAULT_SIM_BACKEND = "REPRO_FAULT_SIM_BACKEND"
@@ -104,8 +106,8 @@ class ExecutionConfig:
     #: shard count for partitioned inference (None = derived from workers)
     shards: int | None = None
     #: execution-fabric backend request (``auto`` | ``inprocess`` |
-    #: ``forkpool``); ``auto`` honours ``REPRO_EXEC_BACKEND`` then the
-    #: engine's own workload heuristic
+    #: ``forkpool`` | ``socket``); ``auto`` honours
+    #: ``REPRO_EXEC_BACKEND`` then the engine's own workload heuristic
     exec_backend: str = "auto"
 
     def __post_init__(self) -> None:
@@ -236,7 +238,8 @@ class ExecutionConfig:
         return choice
 
     def resolve_exec_backend(self, default: str = "forkpool") -> str:
-        """Map the fabric request to ``inprocess`` or ``forkpool``.
+        """Map the fabric request to a concrete backend
+        (``inprocess`` | ``forkpool`` | ``socket``).
 
         Delegates to :func:`repro.exec.policy.resolve_exec_backend`:
         explicit ``exec_backend`` wins, then ``REPRO_EXEC_BACKEND``, then

@@ -8,15 +8,30 @@ and the engine's task function — exactly where a real crash would land.
 
 Enable it with ``REPRO_CHAOS=<mode>[:<rate>]``:
 
-=========  ===========================================================
-mode       worker behaviour when the (seeded) roll hits
-=========  ===========================================================
-kill       ``os._exit(137)`` — the pool breaks (SIGKILL-equivalent)
-hang       sleep ``REPRO_CHAOS_HANG_S`` seconds — trips the deadline
-raise      raise :class:`ChaosInjectedError` — an in-task exception
-corrupt    flip bytes of the pickled result *after* checksumming — the
-           parent's integrity check must catch it
-=========  ===========================================================
+==========  ==========================================================
+mode        worker behaviour when the (seeded) roll hits
+==========  ==========================================================
+kill        ``os._exit(137)`` — the pool breaks (SIGKILL-equivalent)
+hang        sleep ``REPRO_CHAOS_HANG_S`` seconds — trips the deadline
+raise       raise :class:`ChaosInjectedError` — an in-task exception
+corrupt     flip bytes of the pickled result *after* checksumming — the
+            parent's integrity check must catch it
+disconnect  (socket backend) drop the TCP connection instead of running
+            the task — the coordinator must requeue onto a healthy peer
+delay       (socket backend) sit on the task ``REPRO_CHAOS_HANG_S``
+            seconds while heartbeating — trips straggler re-dispatch
+partition   (socket backend) go dark: suppress heartbeats *and* the
+            result for ``REPRO_CHAOS_HANG_S`` seconds — trips the
+            stale-heartbeat detector
+stale       (socket backend) return the result tagged with the previous
+            attempt number — the coordinator must reject it as stale
+==========  ==========================================================
+
+The first four are *process* modes injected inside forked workers; the
+last four are *network* modes injected at the wire-framing layer of the
+``socket`` backend (:mod:`repro.exec.net`).  Network modes are no-ops
+under ``forkpool`` (there is no wire), and process modes still apply to
+remote workers (a remote host can crash too).
 
 ``rate`` (default 1.0) is the per-attempt injection probability.  Rolls
 are a pure hash of ``(REPRO_CHAOS_SEED, task key, attempt)`` — fully
@@ -41,16 +56,23 @@ __all__ = [
     "CHAOS_SEED_ENV",
     "CHAOS_HANG_ENV",
     "CHAOS_MODES",
+    "PROCESS_CHAOS_MODES",
+    "NET_CHAOS_MODES",
     "ChaosSpec",
     "ChaosInjectedError",
     "inject_before",
     "corrupt_payload",
+    "net_action",
 ]
 
 CHAOS_ENV = "REPRO_CHAOS"
 CHAOS_SEED_ENV = "REPRO_CHAOS_SEED"
 CHAOS_HANG_ENV = "REPRO_CHAOS_HANG_S"
-CHAOS_MODES = ("kill", "hang", "raise", "corrupt")
+#: modes injected inside a worker process (forkpool and socket backends)
+PROCESS_CHAOS_MODES = ("kill", "hang", "raise", "corrupt")
+#: modes injected at the socket backend's wire-framing layer
+NET_CHAOS_MODES = ("disconnect", "delay", "partition", "stale")
+CHAOS_MODES = PROCESS_CHAOS_MODES + NET_CHAOS_MODES
 
 
 class ChaosInjectedError(RuntimeError):
@@ -111,8 +133,14 @@ class ChaosSpec:
 
 
 def inject_before(spec: ChaosSpec, key: str, attempt: int) -> None:
-    """Apply pre-execution chaos (kill/hang/raise) inside a worker."""
-    if spec.mode == "corrupt" or not spec.should_inject(key, attempt):
+    """Apply pre-execution chaos (kill/hang/raise) inside a worker.
+
+    Network modes are handled by the wire layer (:func:`net_action`), so
+    they are no-ops here — a forkpool worker has no connection to drop.
+    """
+    if spec.mode not in ("kill", "hang", "raise"):
+        return
+    if not spec.should_inject(key, attempt):
         return
     if spec.mode == "kill":
         os._exit(137)
@@ -139,3 +167,20 @@ def corrupt_payload(
     mutated[len(mutated) // 2] ^= 0xFF
     mutated[-1] ^= 0xFF
     return bytes(mutated)
+
+
+def net_action(
+    spec: ChaosSpec | None, key: str, attempt: int
+) -> str | None:
+    """The network-chaos mode to apply at the wire layer, or None.
+
+    Returns ``disconnect | delay | partition | stale`` when the spec is a
+    network mode and the deterministic per-(task, attempt) roll hits —
+    same hash as :meth:`ChaosSpec.should_inject`, so a socket-backend
+    chaos failure replays exactly like a forkpool one.
+    """
+    if spec is None or spec.mode not in NET_CHAOS_MODES:
+        return None
+    if not spec.should_inject(key, attempt):
+        return None
+    return spec.mode

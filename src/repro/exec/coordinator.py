@@ -1,0 +1,925 @@
+"""The ``socket`` backend: a TCP coordinator dispatching to remote workers.
+
+The third rung of the execution fabric.  A process-global
+:class:`Coordinator` listens on ``REPRO_EXEC_COORD`` (default an
+ephemeral loopback port), ``repro exec-worker --connect host:port``
+processes register with it, and :class:`DistributedExecutor` — built by
+:func:`repro.exec.executor.make_executor` for ``backend="socket"`` —
+dispatches :class:`~repro.exec.policy.ShardTask` frames to them.  The
+full fault-tolerance ladder of the fork-pool backend is ported to
+network semantics:
+
+* **heartbeats** — per-worker heartbeat *messages* replace the per-pid
+  heartbeat files; silence beyond ``REPRO_EXEC_HB_TIMEOUT_S`` declares a
+  worker partitioned and requeues its in-flight tasks onto healthy peers;
+* **lost connections** — an EOF mid-task requeues immediately;
+* **deadlines** — ``policy.worker_timeout`` travels inside every task
+  frame and is enforced coordinator-side; an expired dispatch counts as
+  a failure and is requeued;
+* **stragglers** — a task unanswered for ``straggler_fraction x
+  worker_timeout`` is duplicate-sent to a second healthy worker; the
+  first valid result wins and the loser is dropped as stale, so the
+  deterministic task-order reduction is preserved;
+* **stale results** — results for completed tasks or wrong attempt
+  numbers are counted and dropped, never reduced;
+* **poison quarantine** — a task whose dispatches have personally killed
+  ``quarantine_after`` workers is pulled out of the rotation;
+* **integrity** — every frame and every result payload is CRC32-checked
+  (:class:`~repro.resilience.errors.ResultIntegrityError` on mismatch);
+* **graceful degradation** — no worker registered within
+  ``REPRO_EXEC_CONNECT_TIMEOUT_S`` degrades the submit to a local
+  :class:`~repro.exec.executor.ForkPoolExecutor`, which itself rescues
+  through the bit-identical in-process fallbacks: ``socket -> forkpool
+  -> inprocess``, identical numbers at every rung.
+
+Every recovery event is counted in the ``repro_exec_net_*`` metric
+families (pre-registered on ``repro serve``'s ``GET /metrics``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import itertools
+import os
+import pickle
+import queue
+import socket
+import threading
+import time
+import warnings
+import zlib
+from collections import deque
+
+from repro.exec import chaos as chaos_mod
+from repro.exec import net as net_mod
+from repro.exec.executor import Executor, ForkPoolExecutor, ensure_exec_metrics
+from repro.exec.net import RemoteTaskError
+from repro.exec.policy import ExecPolicy
+from repro.obs import logs
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+from repro.resilience.errors import ResultIntegrityError
+
+__all__ = [
+    "Coordinator",
+    "DistributedExecutor",
+    "ensure_net_metrics",
+    "get_coordinator",
+    "shutdown_coordinator",
+    "run_worker",
+]
+
+_log = logs.get_logger("exec.net")
+
+_REQUEUE_REASONS = (
+    "disconnect",
+    "stale_heartbeat",
+    "deadline",
+    "error",
+    "integrity",
+    "stale_result",
+)
+
+
+def ensure_net_metrics():
+    """Register (get-or-create) the distributed backend's metric families.
+
+    Called on every distributed submit and eagerly by ``repro serve`` so
+    the families are scrapeable before the first network fault.
+    """
+    reg = get_registry()
+    return {
+        "workers": reg.gauge(
+            "repro_exec_net_workers",
+            "workers currently registered with the coordinator",
+        ),
+        "dispatches": reg.counter(
+            "repro_exec_net_dispatches_total",
+            "task frames dispatched to remote workers",
+            labelnames=("engine",),
+        ),
+        "requeues": reg.counter(
+            "repro_exec_net_requeues_total",
+            "in-flight dispatches failed and requeued, by cause",
+            labelnames=("engine", "reason"),
+        ),
+        "stragglers": reg.counter(
+            "repro_exec_net_stragglers_total",
+            "straggler duplicate dispatches (first valid result wins)",
+            labelnames=("engine",),
+        ),
+        "stale_results": reg.counter(
+            "repro_exec_net_stale_results_total",
+            "late or wrong-attempt results dropped, never reduced",
+            labelnames=("engine",),
+        ),
+        "quarantined": reg.counter(
+            "repro_exec_net_tasks_quarantined_total",
+            "poison tasks quarantined after repeated worker deaths",
+            labelnames=("engine",),
+        ),
+        "integrity": reg.counter(
+            "repro_exec_net_integrity_failures_total",
+            "frames or result payloads rejected by the CRC32 check",
+            labelnames=("engine",),
+        ),
+        "fallbacks": reg.counter(
+            "repro_exec_net_fallbacks_total",
+            "degradations down the ladder (rung: forkpool | inprocess)",
+            labelnames=("engine", "rung"),
+        ),
+        "submit_seconds": reg.histogram(
+            "repro_exec_net_submit_seconds",
+            "wall time of one distributed Executor.submit call",
+            labelnames=("engine",),
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Coordinator side
+# --------------------------------------------------------------------- #
+class _WorkerConn:
+    """One registered worker connection (coordinator side)."""
+
+    def __init__(self, sock: socket.socket, worker_id: str, pid: int, host: str):
+        self.sock = sock
+        self.id = worker_id
+        self.pid = pid
+        self.host = host
+        self.send_lock = threading.Lock()
+        self.last_hb = time.monotonic()
+        self.alive = True
+        #: session whose initializer this connection last ran
+        self.session: str | None = None
+        #: (task_index, attempt) currently dispatched to this worker
+        self.inflight: set[tuple[int, int]] = set()
+        #: why the connection was declared dead (requeue metric label)
+        self.death_reason = "disconnect"
+
+    def send(self, message) -> None:
+        with self.send_lock:
+            net_mod.send_frame(self.sock, message)
+
+    def kill(self, reason: str = "disconnect") -> None:
+        """Declare dead and close (the reader thread then reaps it)."""
+        self.alive = False
+        self.death_reason = reason
+        with contextlib.suppress(OSError):
+            self.sock.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self.sock.close()
+
+
+class _Dispatch:
+    """One in-flight (task, attempt) pair on one worker."""
+
+    __slots__ = ("worker", "sent_at")
+
+    def __init__(self, worker: _WorkerConn):
+        self.worker = worker
+        self.sent_at = time.monotonic()
+
+
+class Coordinator:
+    """TCP listener + worker registry + supervised dispatch loop.
+
+    One per process (see :func:`get_coordinator`): engines create and
+    close :class:`DistributedExecutor` instances freely, but the listen
+    socket — and therefore the registered workers — must outlive them,
+    or every executor rebuild would strand the fleet.  Submits are
+    serialized by a lock; worker registration and heartbeats are handled
+    by per-connection reader threads at any time.
+    """
+
+    def __init__(self, address: tuple[str, int] | None = None):
+        host, port = address or net_mod.coordinator_address()
+        self._listener = socket.create_server((host, port))
+        #: the concrete (host, port) we bound — port resolved if 0
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._workers: dict[str, _WorkerConn] = {}
+        self._workers_lock = threading.Lock()
+        self._events: queue.Queue = queue.Queue()
+        self._closed = False
+        self._submit_lock = threading.Lock()
+        #: failed dispatches during the most recent submit (engine counters)
+        self.last_submit_failures = 0
+        threading.Thread(
+            target=self._accept_loop, name="repro-exec-accept", daemon=True
+        ).start()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(
+                target=self._reader, args=(sock,),
+                name="repro-exec-reader", daemon=True,
+            ).start()
+
+    def _reader(self, sock: socket.socket) -> None:
+        """Per-connection thread: register, then route frames until EOF."""
+        conn: _WorkerConn | None = None
+        try:
+            message = net_mod.recv_frame(sock)
+            if not (isinstance(message, tuple) and message[0] == "register"):
+                sock.close()
+                return
+            _, worker_id, pid, host = message
+            conn = _WorkerConn(sock, worker_id, pid, host)
+            with self._workers_lock:
+                stale = self._workers.pop(worker_id, None)
+                self._workers[worker_id] = conn
+            if stale is not None:
+                stale.kill()
+            conn.send(("welcome", worker_id, net_mod.heartbeat_interval()))
+            ensure_net_metrics()["workers"].set(self.worker_count())
+            _log.info(
+                "worker registered",
+                extra={"worker": worker_id, "pid": pid, "host": host},
+            )
+            while True:
+                message = net_mod.recv_frame(sock)
+                kind = message[0]
+                if kind == "heartbeat":
+                    conn.last_hb = time.monotonic()
+                elif kind in ("result", "error"):
+                    self._events.put((kind, conn) + tuple(message[1:]))
+        except (EOFError, OSError, ConnectionError):
+            pass
+        except ResultIntegrityError:
+            # A connection whose framing is corrupt cannot be trusted for
+            # anything that follows; count it and drop the worker.
+            if conn is not None:
+                ensure_net_metrics()["integrity"].labels("coordinator").inc()
+        finally:
+            if conn is not None:
+                conn.alive = False
+                with self._workers_lock:
+                    if self._workers.get(conn.id) is conn:
+                        del self._workers[conn.id]
+                ensure_net_metrics()["workers"].set(self.worker_count())
+                self._events.put(("gone", conn))
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    # ------------------------------------------------------------------ #
+    def worker_count(self) -> int:
+        with self._workers_lock:
+            return sum(1 for c in self._workers.values() if c.alive)
+
+    def workers(self) -> list[_WorkerConn]:
+        with self._workers_lock:
+            return [c for c in self._workers.values() if c.alive]
+
+    def wait_for_workers(self, timeout: float, minimum: int = 1) -> bool:
+        """Poll until >= ``minimum`` workers are registered (or time out)."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            if self.worker_count() >= minimum:
+                return True
+            if time.monotonic() >= deadline:
+                return self.worker_count() >= minimum
+            time.sleep(0.01)
+
+    def close(self) -> None:
+        """Shut the listener down and disconnect every worker."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self.workers():
+            with contextlib.suppress(OSError):
+                conn.send(("shutdown",))
+            conn.kill()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        session: str,
+        init_blob: bytes,
+        tasks,
+        policy: ExecPolicy,
+        *,
+        engine: str = "exec",
+    ) -> list:
+        """Dispatch ``tasks`` across registered workers; reduce in order.
+
+        Returns results indexed like ``tasks``.  Tasks that exhaust the
+        failure budget (or have no picklable ``fn``) are rescued through
+        their parent-side fallbacks when ``policy.serial_fallback`` —
+        bit-identical to the in-process oracle by construction.
+        """
+        with self._submit_lock:
+            return self._submit_locked(session, init_blob, tasks, policy, engine)
+
+    def _submit_locked(self, session, init_blob, tasks, policy, engine):
+        metrics = ensure_net_metrics()
+        tasks = list(tasks)
+        n = len(tasks)
+        results: list = [None] * n
+        done = [False] * n
+        failures = [0] * n  # failed dispatches, any cause
+        deaths = [0] * n  # dispatches that coincided with a worker death
+        attempt_counter = [0] * n
+        inflight: dict[tuple[int, int], _Dispatch] = {}
+        pending: deque[int] = deque()
+        rescued: set[int] = set()
+        chaos_spec = chaos_mod.ChaosSpec.from_env()
+        hb_timeout = net_mod.heartbeat_timeout()
+        timeout = policy.worker_timeout
+        straggler_after = (
+            timeout * policy.straggler_fraction
+            if timeout is not None and policy.straggler_fraction is not None
+            else None
+        )
+        max_failures = max(1, policy.retry.max_attempts)
+        quarantine_after = policy.quarantine_after or max_failures
+        last_exc: BaseException | None = None
+        self.last_submit_failures = 0
+
+        for i, task in enumerate(tasks):
+            if task.fn is None:
+                rescued.add(i)  # fallback-only task: parent-side by design
+            else:
+                pending.append(i)
+
+        # Drain events a previous submit left behind (late stale results)
+        # and clear per-worker dispatch state a rescued submit abandoned,
+        # or a worker carrying a dead submit's entry would never look
+        # idle again.
+        while True:
+            try:
+                self._events.get_nowait()
+            except queue.Empty:
+                break
+        for conn in self.workers():
+            conn.inflight.clear()
+
+        def task_live(i: int) -> bool:
+            return not done[i] and i not in rescued
+
+        def fail_dispatch(i, attempt, reason, exc=None, *, death=False):
+            nonlocal last_exc
+            if inflight.pop((i, attempt), None) is None:
+                return
+            if exc is not None:
+                last_exc = exc
+            metrics["requeues"].labels(engine, reason).inc()
+            self.last_submit_failures += 1
+            if not task_live(i):
+                return
+            failures[i] += 1
+            if death:
+                deaths[i] += 1
+            # A surviving duplicate may still answer; requeue only when
+            # no copy of the task remains in flight.
+            if not any(key[0] == i for key in inflight):
+                if failures[i] >= max_failures or deaths[i] >= quarantine_after:
+                    if deaths[i] >= quarantine_after:
+                        metrics["quarantined"].labels(engine).inc()
+                        warnings.warn(
+                            f"quarantining poison task {tasks[i].key!r} after "
+                            f"{deaths[i]} worker death(s)",
+                            ResourceWarning,
+                            stacklevel=3,
+                        )
+                    rescued.add(i)
+                else:
+                    pending.append(i)
+
+        def reap(conn: _WorkerConn):
+            reason = conn.death_reason
+            for i, attempt in sorted(conn.inflight):
+                fail_dispatch(
+                    i, attempt, reason,
+                    ConnectionError(f"worker {conn.id} lost ({reason})"),
+                    death=True,
+                )
+            conn.inflight.clear()
+
+        def dispatch(i: int, conn: _WorkerConn) -> bool:
+            attempt_counter[i] += 1
+            attempt = attempt_counter[i]
+            task = tasks[i]
+            try:
+                if conn.session != session:
+                    conn.send(("init", session, init_blob))
+                    conn.session = session
+                blob = pickle.dumps(
+                    (task.fn, task.args), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                conn.send(
+                    ("task", session, i, task.key, attempt, blob,
+                     timeout, chaos_spec)
+                )
+            except (OSError, ConnectionError):
+                conn.kill()
+                attempt_counter[i] -= 1
+                return False
+            inflight[(i, attempt)] = _Dispatch(conn)
+            conn.inflight.add((i, attempt))
+            metrics["dispatches"].labels(engine).inc()
+            return True
+
+        def handle_result(conn, msg_session, i, attempt, crc, payload):
+            nonlocal last_exc
+            if (
+                msg_session != session
+                or not (0 <= i < n)
+                or not task_live(i)
+                or (i, attempt) not in inflight
+            ):
+                metrics["stale_results"].labels(engine).inc()
+                # A wrong-attempt result for a task this worker *is*
+                # running means the worker answered a stale generation
+                # (chaos mode ``stale`` or a pathological reorder): the
+                # real dispatch will never be answered, so fail it now
+                # instead of waiting for its deadline.
+                if msg_session == session and 0 <= i < n:
+                    for key in sorted(conn.inflight):
+                        if key[0] == i and key in inflight:
+                            conn.inflight.discard(key)
+                            fail_dispatch(
+                                key[0], key[1], "stale_result",
+                                RemoteTaskError(
+                                    f"worker {conn.id} answered a stale "
+                                    f"attempt for task {tasks[i].key!r}"
+                                ),
+                            )
+                return
+            dispatchment = inflight[(i, attempt)]
+            if zlib.crc32(payload) != crc:
+                metrics["integrity"].labels(engine).inc()
+                dispatchment.worker.inflight.discard((i, attempt))
+                fail_dispatch(
+                    i, attempt, "integrity",
+                    ResultIntegrityError(
+                        f"task {tasks[i].key!r} returned a corrupted payload "
+                        f"(CRC mismatch over {len(payload)} bytes)",
+                        task_key=tasks[i].key,
+                    ),
+                )
+                return
+            results[i] = pickle.loads(payload)
+            done[i] = True
+            # Cancel every copy of the task; late duplicates are stale.
+            for key in [k for k in inflight if k[0] == i]:
+                record = inflight.pop(key)
+                record.worker.inflight.discard(key)
+
+        def handle_error(conn, msg_session, i, attempt, text):
+            if (
+                msg_session != session
+                or not (0 <= i < n)
+                or (i, attempt) not in inflight
+            ):
+                metrics["stale_results"].labels(engine).inc()
+                return
+            conn.inflight.discard((i, attempt))
+            fail_dispatch(i, attempt, "error", RemoteTaskError(text))
+
+        # -------------------------------------------------------------- #
+        while True:
+            now = time.monotonic()
+            # Partitioned workers: heartbeat silence beyond the window.
+            for conn in self.workers():
+                if conn.inflight and now - conn.last_hb > hb_timeout:
+                    _log.warning(
+                        "worker heartbeat stale; requeueing its tasks",
+                        extra={
+                            "worker": conn.id,
+                            "silence_s": round(now - conn.last_hb, 3),
+                        },
+                    )
+                    conn.kill("stale_heartbeat")
+                    reap(conn)
+            # Deadlines and stragglers on what remains in flight.
+            for (i, attempt), record in list(inflight.items()):
+                age = now - record.sent_at
+                if timeout is not None and age > timeout:
+                    record.worker.inflight.discard((i, attempt))
+                    fail_dispatch(
+                        i, attempt, "deadline",
+                        TimeoutError(
+                            f"task {tasks[i].key!r} exceeded its "
+                            f"{timeout}s deadline on worker "
+                            f"{record.worker.id}"
+                        ),
+                    )
+                elif (
+                    straggler_after is not None
+                    and age > straggler_after
+                    and task_live(i)
+                    and sum(1 for k in inflight if k[0] == i) == 1
+                ):
+                    twin = next(
+                        (
+                            c for c in self.workers()
+                            if not c.inflight and c is not record.worker
+                        ),
+                        None,
+                    )
+                    if twin is not None and dispatch(i, twin):
+                        metrics["stragglers"].labels(engine).inc()
+            # Dispatch pending work onto idle *healthy* workers (one task
+            # each — workers execute serially, so deeper queues would
+            # only distort the deadline accounting).
+            idle = deque(
+                c for c in self.workers()
+                if not c.inflight and now - c.last_hb <= hb_timeout
+            )
+            while pending and idle:
+                i = pending.popleft()
+                if not task_live(i):
+                    continue
+                if any(key[0] == i for key in inflight):
+                    continue  # straggler duplicate already covers it
+                if not dispatch(i, idle.popleft()):
+                    pending.append(i)
+                    break
+            # Terminal states.
+            if all(done[i] or i in rescued for i in range(n)):
+                break
+            if not inflight and not self.workers():
+                # Every worker is gone mid-run.  Give disconnect-chaos
+                # style reconnects one connect window to come back, then
+                # rescue what is left rather than spinning forever.
+                if not self.wait_for_workers(net_mod.connect_timeout()):
+                    for i in range(n):
+                        if task_live(i):
+                            rescued.add(i)
+                    break
+            # Block briefly on worker events.
+            try:
+                event = self._events.get(timeout=0.02)
+            except queue.Empty:
+                continue
+            while event is not None:
+                kind = event[0]
+                if kind == "gone":
+                    reap(event[1])
+                elif kind == "result":
+                    handle_result(*event[1:])
+                elif kind == "error":
+                    handle_error(*event[1:])
+                try:
+                    event = self._events.get_nowait()
+                except queue.Empty:
+                    event = None
+
+        # Orphan whatever is still formally in flight (rescued tasks):
+        # their workers must look idle to the next submit, and their late
+        # results must be dropped as stale.
+        for key, record in inflight.items():
+            record.worker.inflight.discard(key)
+        inflight.clear()
+
+        rescued_alive = sorted(i for i in rescued if not done[i])
+        if rescued_alive:
+            self._rescue(
+                tasks, rescued_alive, failures, last_exc, results, policy,
+                engine,
+            )
+        return results
+
+    def _rescue(self, tasks, rescued, failures, last_exc, results, policy, engine):
+        metrics = ensure_net_metrics()
+        if not policy.serial_fallback:
+            failed_tasks = [tasks[i] for i in rescued]
+            rounds = max((failures[i] for i in rescued), default=0)
+            exc = last_exc or RemoteTaskError(
+                f"{len(failed_tasks)} task(s) exhausted the distributed "
+                "failure budget"
+            )
+            if policy.exhausted_error is not None:
+                raise policy.exhausted_error(failed_tasks, rounds, exc) from exc
+            raise exc
+        warnings.warn(
+            f"distributed retries exhausted for {len(rescued)} task(s); "
+            "computing them in-process",
+            ResourceWarning,
+            stacklevel=4,
+        )
+        metrics["fallbacks"].labels(engine, "inprocess").inc(len(rescued))
+        with span("exec.fallback", engine=engine, tasks=len(rescued)):
+            _log.warning(
+                "degrading to in-process fallback",
+                extra={"engine": engine, "tasks": [tasks[i].key for i in rescued]},
+            )
+            for i in rescued:
+                results[i] = tasks[i].run_fallback()
+
+
+# --------------------------------------------------------------------- #
+# Process-global coordinator
+# --------------------------------------------------------------------- #
+_coordinator: Coordinator | None = None
+_coordinator_lock = threading.Lock()
+
+
+def get_coordinator(address: tuple[str, int] | None = None) -> Coordinator:
+    """The process-global coordinator, binding its listener on first use.
+
+    ``address`` is honoured only by the first caller (the binder); later
+    calls return the existing instance so every executor in the process
+    shares one worker fleet.
+    """
+    global _coordinator
+    with _coordinator_lock:
+        if _coordinator is None or _coordinator.closed:
+            _coordinator = Coordinator(address)
+        return _coordinator
+
+
+def shutdown_coordinator() -> None:
+    """Close the global coordinator (workers see ``shutdown`` frames)."""
+    global _coordinator
+    with _coordinator_lock:
+        coordinator, _coordinator = _coordinator, None
+    if coordinator is not None:
+        coordinator.close()
+
+
+atexit.register(shutdown_coordinator)
+
+
+# --------------------------------------------------------------------- #
+# Worker side (the ``repro exec-worker`` CLI and thread-based tests)
+# --------------------------------------------------------------------- #
+_worker_seq = itertools.count()
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}-{next(_worker_seq)}"
+
+
+def run_worker(
+    address: tuple[str, int],
+    *,
+    worker_id: str | None = None,
+    max_reconnects: int | None = 1000,
+    reconnect_delay: float = 0.05,
+    stop: threading.Event | None = None,
+) -> int:
+    """Connect to a coordinator and serve tasks until shutdown.
+
+    Returns the number of tasks completed.  Reconnects (with a bounded
+    budget) after connection loss — including the losses the
+    ``disconnect`` chaos mode injects on purpose — so a blip never
+    strands a healthy host.  One task runs at a time; heartbeats flow
+    from a side thread even while a task computes, which is exactly what
+    lets the coordinator tell *slow* from *partitioned*.
+    """
+    worker_id = worker_id or _default_worker_id()
+    completed = 0
+    reconnects = 0
+    while stop is None or not stop.is_set():
+        try:
+            sock = socket.create_connection(address, timeout=5.0)
+        except OSError:
+            reconnects += 1
+            if max_reconnects is not None and reconnects > max_reconnects:
+                return completed
+            time.sleep(reconnect_delay)
+            continue
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            outcome, served = _serve_connection(sock, worker_id, stop)
+        except (OSError, ConnectionError, EOFError, ResultIntegrityError):
+            outcome, served = "reconnect", 0
+        finally:
+            with contextlib.suppress(OSError):
+                sock.close()
+        completed += served
+        if outcome == "shutdown":
+            return completed
+        reconnects += 1
+        if max_reconnects is not None and reconnects > max_reconnects:
+            return completed
+        time.sleep(reconnect_delay)
+    return completed
+
+
+def _serve_connection(sock, worker_id, stop) -> tuple[str, int]:
+    """One registered connection's lifetime; returns (outcome, completed)."""
+    send_lock = threading.Lock()
+
+    def send(message):
+        with send_lock:
+            net_mod.send_frame(sock, message)
+
+    send(("register", worker_id, os.getpid(), socket.gethostname()))
+    welcome = net_mod.recv_frame(sock)
+    if not (isinstance(welcome, tuple) and welcome[0] == "welcome"):
+        return "reconnect", 0
+    hb_interval = float(welcome[2])
+
+    closed = threading.Event()
+    #: heartbeats are suppressed until this monotonic instant (the
+    #: ``partition`` chaos mode pushes it forward to go dark on purpose)
+    suppress_hb_until = [0.0]
+
+    def heartbeat_loop():
+        while not closed.is_set() and (stop is None or not stop.is_set()):
+            if time.monotonic() >= suppress_hb_until[0]:
+                try:
+                    send(("heartbeat", worker_id))
+                except (OSError, ConnectionError):
+                    return
+            closed.wait(hb_interval)
+
+    threading.Thread(
+        target=heartbeat_loop, name="repro-exec-heartbeat", daemon=True
+    ).start()
+
+    completed = 0
+    try:
+        while stop is None or not stop.is_set():
+            message = net_mod.recv_frame(sock)
+            kind = message[0]
+            if kind == "shutdown":
+                return "shutdown", completed
+            if kind == "init":
+                _, _session, blob = message
+                initializer, initargs = pickle.loads(blob)
+                if initializer is not None:
+                    initializer(*initargs)
+                continue
+            if kind != "task":
+                continue
+            _, session, index, key, attempt, blob, deadline_s, chaos_spec = (
+                message
+            )
+            received_at = time.monotonic()
+            net_mode = chaos_mod.net_action(chaos_spec, key, attempt)
+            if net_mode == "disconnect":
+                # Drop the link instead of running — the coordinator must
+                # requeue onto a healthy peer; we then reconnect like a
+                # host whose network blipped.
+                return "reconnect", completed
+            if net_mode == "partition":
+                hang = chaos_spec.hang_seconds
+                suppress_hb_until[0] = time.monotonic() + hang
+                time.sleep(hang)
+            if deadline_s is not None and (
+                time.monotonic() - received_at
+            ) >= deadline_s:
+                # The frame-carried deadline is already spent (e.g. the
+                # partition above outlived it): refuse rather than burn
+                # compute on a result the coordinator must discard.
+                send(("error", session, index, attempt,
+                      f"deadline expired before task {key!r} started"))
+                continue
+            try:
+                if chaos_spec is not None:
+                    chaos_mod.inject_before(chaos_spec, key, attempt)
+                fn, args = pickle.loads(blob)
+                result = fn(*args)
+                payload = pickle.dumps(
+                    result, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                crc = zlib.crc32(payload)
+                if chaos_spec is not None:
+                    payload = chaos_mod.corrupt_payload(
+                        chaos_spec, key, attempt, payload
+                    )
+            except Exception as exc:  # task failure travels as a frame
+                send(("error", session, index, attempt,
+                      f"{type(exc).__name__}: {exc}"))
+                continue
+            if net_mode == "delay":
+                # Slow result path: heartbeats keep flowing, the result
+                # does not — this is what straggler re-dispatch is for.
+                time.sleep(chaos_spec.hang_seconds)
+            reply_attempt = attempt
+            if net_mode == "stale":
+                # Answer a previous generation; the coordinator must
+                # reject it and re-dispatch instead of reducing it.
+                reply_attempt = attempt - 1
+            send(("result", session, index, reply_attempt, crc, payload))
+            completed += 1
+    finally:
+        closed.set()
+    return "reconnect", completed
+
+
+# --------------------------------------------------------------------- #
+# Executor facade
+# --------------------------------------------------------------------- #
+class DistributedExecutor(Executor):
+    """``socket`` backend: dispatch through the coordinator, degrade sanely.
+
+    Implements the same contract as
+    :class:`~repro.exec.executor.ForkPoolExecutor` (deterministic
+    task-order reduction, ``last_submit_failures``), so engines obtained
+    through :func:`~repro.exec.executor.make_executor` cannot tell the
+    rungs apart except by speed.  When no worker registers within the
+    connect window the submit silently degrades to a private fork pool —
+    and that pool's own ladder ends at the bit-identical in-process
+    fallback, so ``socket`` is always safe to request.
+    """
+
+    kind = "socket"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        name: str = "exec",
+        initializer=None,
+        initargs: tuple = (),
+        policy: ExecPolicy | None = None,
+        sleep=time.sleep,
+        address: tuple[str, int] | None = None,
+        connect_timeout: float | None = None,
+    ) -> None:
+        super().__init__(name=name, policy=policy)
+        self.max_workers = max_workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self._sleep = sleep
+        self._address = address
+        self._connect_timeout = connect_timeout
+        self._session = f"{name}-{os.getpid()}-{next(_worker_seq)}"
+        self._forkpool = None
+        self.last_submit_failures = 0
+
+    # ------------------------------------------------------------------ #
+    def _fallback_pool(self) -> ForkPoolExecutor:
+        if self._forkpool is None:
+            self._forkpool = ForkPoolExecutor(
+                self.max_workers,
+                name=self.name,
+                initializer=self._initializer,
+                initargs=self._initargs,
+                policy=self.policy,
+                sleep=self._sleep,
+            )
+        return self._forkpool
+
+    def submit(self, tasks, policy=None, sleep=None):
+        policy = policy or self.policy
+        tasks = list(tasks)
+        metrics = ensure_exec_metrics()
+        net_metrics = ensure_net_metrics()
+        metrics["tasks"].labels(self.name, self.kind).inc(len(tasks))
+        start = time.perf_counter()
+        coordinator = get_coordinator(self._address)
+        window = (
+            self._connect_timeout
+            if self._connect_timeout is not None
+            else net_mod.connect_timeout()
+        )
+        with span("exec.submit", engine=self.name, backend=self.kind,
+                  tasks=len(tasks), workers=coordinator.worker_count()):
+            if not coordinator.wait_for_workers(window):
+                warnings.warn(
+                    f"no exec-worker registered within {window}s; "
+                    f"degrading {self.name} to the local forkpool backend",
+                    ResourceWarning,
+                    stacklevel=3,
+                )
+                net_metrics["fallbacks"].labels(self.name, "forkpool").inc()
+                _log.warning(
+                    "no workers registered; degrading to forkpool",
+                    extra={"engine": self.name, "window_s": window},
+                )
+                pool = self._fallback_pool()
+                results = pool.submit(tasks, policy=policy, sleep=sleep)
+                self.last_submit_failures = pool.last_submit_failures
+            else:
+                init_blob = pickle.dumps(
+                    (self._initializer, self._initargs),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                results = coordinator.submit(
+                    self._session, init_blob, tasks, policy, engine=self.name
+                )
+                self.last_submit_failures = coordinator.last_submit_failures
+        net_metrics["submit_seconds"].labels(self.name).observe(
+            time.perf_counter() - start
+        )
+        return results
+
+    def close(self) -> None:
+        """Release the local fallback pool; the shared coordinator stays."""
+        if self._forkpool is not None:
+            self._forkpool.close()
+            self._forkpool = None
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

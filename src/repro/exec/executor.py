@@ -18,6 +18,11 @@ ParallelTrainer`, :class:`~repro.atpg.ppsfp.PpsfpEngine`,
 * The ``inprocess`` backend runs the fallbacks serially — it is the
   oracle every recovery path must be bit-identical to, which is why the
   chaos layer (:mod:`repro.exec.chaos`) never injects there.
+* The ``socket`` backend (:mod:`repro.exec.coordinator`) dispatches the
+  same tasks to ``repro exec-worker`` processes over TCP, with the whole
+  ladder ported to network semantics, and degrades to ``forkpool`` and
+  then ``inprocess`` when no workers register — three rungs, one
+  contract, identical numbers.
 
 Every recovery event is counted in :mod:`repro.obs` (labelled by engine)
 and wrapped in trace spans, so previously-invisible restarts/retries/
@@ -258,6 +263,12 @@ class ForkPoolExecutor(Executor):
                     os.kill(pid, signal.SIGKILL)
                 except (ProcessLookupError, PermissionError):
                     pass
+        # The abandoned pool's workers are discarded either way, so their
+        # heartbeat files are stale by definition: prune them now or
+        # ``heartbeat_ages()`` keeps reporting replaced pids forever.
+        if self._hb_dir:
+            for pid in pids:
+                Path(self._hb_dir, str(pid)).unlink(missing_ok=True)
 
     def close(self) -> None:
         self._abandon_pool()
@@ -273,14 +284,23 @@ class ForkPoolExecutor(Executor):
 
     # ------------------------------------------------------------------ #
     def heartbeat_ages(self) -> dict[int, float]:
-        """Seconds since each known worker last touched its heartbeat."""
+        """Seconds since each known worker last touched its heartbeat.
+
+        Only live pids appear: files of exited workers (e.g. killed by a
+        chaos run but never replaced through a pool rebuild) are pruned
+        on sight, so a rebuilt pool never reports its predecessors.
+        """
         if not self._hb_dir:
             return {}
         now = time.time()
         ages: dict[int, float] = {}
         for path in Path(self._hb_dir).glob("*"):
             try:
-                ages[int(path.name)] = now - path.stat().st_mtime
+                pid = int(path.name)
+                if not shm_mod.pid_alive(pid):
+                    path.unlink(missing_ok=True)
+                    continue
+                ages[pid] = now - path.stat().st_mtime
             except (ValueError, OSError):
                 continue
         return ages
@@ -483,6 +503,19 @@ def make_executor(
     resolved = resolve_exec_backend(backend, default=default)
     if resolved == "inprocess":
         return InProcessExecutor(name=name, policy=policy)
+    if resolved == "socket":
+        # Imported lazily: the coordinator pulls in this module, and most
+        # processes never touch the distributed rung.
+        from repro.exec.coordinator import DistributedExecutor
+
+        return DistributedExecutor(
+            max_workers,
+            name=name,
+            initializer=initializer,
+            initargs=initargs,
+            policy=policy,
+            sleep=sleep,
+        )
     return ForkPoolExecutor(
         max_workers,
         name=name,

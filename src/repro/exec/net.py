@@ -1,0 +1,182 @@
+"""Wire protocol for the ``socket`` execution backend.
+
+Stdlib-only framing shared by the :mod:`~repro.exec.coordinator` and the
+``repro exec-worker`` CLI.  Every message travels as one length-prefixed,
+CRC32-guarded pickle frame::
+
+    +----------+----------+------------------------+
+    | len (!I) | crc (!I) | pickle payload (len B) |
+    +----------+----------+------------------------+
+
+A CRC mismatch on receive raises
+:class:`~repro.resilience.errors.ResultIntegrityError` — a corrupted
+frame is surfaced as a retryable failure, never silently unpickled into
+wrong numbers.  The network chaos modes (``disconnect | delay |
+partition | stale``, see :mod:`repro.exec.chaos`) are injected at this
+layer on the worker side, driven by the :class:`~repro.exec.chaos.
+ChaosSpec` the coordinator ships inside each task frame — the parent
+process's environment controls injection, deterministically, exactly as
+it does for the fork-pool modes.
+
+Messages are plain tuples ``(type, *fields)``:
+
+==============  =======================================================
+``register``    worker → coordinator: ``(worker_id, pid, host)``
+``welcome``     coordinator → worker: ``(worker_id, hb_interval_s)``
+``heartbeat``   worker → coordinator: ``(worker_id,)``
+``init``        coordinator → worker: ``(session, init_blob)`` — pickled
+                ``(initializer, initargs)`` staging per-process state
+``task``        coordinator → worker: ``(session, index, key, attempt,
+                task_blob, deadline_s, chaos_spec)`` — the deadline
+                travels in the frame so a worker can refuse work that
+                is already dead on arrival
+``result``      worker → coordinator: ``(session, index, attempt, crc,
+                payload)`` — payload CRC32-checked end-to-end
+``error``       worker → coordinator: ``(session, index, attempt, text)``
+``shutdown``    coordinator → worker: ``()``
+==============  =======================================================
+
+Environment knobs (all optional)::
+
+    REPRO_EXEC_COORD              coordinator listen address, host:port
+                                  (default 127.0.0.1:0 — ephemeral port)
+    REPRO_EXEC_CONNECT_TIMEOUT_S  how long a submit waits for >= 1 worker
+                                  registration before degrading to the
+                                  forkpool rung (default 5)
+    REPRO_EXEC_HB_INTERVAL_S      worker heartbeat period (default 1)
+    REPRO_EXEC_HB_TIMEOUT_S       silence after which the coordinator
+                                  declares a worker partitioned and
+                                  requeues its tasks (default 4x interval)
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import zlib
+
+from repro.resilience.errors import ConfigError, ResultIntegrityError
+
+__all__ = [
+    "COORD_ENV",
+    "CONNECT_TIMEOUT_ENV",
+    "HB_INTERVAL_ENV",
+    "HB_TIMEOUT_ENV",
+    "RemoteTaskError",
+    "send_frame",
+    "recv_frame",
+    "parse_address",
+    "coordinator_address",
+    "connect_timeout",
+    "heartbeat_interval",
+    "heartbeat_timeout",
+]
+
+COORD_ENV = "REPRO_EXEC_COORD"
+CONNECT_TIMEOUT_ENV = "REPRO_EXEC_CONNECT_TIMEOUT_S"
+HB_INTERVAL_ENV = "REPRO_EXEC_HB_INTERVAL_S"
+HB_TIMEOUT_ENV = "REPRO_EXEC_HB_TIMEOUT_S"
+
+_HEADER = struct.Struct("!II")
+#: sanity bound on one frame; a length beyond this is garbage, not data
+#: (large ndarrays travel by shared-memory segment name, not by value)
+MAX_FRAME_BYTES = 1 << 31
+
+
+class RemoteTaskError(RuntimeError):
+    """A task failed inside a remote worker (carries the remote text)."""
+
+
+def send_frame(sock: socket.socket, message) -> None:
+    """Pickle, checksum and send one message (caller holds the send lock)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket):
+    """Receive one message; raise EOFError on close, integrity error on CRC.
+
+    The CRC guards the whole frame: a flipped byte anywhere in the
+    payload surfaces as :class:`ResultIntegrityError` *before* the pickle
+    is ever loaded.
+    """
+    length, crc = _HEADER.unpack(_read_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ResultIntegrityError(
+            f"frame header announces {length} bytes (> {MAX_FRAME_BYTES}); "
+            "treating the stream as corrupt"
+        )
+    payload = _read_exact(sock, length)
+    if zlib.crc32(payload) != crc:
+        raise ResultIntegrityError(
+            f"wire frame failed its CRC32 check over {length} bytes"
+        )
+    return pickle.loads(payload)
+
+
+# --------------------------------------------------------------------- #
+def parse_address(raw: str) -> tuple[str, int]:
+    """``host:port`` -> ``(host, port)`` with a typed error on junk."""
+    host, sep, port_raw = raw.strip().rpartition(":")
+    if not sep or not host:
+        raise ConfigError(
+            f"invalid coordinator address {raw!r}; expected host:port"
+        )
+    try:
+        port = int(port_raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"invalid coordinator port in {raw!r}: {exc}"
+        ) from exc
+    if not 0 <= port <= 65535:
+        raise ConfigError(f"coordinator port {port} out of range in {raw!r}")
+    return host, port
+
+
+def _env_seconds(var: str, default: float, *, minimum: float = 0.0) -> float:
+    raw = os.environ.get(var, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ConfigError(f"invalid {var}={raw!r}: {exc}") from exc
+    if value <= minimum:
+        raise ConfigError(f"{var} must be > {minimum}, got {value}")
+    return value
+
+
+def coordinator_address() -> tuple[str, int]:
+    """The listen address from ``REPRO_EXEC_COORD`` (default ephemeral)."""
+    raw = os.environ.get(COORD_ENV, "").strip()
+    if not raw:
+        return ("127.0.0.1", 0)
+    return parse_address(raw)
+
+
+def connect_timeout() -> float:
+    """Seconds a submit waits for a worker before degrading to forkpool."""
+    return _env_seconds(CONNECT_TIMEOUT_ENV, 5.0)
+
+
+def heartbeat_interval() -> float:
+    """Seconds between worker heartbeat frames."""
+    return _env_seconds(HB_INTERVAL_ENV, 1.0)
+
+
+def heartbeat_timeout() -> float:
+    """Heartbeat silence that declares a worker partitioned/dead."""
+    return _env_seconds(HB_TIMEOUT_ENV, 4.0 * heartbeat_interval())

@@ -25,10 +25,13 @@ __all__ = [
 ]
 
 #: fabric backend vocabulary.  ``inprocess`` is the bit-identical serial
-#: oracle; ``forkpool`` is the supervised multi-process path.  A future
-#: socket/RPC multi-host backend slots into this tuple without touching
-#: callers (they only ever see :class:`~repro.exec.executor.Executor`).
-EXEC_BACKENDS = ("auto", "inprocess", "forkpool")
+#: oracle; ``forkpool`` is the supervised multi-process path; ``socket``
+#: is the multi-host distributed path (a TCP coordinator dispatching to
+#: ``repro exec-worker`` processes, degrading to ``forkpool`` and then
+#: ``inprocess`` when no workers register).  Callers only ever see
+#: :class:`~repro.exec.executor.Executor`, so new backends slot into
+#: this tuple without touching them.
+EXEC_BACKENDS = ("auto", "inprocess", "forkpool", "socket")
 
 #: environment override applied wherever a caller leaves the backend on
 #: ``auto`` — the operational kill-switch (``inprocess`` disables every
@@ -39,7 +42,8 @@ EXEC_BACKEND_ENV = "REPRO_EXEC_BACKEND"
 def resolve_exec_backend(
     requested: str | None = None, default: str = "forkpool"
 ) -> str:
-    """Map a backend request to a concrete one (``inprocess | forkpool``).
+    """Map a backend request to a concrete non-``auto`` member of
+    :data:`EXEC_BACKENDS` (``inprocess | forkpool | socket``).
 
     An explicit ``requested`` choice always wins; ``auto``/``None`` honours
     ``REPRO_EXEC_BACKEND`` and then falls back to ``default`` — callers
@@ -119,6 +123,11 @@ class ExecPolicy:
     serial_fallback: bool = True
     #: checksum worker results end-to-end (detects corrupted returns)
     verify_integrity: bool = True
+    #: (socket backend) fraction of ``worker_timeout`` after which an
+    #: unanswered task is duplicate-sent to a second healthy worker —
+    #: first valid result wins, the loser is dropped as stale.  ``None``
+    #: disables straggler re-dispatch.
+    straggler_fraction: float | None = 0.5
     #: factory for the terminal exception when rescue is disabled
     exhausted_error: (
         Callable[[Sequence[ShardTask], int, BaseException], BaseException] | None
@@ -129,3 +138,9 @@ class ExecPolicy:
             raise ConfigError("quarantine_after must be >= 1 (or None)")
         if self.worker_timeout is not None and self.worker_timeout <= 0:
             raise ConfigError("worker_timeout must be positive (or None)")
+        if self.straggler_fraction is not None and not (
+            0.0 < self.straggler_fraction <= 1.0
+        ):
+            raise ConfigError(
+                "straggler_fraction must be in (0, 1] (or None to disable)"
+            )

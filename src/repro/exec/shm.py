@@ -150,7 +150,8 @@ def _atexit_sweep() -> None:  # pragma: no cover - interpreter teardown
 atexit.register(_atexit_sweep)
 
 
-def _pid_alive(pid: int) -> bool:
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
     try:
         os.kill(pid, 0)
     except ProcessLookupError:
@@ -158,6 +159,10 @@ def _pid_alive(pid: int) -> bool:
     except PermissionError:
         return True
     return True
+
+
+#: internal alias kept for the pre-existing callers
+_pid_alive = pid_alive
 
 
 def live_segment_names() -> list[str]:

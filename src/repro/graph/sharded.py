@@ -34,11 +34,11 @@ from repro.core.inference import row_stable_matmul
 from repro.core.model import GCNWeights
 from repro.exec import (
     ExecPolicy,
-    ForkPoolExecutor,
+    Executor,
     ShardTask,
     attached_ndarray,
+    make_executor,
     owned_ndarray,
-    resolve_exec_backend,
 )
 from repro.graph.partition import GraphPartition, PartitionConfig, partition_graph
 from repro.obs.metrics import get_registry
@@ -247,7 +247,7 @@ class ShardedInference:
         #: injectable for fault-injection tests (must stay picklable)
         self.worker_fn = _shard_worker_logits
         self._plan: _Plan | None = None
-        self._executor: ForkPoolExecutor | None = None
+        self._executor: Executor | None = None
         self._pool_graph: GraphData | None = None
         self._sleep = time.sleep
 
@@ -349,14 +349,14 @@ class ShardedInference:
             nodes=graph.num_nodes,
             shards=plan.n_shards,
         ):
+            resolved = self.execution.resolve_exec_backend(default="forkpool")
             use_pool = (
                 plan.partition.n_shards > 1
                 and self.execution.resolved_workers() > 1
-                and self.execution.resolve_exec_backend(default="forkpool")
-                == "forkpool"
+                and resolved != "inprocess"
             )
             if use_pool:
-                self._pool_run(graph, plan, with_head, out)
+                self._pool_run(graph, plan, with_head, out, resolved)
             else:
                 for i, s in enumerate(plan.shards):
                     out[s.owned] = self._shard_in_process(
@@ -379,13 +379,14 @@ class ShardedInference:
             )
 
     # ------------------------------------------------------------------ #
-    def _make_executor(self, plan: _Plan) -> ForkPoolExecutor:
+    def _make_executor(self, plan: _Plan, backend: str = "forkpool") -> Executor:
         payload = pickle.dumps(
             (self.weights, self.dtype.name, plan.pred, plan.succ)
         )
-        return ForkPoolExecutor(
-            max(1, self.execution.resolved_workers()),
+        return make_executor(
+            backend,
             name="inference",
+            max_workers=max(1, self.execution.resolved_workers()),
             initializer=_shard_worker_init,
             initargs=(payload,),
             sleep=self._sleep,
@@ -399,14 +400,21 @@ class ShardedInference:
         )
 
     def _pool_run(
-        self, graph: GraphData, plan: _Plan, with_head: bool, out: np.ndarray
+        self,
+        graph: GraphData,
+        plan: _Plan,
+        with_head: bool,
+        out: np.ndarray,
+        backend: str = "forkpool",
     ) -> None:
         # The worker initializer bakes in this plan's global CSRs, so a new
-        # graph needs a new pool.
-        if self._executor is not None and self._pool_graph is not plan.graph:
+        # graph (or a different resolved backend) needs a new pool.
+        if self._executor is not None and (
+            self._pool_graph is not plan.graph or self._executor.kind != backend
+        ):
             self.close()
         if self._executor is None:
-            self._executor = self._make_executor(plan)
+            self._executor = self._make_executor(plan, backend)
             self._pool_graph = plan.graph
         attributes = np.ascontiguousarray(graph.attributes)
         *_, failure_counter = _obs()

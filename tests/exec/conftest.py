@@ -41,3 +41,16 @@ def _no_ambient_chaos(monkeypatch):
     monkeypatch.delenv("REPRO_CHAOS_SEED", raising=False)
     monkeypatch.delenv("REPRO_CHAOS_HANG_S", raising=False)
     monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_EXEC_COORD", raising=False)
+    monkeypatch.delenv("REPRO_EXEC_CONNECT_TIMEOUT_S", raising=False)
+    monkeypatch.delenv("REPRO_EXEC_HB_INTERVAL_S", raising=False)
+    monkeypatch.delenv("REPRO_EXEC_HB_TIMEOUT_S", raising=False)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_coordinator():
+    """Tear the process-global coordinator down so tests never share one."""
+    yield
+    from repro.exec import shutdown_coordinator
+
+    shutdown_coordinator()

@@ -1,0 +1,285 @@
+"""Distributed backend tests: coordinator, worker fleet, degradation ladder.
+
+Thread-based ``run_worker`` loops stand in for remote hosts — safe for
+every *network* chaos mode (none of them call ``os._exit``).  The one
+test that needs a worker to die for real spawns ``repro exec-worker``
+subprocesses and SIGKILLs one mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.exec import (
+    DistributedExecutor,
+    ExecPolicy,
+    ShardTask,
+    get_coordinator,
+    make_executor,
+    run_worker,
+    shutdown_coordinator,
+)
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.resilience.retry import RetryPolicy
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+NO_SLEEP = lambda s: None  # noqa: E731
+FAST = ExecPolicy(
+    retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+    worker_timeout=5.0,
+    quarantine_after=2,
+)
+
+_INIT_STATE: dict = {}
+
+
+def _set_state(value):
+    _INIT_STATE["value"] = value
+
+
+def _read_state(x):
+    return (_INIT_STATE.get("value"), x)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"injected failure for {x}")
+
+
+def sleep_square(x, delay):
+    time.sleep(delay)
+    return x * x
+
+
+def _tasks(n=8, fn=_square):
+    return [
+        ShardTask(key=f"t{i}", fn=fn, args=(i,), fallback=lambda i=i: i * i)
+        for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------- #
+@pytest.fixture(autouse=True)
+def _fast_net(monkeypatch):
+    """Sub-second heartbeat/connect windows so failure paths drain fast."""
+    monkeypatch.setenv("REPRO_EXEC_HB_INTERVAL_S", "0.05")
+    monkeypatch.setenv("REPRO_EXEC_HB_TIMEOUT_S", "0.5")
+    monkeypatch.setenv("REPRO_EXEC_CONNECT_TIMEOUT_S", "2.0")
+    monkeypatch.setenv("REPRO_CHAOS_HANG_S", "1.5")
+
+
+@pytest.fixture()
+def metrics():
+    fresh = MetricsRegistry()
+    old = set_registry(fresh)
+    yield fresh
+    set_registry(old)
+
+
+@pytest.fixture()
+def fleet():
+    """A bound coordinator plus N in-thread workers; torn down hard."""
+    stop = threading.Event()
+    threads: list[threading.Thread] = []
+
+    def start(n=2):
+        coordinator = get_coordinator()
+        for i in range(n):
+            t = threading.Thread(
+                target=run_worker,
+                args=(coordinator.address,),
+                kwargs={"worker_id": f"test-w{i}", "stop": stop},
+                daemon=True,
+            )
+            t.start()
+            threads.append(t)
+        assert coordinator.wait_for_workers(5.0, minimum=n)
+        return coordinator
+
+    yield start
+    stop.set()
+    shutdown_coordinator()
+    for t in threads:
+        t.join(timeout=5.0)
+
+
+def _sum(snapshot, name, **labels):
+    total = 0.0
+    for sample in snapshot.get(name, {}).get("samples", ()):
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            total += sample["value"]
+    return total
+
+
+# --------------------------------------------------------------------- #
+class TestHappyPath:
+    def test_dispatch_order_and_results(self, fleet, metrics):
+        fleet(2)
+        with DistributedExecutor(name="t", policy=FAST, sleep=NO_SLEEP) as ex:
+            assert ex.kind == "socket"
+            assert ex.submit(_tasks(8)) == [i * i for i in range(8)]
+            assert ex.last_submit_failures == 0
+        snap = metrics.snapshot()
+        assert _sum(snap, "repro_exec_net_dispatches_total", engine="t") >= 8
+        assert _sum(snap, "repro_exec_net_workers") == 2
+
+    def test_make_executor_builds_socket_backend(self, fleet):
+        fleet(1)
+        ex = make_executor("socket", name="t", policy=FAST, sleep=NO_SLEEP)
+        try:
+            assert isinstance(ex, DistributedExecutor)
+            assert ex.submit(_tasks(4)) == [0, 1, 4, 9]
+        finally:
+            ex.close()
+
+    def test_initializer_reruns_on_session_switch(self, fleet):
+        fleet(1)
+        kwargs = dict(initializer=_set_state, policy=FAST, sleep=NO_SLEEP)
+        tasks = [ShardTask(key=f"t{i}", fn=_read_state, args=(i,)) for i in range(2)]
+        with DistributedExecutor(name="a", initargs=("alpha",), **kwargs) as ex:
+            assert ex.submit(tasks) == [("alpha", 0), ("alpha", 1)]
+        with DistributedExecutor(name="b", initargs=("beta",), **kwargs) as ex:
+            assert ex.submit(tasks) == [("beta", 0), ("beta", 1)]
+
+    def test_task_errors_retry_then_rescue(self, fleet, metrics):
+        fleet(2)
+        with DistributedExecutor(name="t", policy=FAST, sleep=NO_SLEEP) as ex:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                assert ex.submit(_tasks(4, fn=_boom)) == [0, 1, 4, 9]
+            assert ex.last_submit_failures > 0
+        snap = metrics.snapshot()
+        assert _sum(
+            snap, "repro_exec_net_requeues_total", engine="t", reason="error"
+        ) > 0
+
+
+# --------------------------------------------------------------------- #
+class TestDegradationLadder:
+    def test_zero_workers_degrades_to_forkpool(self, metrics):
+        with DistributedExecutor(
+            name="t", policy=FAST, sleep=NO_SLEEP, connect_timeout=0.2
+        ) as ex:
+            with pytest.warns(ResourceWarning, match="degrading"):
+                assert ex.submit(_tasks(4)) == [0, 1, 4, 9]
+        snap = metrics.snapshot()
+        assert _sum(
+            snap, "repro_exec_net_fallbacks_total", engine="t", rung="forkpool"
+        ) == 1
+
+    def test_straggler_redispatch_first_result_wins(self, fleet, metrics):
+        fleet(2)
+        policy = ExecPolicy(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            worker_timeout=4.0,
+            straggler_fraction=0.1,
+        )
+        tasks = [
+            ShardTask(key=f"t{i}", fn=sleep_square, args=(i, delay))
+            for i, delay in enumerate((0.0, 0.0, 0.0, 0.8))
+        ]
+        with DistributedExecutor(name="t", policy=policy, sleep=NO_SLEEP) as ex:
+            assert ex.submit(tasks) == [0, 1, 4, 9]
+        snap = metrics.snapshot()
+        assert _sum(snap, "repro_exec_net_stragglers_total", engine="t") > 0
+
+    def test_disconnect_storm_quarantines_and_rescues(
+        self, fleet, metrics, monkeypatch
+    ):
+        fleet(2)
+        monkeypatch.setenv("REPRO_CHAOS", "disconnect")
+        with DistributedExecutor(name="t", policy=FAST, sleep=NO_SLEEP) as ex:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                assert ex.submit(_tasks(6)) == [i * i for i in range(6)]
+        snap = metrics.snapshot()
+        assert _sum(
+            snap, "repro_exec_net_requeues_total", engine="t", reason="disconnect"
+        ) > 0
+        assert _sum(snap, "repro_exec_net_tasks_quarantined_total", engine="t") > 0
+        assert _sum(
+            snap, "repro_exec_net_fallbacks_total", engine="t", rung="inprocess"
+        ) > 0
+
+    def test_corrupt_results_fail_integrity_then_rescue(
+        self, fleet, metrics, monkeypatch
+    ):
+        fleet(2)
+        monkeypatch.setenv("REPRO_CHAOS", "corrupt")
+        with DistributedExecutor(name="t", policy=FAST, sleep=NO_SLEEP) as ex:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                assert ex.submit(_tasks(4)) == [0, 1, 4, 9]
+        snap = metrics.snapshot()
+        assert _sum(snap, "repro_exec_net_integrity_failures_total") > 0
+        assert _sum(
+            snap, "repro_exec_net_requeues_total", engine="t", reason="integrity"
+        ) > 0
+
+
+# --------------------------------------------------------------------- #
+class TestSubprocessWorkers:
+    def _spawn_worker(self, port: int, worker_id: str) -> subprocess.Popen:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT), env.get("PYTHONPATH", "")]
+        )
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "exec-worker",
+                "--connect",
+                f"127.0.0.1:{port}",
+                "--worker-id",
+                worker_id,
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def test_sigkill_one_worker_survivor_completes(self, metrics):
+        coordinator = get_coordinator()
+        port = coordinator.address[1]
+        procs = [self._spawn_worker(port, f"sub-w{i}") for i in range(2)]
+        try:
+            assert coordinator.wait_for_workers(30.0, minimum=2)
+            victim = procs[0]
+            killer = threading.Timer(
+                0.3, lambda: victim.send_signal(signal.SIGKILL)
+            )
+            killer.start()
+            tasks = [
+                ShardTask(key=f"t{i}", fn=sleep_square, args=(i, 0.25))
+                for i in range(6)
+            ]
+            with DistributedExecutor(name="t", policy=FAST, sleep=NO_SLEEP) as ex:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    assert ex.submit(tasks) == [i * i for i in range(6)]
+            killer.cancel()
+            assert victim.wait(timeout=10.0) != 0
+            # The fleet shrank to the survivor.
+            assert coordinator.worker_count() == 1
+        finally:
+            shutdown_coordinator()
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+                proc.wait(timeout=10.0)

@@ -253,6 +253,34 @@ class TestForkPool:
             assert ages and all(age >= 0 for age in ages.values())
             assert all(pid != os.getpid() for pid in ages)
 
+    def test_pool_rebuild_prunes_replaced_worker_heartbeats(self, monkeypatch):
+        """Regression: dead workers' heartbeat files must not linger.
+
+        A chaos-killed pool is abandoned and rebuilt; before the fix the
+        replaced pids' files survived, so ``heartbeat_ages()`` reported
+        ever-growing ages for processes that no longer existed.
+        """
+        monkeypatch.setenv("REPRO_CHAOS", "kill:0.5")
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "1")
+        policy = ExecPolicy(retry=RetryPolicy(max_attempts=8, base_delay=0.0))
+        with ForkPoolExecutor(2, name="t", policy=policy, sleep=NO_SLEEP) as ex:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                for round_seed in range(3):
+                    ex.submit(_tasks(4))
+            ages = ex.heartbeat_ages()
+            import pathlib
+
+            from repro.exec.shm import pid_alive
+
+            assert ages, "live pool must report heartbeats"
+            assert all(pid_alive(pid) for pid in ages)
+            # The on-disk directory holds files only for the live fleet.
+            on_disk = {
+                int(p.name) for p in pathlib.Path(ex._hb_dir).iterdir()
+            }
+            assert all(pid_alive(pid) for pid in on_disk)
+
 
 class TestMetrics:
     def test_recovery_events_counted(self, monkeypatch):

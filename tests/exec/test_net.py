@@ -1,0 +1,134 @@
+"""Unit tests for the distributed backend's wire layer (repro.exec.net)."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+
+import pytest
+
+from repro.exec import chaos as chaos_mod
+from repro.exec import net as net_mod
+from repro.exec.chaos import NET_CHAOS_MODES, ChaosSpec
+from repro.resilience.errors import ConfigError, ResultIntegrityError
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+# --------------------------------------------------------------------- #
+class TestFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        message = ("task", "s1", 3, "key", 1, b"blob", 2.5, None)
+        net_mod.send_frame(a, message)
+        assert net_mod.recv_frame(b) == message
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            net_mod.send_frame(a, ("heartbeat", i))
+        assert [net_mod.recv_frame(b)[1] for _ in range(5)] == list(range(5))
+
+    def test_closed_peer_raises_eof(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(EOFError):
+            net_mod.recv_frame(b)
+
+    def test_corrupt_payload_fails_crc(self, pair):
+        a, b = pair
+        import pickle
+
+        payload = pickle.dumps(("result", 0))
+        crc = zlib.crc32(payload)
+        corrupted = payload[:-1] + bytes([payload[-1] ^ 0xFF])
+        a.sendall(struct.pack("!II", len(corrupted), crc) + corrupted)
+        with pytest.raises(ResultIntegrityError, match="CRC32"):
+            net_mod.recv_frame(b)
+
+    def test_absurd_length_rejected_before_read(self, pair):
+        a, b = pair
+        a.sendall(struct.pack("!II", net_mod.MAX_FRAME_BYTES + 1, 0))
+        with pytest.raises(ResultIntegrityError, match="corrupt"):
+            net_mod.recv_frame(b)
+
+
+# --------------------------------------------------------------------- #
+class TestAddresses:
+    def test_parse_address(self):
+        assert net_mod.parse_address("127.0.0.1:7077") == ("127.0.0.1", 7077)
+        assert net_mod.parse_address(" host:0 ") == ("host", 0)
+
+    @pytest.mark.parametrize(
+        "raw", ["", "justhost", ":7077", "host:notaport", "host:70777"]
+    )
+    def test_parse_address_rejects_junk(self, raw):
+        with pytest.raises(ConfigError):
+            net_mod.parse_address(raw)
+
+    def test_coordinator_address_default_and_env(self, monkeypatch):
+        assert net_mod.coordinator_address() == ("127.0.0.1", 0)
+        monkeypatch.setenv(net_mod.COORD_ENV, "10.0.0.5:7077")
+        assert net_mod.coordinator_address() == ("10.0.0.5", 7077)
+
+    def test_env_seconds_validation(self, monkeypatch):
+        monkeypatch.setenv(net_mod.HB_INTERVAL_ENV, "0.25")
+        assert net_mod.heartbeat_interval() == 0.25
+        # Timeout defaults to 4x the (possibly overridden) interval.
+        assert net_mod.heartbeat_timeout() == 1.0
+        monkeypatch.setenv(net_mod.HB_TIMEOUT_ENV, "9")
+        assert net_mod.heartbeat_timeout() == 9.0
+        monkeypatch.setenv(net_mod.CONNECT_TIMEOUT_ENV, "junk")
+        with pytest.raises(ConfigError):
+            net_mod.connect_timeout()
+        monkeypatch.setenv(net_mod.CONNECT_TIMEOUT_ENV, "-1")
+        with pytest.raises(ConfigError):
+            net_mod.connect_timeout()
+
+
+# --------------------------------------------------------------------- #
+class TestNetChaosRolls:
+    def test_net_action_none_for_process_modes(self):
+        spec = ChaosSpec(mode="kill", rate=1.0)
+        assert chaos_mod.net_action(spec, "k", 1) is None
+        assert chaos_mod.net_action(None, "k", 1) is None
+
+    @pytest.mark.parametrize("mode", NET_CHAOS_MODES)
+    def test_net_action_fires_at_rate_one(self, mode):
+        spec = ChaosSpec(mode=mode, rate=1.0)
+        assert chaos_mod.net_action(spec, "k", 1) == mode
+
+    def test_rolls_are_deterministic_and_attempt_scoped(self):
+        spec = ChaosSpec(mode="disconnect", rate=0.5, seed=7)
+        rolls = [
+            chaos_mod.net_action(spec, f"t{i}", attempt)
+            for i in range(20)
+            for attempt in (1, 2)
+        ]
+        assert rolls == [
+            chaos_mod.net_action(spec, f"t{i}", attempt)
+            for i in range(20)
+            for attempt in (1, 2)
+        ]
+        # At rate 0.5 over 40 rolls, both outcomes must appear.
+        assert any(r == "disconnect" for r in rolls)
+        assert any(r is None for r in rolls)
+
+    def test_net_modes_parse_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "partition:0.25")
+        spec = ChaosSpec.from_env()
+        assert spec.mode == "partition"
+        assert spec.rate == 0.25
+
+    def test_process_injection_ignores_net_modes(self):
+        # inject_before/corrupt_payload must be no-ops for net modes.
+        spec = ChaosSpec(mode="disconnect", rate=1.0)
+        chaos_mod.inject_before(spec, "k", 1)
+        assert chaos_mod.corrupt_payload(spec, "k", 1, b"x") == b"x"

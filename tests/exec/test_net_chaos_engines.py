@@ -1,15 +1,16 @@
-"""Chaos suite: every engine × every chaos mode, bit-identical to the oracle.
+"""Network chaos suite: every engine × every net chaos mode over loopback.
 
-The contract under test is the ISSUE's acceptance bar: with
-``REPRO_CHAOS`` set, all three fork-pool engines must either recover
-(retry rounds) or degrade (serial in-process fallback), and either way
-produce results **bit-identical** to the same computation run without
-chaos.  Warnings are expected noise here — recovery is the point — so
-each chaos run suppresses them; correctness is asserted on the outputs.
+The distributed mirror of ``test_chaos_engines.py``: with
+``REPRO_EXEC_BACKEND=socket`` and a two-worker loopback fleet, all three
+engines must survive injected disconnects, delayed results, heartbeat
+partitions and stale-generation replies — and produce results
+**bit-identical** to the chaos-free oracle.  Thread-based workers are
+safe here because no net mode ever calls ``os._exit``.
 """
 
 from __future__ import annotations
 
+import threading
 import warnings
 
 import numpy as np
@@ -23,22 +24,52 @@ from repro.core.graphdata import GraphData
 from repro.core.inference import FastInference
 from repro.core.model import GCN, GCNConfig
 from repro.core.trainer import ParallelTrainer, TrainConfig
-from repro.exec.chaos import PROCESS_CHAOS_MODES
+from repro.exec import get_coordinator, run_worker, shutdown_coordinator
+from repro.exec.chaos import NET_CHAOS_MODES
 from repro.graph import ShardedInference
 from repro.resilience.retry import RetryPolicy
 
 NO_SLEEP = lambda s: None  # noqa: E731
 FAST_RETRY = RetryPolicy(max_attempts=2, base_delay=0.0)
-#: short enough that hang-mode rounds resolve quickly, long next to the
-#: sub-second happy path so clean runs never trip it
-WORKER_TIMEOUT_S = 5.0
+WORKER_TIMEOUT_S = 10.0
+
+
+@pytest.fixture(autouse=True)
+def _fast_net(monkeypatch):
+    monkeypatch.setenv("REPRO_EXEC_HB_INTERVAL_S", "0.05")
+    monkeypatch.setenv("REPRO_EXEC_HB_TIMEOUT_S", "0.5")
+    monkeypatch.setenv("REPRO_EXEC_CONNECT_TIMEOUT_S", "2.0")
+
+
+@pytest.fixture()
+def fleet():
+    stop = threading.Event()
+    threads: list[threading.Thread] = []
+    coordinator = get_coordinator()
+    for i in range(2):
+        t = threading.Thread(
+            target=run_worker,
+            args=(coordinator.address,),
+            kwargs={"worker_id": f"net-w{i}", "stop": stop},
+            daemon=True,
+        )
+        t.start()
+        threads.append(t)
+    assert coordinator.wait_for_workers(5.0, minimum=2)
+    yield coordinator
+    stop.set()
+    shutdown_coordinator()
+    for t in threads:
+        t.join(timeout=5.0)
 
 
 def _arm(monkeypatch, mode: str) -> None:
+    """Socket backend + the given net chaos mode at rate 1.0."""
+    monkeypatch.setenv("REPRO_EXEC_BACKEND", "socket")
     monkeypatch.setenv("REPRO_CHAOS", mode)
-    # A hang longer than the worker timeout (so the deadline trips) but
-    # short enough that even an unkilled straggler drains fast.
-    monkeypatch.setenv("REPRO_CHAOS_HANG_S", "20")
+    # Longer than the heartbeat timeout (so ``partition`` trips the
+    # stale-worker scan) but far below the task deadline.
+    monkeypatch.setenv("REPRO_CHAOS_HANG_S", "1.0")
 
 
 # --------------------------------------------------------------------- #
@@ -52,11 +83,6 @@ def _labelled_graph(seed=11, n=100):
         pred=g.pred, succ=g.succ, attributes=g.attributes, labels=labels,
         name=f"g{seed}",
     )
-
-
-@pytest.fixture(scope="module")
-def train_graphs():
-    return [_labelled_graph(1), _labelled_graph(2)]
 
 
 def _train_step(graphs):
@@ -73,18 +99,21 @@ def _train_step(graphs):
     return loss, {k: v.copy() for k, v in model.state_dict().items()}
 
 
-class TestTrainerChaos:
-    @pytest.mark.parametrize("mode", PROCESS_CHAOS_MODES)
-    def test_epoch_bit_identical_under_chaos(
-        self, mode, train_graphs, monkeypatch
-    ):
-        oracle_loss, oracle_state = _train_step(train_graphs)
+@pytest.fixture(scope="module")
+def train_case():
+    graphs = [_labelled_graph(1), _labelled_graph(2)]
+    return graphs, _train_step(graphs)
+
+
+class TestTrainerNetChaos:
+    @pytest.mark.parametrize("mode", NET_CHAOS_MODES)
+    def test_epoch_bit_identical(self, mode, train_case, fleet, monkeypatch):
+        graphs, (oracle_loss, oracle_state) = train_case
         _arm(monkeypatch, mode)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            loss, state = _train_step(train_graphs)
+            loss, state = _train_step(graphs)
         assert loss == oracle_loss
-        assert set(state) == set(oracle_state)
         for key in oracle_state:
             np.testing.assert_array_equal(state[key], oracle_state[key], key)
 
@@ -113,11 +142,9 @@ def fault_sim_case():
     fsim.close()
 
 
-class TestFaultSimChaos:
-    @pytest.mark.parametrize("mode", PROCESS_CHAOS_MODES)
-    def test_masks_bit_identical_under_chaos(
-        self, mode, fault_sim_case, monkeypatch
-    ):
+class TestFaultSimNetChaos:
+    @pytest.mark.parametrize("mode", NET_CHAOS_MODES)
+    def test_masks_bit_identical(self, mode, fault_sim_case, fleet, monkeypatch):
         fsim, faults, values, oracle = fault_sim_case
         _arm(monkeypatch, mode)
         with warnings.catch_warnings():
@@ -141,10 +168,10 @@ def inference_case():
     return weights, graph, oracle
 
 
-class TestInferenceChaos:
-    @pytest.mark.parametrize("mode", PROCESS_CHAOS_MODES)
-    def test_logits_bit_identical_under_chaos(
-        self, mode, inference_case, monkeypatch
+class TestInferenceNetChaos:
+    @pytest.mark.parametrize("mode", NET_CHAOS_MODES)
+    def test_logits_bit_identical(
+        self, mode, inference_case, fleet, monkeypatch
     ):
         weights, graph, oracle = inference_case
         _arm(monkeypatch, mode)
@@ -161,30 +188,19 @@ class TestInferenceChaos:
 
 
 # --------------------------------------------------------------------- #
-# Kill switch: REPRO_EXEC_BACKEND=inprocess bypasses chaos entirely
+# Zero-worker degradation: socket backend with nobody listening
 # --------------------------------------------------------------------- #
-class TestKillSwitch:
-    def test_inprocess_backend_immune_to_chaos(
-        self, inference_case, monkeypatch
-    ):
+class TestZeroWorkerDegradation:
+    def test_inference_degrades_to_forkpool(self, inference_case, monkeypatch):
         weights, graph, oracle = inference_case
-        _arm(monkeypatch, "raise")
-        monkeypatch.setenv("REPRO_EXEC_BACKEND", "inprocess")
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "socket")
+        monkeypatch.setenv("REPRO_EXEC_CONNECT_TIMEOUT_S", "0.2")
         with ShardedInference(
             weights, ExecutionConfig(shards=2, workers=2)
         ) as engine:
-            # No warnings expected: chaos only ever runs in forked workers
-            # and the kill switch means none are forked.
-            with warnings.catch_warnings():
-                warnings.simplefilter("error", ResourceWarning)
+            engine.retry = FAST_RETRY
+            engine.worker_timeout = WORKER_TIMEOUT_S
+            engine._sleep = NO_SLEEP
+            with pytest.warns(ResourceWarning, match="degrading"):
                 logits = engine.logits(graph)
         np.testing.assert_array_equal(logits, oracle)
-
-    def test_partial_rate_still_exact(self, fault_sim_case, monkeypatch):
-        fsim, faults, values, oracle = fault_sim_case
-        monkeypatch.setenv("REPRO_CHAOS", "raise:0.5")
-        monkeypatch.setenv("REPRO_CHAOS_SEED", "3")
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            masks = fsim.detection_masks(faults, values, backend="parallel")
-        np.testing.assert_array_equal(masks, oracle)
