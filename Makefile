@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-full bench-faultsim bench-sharded examples report serve-smoke faultsim-smoke clean-cache
+.PHONY: install test lint bench bench-full bench-faultsim bench-sharded bench-obs bench-check obs-report examples report serve-smoke faultsim-smoke clean-cache
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +31,15 @@ bench-faultsim:
 
 bench-sharded:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sharded_inference.py
+
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_overhead.py
+
+bench-check:
+	$(PYTHON) scripts/bench_trend.py --check
+
+obs-report:
+	PYTHONPATH=src $(PYTHON) -m repro obs-report
 
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py

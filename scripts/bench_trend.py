@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Record benchmark timings into the perf-trend ledger and gate on them.
+
+The ledger is ``results/TREND_<bench>.jsonl`` (one schema-versioned JSON
+record per benchmark run; see :mod:`repro.obs.trend`).  Three verbs:
+
+``--record <bench> [--payload FILE]``
+    Append a record for ``bench`` from a benchmark payload JSON (default
+    ``results/BENCH_<bench>.json``, falling back to
+    ``results/<bench>.json``).  ``*_seconds`` timings are auto-extracted.
+
+``--check [bench ...]``
+    Compare each bench's newest record against the median of its
+    preceding window (default 5 records).  Exits 1 when any metric is
+    more than ``--threshold`` (default 20%) slower — this is the CI
+    regression gate.  Fresh ledgers (fewer than 2 records) pass.
+
+``--list``
+    Show every ledger with its record count and last git SHA.
+
+``REPRO_RESULTS`` (default ``results``) selects the results root, same
+as the benchmarks themselves.  Verbs compose: ``--record x --check x``
+records first, then gates on the updated ledger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import trend  # noqa: E402
+
+
+def _payload_path(bench: str, root: Path, explicit: str | None) -> Path | None:
+    if explicit:
+        return Path(explicit)
+    for candidate in (root / f"BENCH_{bench}.json", root / f"{bench}.json"):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def cmd_record(bench: str, payload_file: str | None, root: Path) -> int:
+    path = _payload_path(bench, root, payload_file)
+    if path is None or not path.is_file():
+        print(
+            f"FAIL: no payload for bench {bench!r} "
+            f"(looked for {root}/BENCH_{bench}.json and {root}/{bench}.json)"
+        )
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        print(f"FAIL: {path} is not valid JSON: {exc}")
+        return 1
+    record = trend.record_trend(bench, payload, results_root=root)
+    if record is None:
+        print(f"FAIL: {path} contains no *_seconds timings to trend")
+        return 1
+    print(
+        f"recorded {bench}: {len(record['metrics'])} metric(s) "
+        f"at sha {record['git_sha'] or 'unknown'} "
+        f"-> {trend.trend_path(bench, root)}"
+    )
+    return 0
+
+
+def cmd_check(
+    benches: list[str], root: Path, window: int, threshold: float
+) -> int:
+    benches = benches or trend.list_benches(root)
+    if not benches:
+        print(f"no trend ledgers under {root} (nothing to gate); pass")
+        return 0
+    failures = 0
+    for bench in benches:
+        records = trend.load_trend(bench, root)
+        findings = trend.check_trend(
+            bench, window=window, threshold=threshold, results_root=root
+        )
+        if findings:
+            failures += len(findings)
+            for f in findings:
+                print(
+                    f"FAIL {bench}: {f['metric']} {f['latest']:.4f}s is "
+                    f"{f['ratio']:.2f}x the baseline {f['baseline']:.4f}s "
+                    f"(median of {f['window']} prior record(s), "
+                    f"threshold {threshold:.0%})"
+                )
+        else:
+            print(f"ok   {bench}: {len(records)} record(s), no regression")
+    if failures:
+        print(f"FAIL: {failures} regressed metric(s)")
+        return 1
+    print("pass: no metric regressed beyond the threshold")
+    return 0
+
+
+def cmd_list(root: Path) -> int:
+    benches = trend.list_benches(root)
+    if not benches:
+        print(f"no trend ledgers under {root}")
+        return 0
+    for bench in benches:
+        records = trend.load_trend(bench, root)
+        sha = records[-1].get("git_sha") if records else None
+        print(
+            f"{bench}: {len(records)} record(s), "
+            f"last sha {sha or 'unknown'} "
+            f"({trend.trend_path(bench, root)})"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="perf-trend ledger: record benchmark runs, gate on "
+        "regressions (see results/TREND_*.jsonl)"
+    )
+    parser.add_argument(
+        "--record",
+        metavar="BENCH",
+        help="append a record for BENCH from its results payload",
+    )
+    parser.add_argument(
+        "--payload",
+        metavar="FILE",
+        default=None,
+        help="payload JSON for --record (default results/BENCH_<bench>.json)",
+    )
+    parser.add_argument(
+        "--check",
+        nargs="*",
+        metavar="BENCH",
+        default=None,
+        help="gate the named benches (default: every ledger)",
+    )
+    parser.add_argument("--list", action="store_true", help="list ledgers")
+    parser.add_argument(
+        "--results",
+        default=None,
+        help="results root (default $REPRO_RESULTS or results/)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=trend.DEFAULT_WINDOW,
+        help="baseline window size (records)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=trend.DEFAULT_THRESHOLD,
+        help="relative slowdown that fails the gate (0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    import os
+
+    root = Path(args.results or os.environ.get("REPRO_RESULTS", "results"))
+    if args.record is None and args.check is None and not args.list:
+        parser.error("pick at least one of --record / --check / --list")
+    status = 0
+    if args.list:
+        status = max(status, cmd_list(root))
+    if args.record is not None:
+        status = max(status, cmd_record(args.record, args.payload, root))
+    if args.check is not None:
+        status = max(
+            status, cmd_check(args.check, root, args.window, args.threshold)
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Lint: public-API boundaries and deprecated-kwarg hygiene.
 
-Four rules, all AST-based (comments and strings never false-positive):
+Five rules, all AST-based (comments and strings never false-positive):
 
 1. **Examples are facade-only.** Files under ``examples/`` may import from
    the ``repro`` namespace only via ``repro.api`` (``from repro.api import
@@ -33,6 +33,17 @@ Four rules, all AST-based (comments and strings never false-positive):
    fork the recovery semantics.  (:mod:`repro.serve` builds on
    ``http.server``, which owns its sockets internally.)
 
+5. **Metric families are named, owned, and lazily registered.** Every
+   literal name passed to ``counter()`` / ``gauge()`` / ``histogram()``
+   in ``src/repro`` must match ``repro_[a-z][a-z0-9_]*`` (the scrape
+   namespace ``GET /metrics`` promises), must be created inside a
+   function (a pre-registration helper like ``ensure_exec_metrics`` —
+   importing a module must never mutate the global registry), and must
+   be created from exactly one module (two owners for one family is how
+   label sets silently diverge).  Computed names — the
+   ``repro_fleet_*`` re-registration in :mod:`repro.obs.remote` — are
+   validated at runtime by the registry itself.
+
 Exit status: 0 when clean, 1 with one ``path:line`` diagnostic per
 violation otherwise.
 """
@@ -40,6 +51,7 @@ violation otherwise.
 from __future__ import annotations
 
 import ast
+import re
 import sys
 from pathlib import Path
 
@@ -154,6 +166,71 @@ def socket_import_violations(path: Path) -> list[tuple[int, str]]:
     return bad
 
 
+#: registry factory methods whose first argument names a metric family
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+#: the namespace contract for every scrape-exposed family
+_METRIC_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
+#: defines the factories themselves (docstrings mention names freely)
+_METRICS_MODULE = PACKAGE / "obs" / "metrics.py"
+
+
+def metric_registrations(path: Path) -> list[tuple[int, str, bool]]:
+    """``(lineno, name, module_level)`` for literal-named family creation."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found: list[tuple[int, str, bool]] = []
+
+    def visit(node: ast.AST, in_function: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            in_function = True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _METRIC_FACTORIES
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            found.append((node.lineno, node.args[0].value, not in_function))
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_function)
+
+    visit(tree, False)
+    return found
+
+
+def metric_name_violations() -> list[str]:
+    """Rule 5: prefix/pattern, lazy registration, one owner per family."""
+    violations: list[str] = []
+    owners: dict[str, dict[Path, int]] = {}
+    for path in sorted(PACKAGE.rglob("*.py")):
+        if path == _METRICS_MODULE:
+            continue
+        for lineno, name, module_level in metric_registrations(path):
+            where = f"{path.relative_to(ROOT)}:{lineno}"
+            if not _METRIC_NAME_RE.match(name):
+                violations.append(
+                    f"{where}: metric {name!r} must match "
+                    "repro_[a-z][a-z0-9_]* (scrape-namespace contract)"
+                )
+            if module_level:
+                violations.append(
+                    f"{where}: metric {name!r} created at import time "
+                    "(wrap it in a pre-registration helper)"
+                )
+            owners.setdefault(name, {}).setdefault(path, lineno)
+    for name, paths in sorted(owners.items()):
+        if len(paths) > 1:
+            sites = ", ".join(
+                f"{p.relative_to(ROOT)}:{lineno}"
+                for p, lineno in sorted(paths.items())
+            )
+            violations.append(
+                f"metric {name!r} created from multiple modules ({sites}); "
+                "one module must own each family"
+            )
+    return violations
+
+
 def main() -> int:
     violations: list[str] = []
     for path in sorted(EXAMPLES.glob("*.py")):
@@ -183,6 +260,7 @@ def main() -> int:
                 f"{path.relative_to(ROOT)}:{lineno}: {what} "
                 "(raw socket code lives in repro.exec.net / coordinator)"
             )
+    violations.extend(metric_name_violations())
     if violations:
         print("API boundary violations:")
         for v in violations:
@@ -190,7 +268,8 @@ def main() -> int:
         return 1
     print(
         "examples are facade-only; no deprecated execution kwargs in "
-        "src/repro; process pools and raw sockets confined to repro.exec"
+        "src/repro; process pools and raw sockets confined to repro.exec; "
+        "metric families repro_-prefixed, lazily registered, singly owned"
     )
     return 0
 

@@ -133,6 +133,9 @@ class PpsfpConfig:
     #: explicit execution-fabric backend (``inprocess`` | ``forkpool`` |
     #: ``socket``); None defers to ``REPRO_EXEC_BACKEND`` then forkpool
     exec_backend: str | None = None
+    #: sampling-profiler mode around submits (``auto`` honours
+    #: ``REPRO_PROFILE`` then off; see :mod:`repro.obs.profile`)
+    profile: str = "auto"
 
 
 def _obs():
@@ -595,6 +598,7 @@ class PpsfpEngine:
             initializer=_ppsfp_worker_init,
             initargs=(payload,),
             sleep=self._sleep,
+            profile=self.config.profile,
         )
 
     def _exec_policy(self) -> ExecPolicy:

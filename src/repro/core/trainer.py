@@ -473,15 +473,15 @@ class ParallelTrainer(Trainer):
             )
             for i, graph in enumerate(graphs)
         ]
-        backend = (self.execution or ExecutionConfig()).resolve_exec_backend(
-            default="forkpool"
-        )
+        execution = self.execution or ExecutionConfig()
+        backend = execution.resolve_exec_backend(default="forkpool")
         executor = make_executor(
             backend,
             name="train",
             max_workers=min(self.max_workers or len(tasks), len(tasks)),
             policy=self._exec_policy(),
             sleep=self._sleep,
+            profile=execution.profile,
         )
         with executor:
             results = executor.submit(tasks)

@@ -57,8 +57,9 @@ from repro.exec.executor import Executor, ForkPoolExecutor, ensure_exec_metrics
 from repro.exec.net import RemoteTaskError
 from repro.exec.policy import ExecPolicy
 from repro.obs import logs
+from repro.obs import remote as remote_mod
 from repro.obs.metrics import get_registry
-from repro.obs.trace import span
+from repro.obs.trace import annotate, graft, span
 from repro.resilience.errors import ResultIntegrityError
 
 __all__ = [
@@ -241,7 +242,10 @@ class Coordinator:
                 self._workers[worker_id] = conn
             if stale is not None:
                 stale.kill()
-            conn.send(("welcome", worker_id, net_mod.heartbeat_interval()))
+            conn.send(
+                ("welcome", worker_id, net_mod.heartbeat_interval(),
+                 logs.get_run_id())
+            )
             ensure_net_metrics()["workers"].set(self.worker_count())
             _log.info(
                 "worker registered",
@@ -252,6 +256,11 @@ class Coordinator:
                 kind = message[0]
                 if kind == "heartbeat":
                     conn.last_hb = time.monotonic()
+                    # Telemetry piggybacks on heartbeats; absorbing it is
+                    # defensive by contract (malformed batches are counted
+                    # and dropped) so it can never take the reader down.
+                    if len(message) > 2 and message[2]:
+                        remote_mod.absorb_telemetry(conn.id, message[2])
                 elif kind in ("result", "error"):
                     self._events.put((kind, conn) + tuple(message[1:]))
         except (EOFError, OSError, ConnectionError):
@@ -336,6 +345,9 @@ class Coordinator:
         pending: deque[int] = deque()
         rescued: set[int] = set()
         chaos_spec = chaos_mod.ChaosSpec.from_env()
+        # The submitting thread's trace/run context travels inside every
+        # task frame so workers can open child spans under it.
+        obs_ctx = remote_mod.capture_obs_context()
         hb_timeout = net_mod.heartbeat_timeout()
         timeout = policy.worker_timeout
         straggler_after = (
@@ -371,11 +383,16 @@ class Coordinator:
 
         def fail_dispatch(i, attempt, reason, exc=None, *, death=False):
             nonlocal last_exc
-            if inflight.pop((i, attempt), None) is None:
+            record = inflight.pop((i, attempt), None)
+            if record is None:
                 return
             if exc is not None:
                 last_exc = exc
             metrics["requeues"].labels(engine, reason).inc()
+            annotate(
+                "exec.requeue", task=str(tasks[i].key), attempt=attempt,
+                reason=reason, worker=record.worker.id,
+            )
             self.last_submit_failures += 1
             if not task_live(i):
                 return
@@ -388,6 +405,10 @@ class Coordinator:
                 if failures[i] >= max_failures or deaths[i] >= quarantine_after:
                     if deaths[i] >= quarantine_after:
                         metrics["quarantined"].labels(engine).inc()
+                        annotate(
+                            "exec.quarantine", task=str(tasks[i].key),
+                            deaths=deaths[i],
+                        )
                         warnings.warn(
                             f"quarantining poison task {tasks[i].key!r} after "
                             f"{deaths[i]} worker death(s)",
@@ -414,14 +435,14 @@ class Coordinator:
             task = tasks[i]
             try:
                 if conn.session != session:
-                    conn.send(("init", session, init_blob))
+                    conn.send(("init", session, init_blob, logs.get_run_id()))
                     conn.session = session
                 blob = pickle.dumps(
                     (task.fn, task.args), protocol=pickle.HIGHEST_PROTOCOL
                 )
                 conn.send(
                     ("task", session, i, task.key, attempt, blob,
-                     timeout, chaos_spec)
+                     timeout, chaos_spec, obs_ctx)
                 )
             except (OSError, ConnectionError):
                 conn.kill()
@@ -432,7 +453,8 @@ class Coordinator:
             metrics["dispatches"].labels(engine).inc()
             return True
 
-        def handle_result(conn, msg_session, i, attempt, crc, payload):
+        def handle_result(conn, msg_session, i, attempt, crc, payload,
+                          span_blob=None):
             nonlocal last_exc
             if (
                 msg_session != session
@@ -441,6 +463,7 @@ class Coordinator:
                 or (i, attempt) not in inflight
             ):
                 metrics["stale_results"].labels(engine).inc()
+                annotate("exec.stale_result", worker=conn.id, attempt=attempt)
                 # A wrong-attempt result for a task this worker *is*
                 # running means the worker answered a stale generation
                 # (chaos mode ``stale`` or a pathological reorder): the
@@ -473,6 +496,18 @@ class Coordinator:
                 return
             results[i] = pickle.loads(payload)
             done[i] = True
+            # Graft the worker's finished span subtree under the submit
+            # span — best-effort: a corrupt blob can't fail the result.
+            if span_blob is not None:
+                try:
+                    if graft(span_blob, worker=conn.id, attempt=attempt):
+                        remote_mod.ensure_obs_metrics()["grafts"].labels(
+                            engine
+                        ).inc()
+                except Exception:
+                    remote_mod.ensure_obs_metrics()["malformed"].labels(
+                        conn.id
+                    ).inc()
             # Cancel every copy of the task; late duplicates are stale.
             for key in [k for k in inflight if k[0] == i]:
                 record = inflight.pop(key)
@@ -532,6 +567,10 @@ class Coordinator:
                     )
                     if twin is not None and dispatch(i, twin):
                         metrics["stragglers"].labels(engine).inc()
+                        annotate(
+                            "exec.straggler", task=str(tasks[i].key),
+                            worker=twin.id, age_s=round(age, 3),
+                        )
             # Dispatch pending work onto idle *healthy* workers (one task
             # each — workers execute serially, so deeper queues would
             # only distort the deadline accounting).
@@ -724,17 +763,26 @@ def _serve_connection(sock, worker_id, stop) -> tuple[str, int]:
     if not (isinstance(welcome, tuple) and welcome[0] == "welcome"):
         return "reconnect", 0
     hb_interval = float(welcome[2])
+    # The coordinator's run id makes this worker's JSON logs joinable
+    # with the submitting run's (refreshed per task by the frame-carried
+    # obs context, which may postdate registration).
+    if len(welcome) > 3 and welcome[3]:
+        logs.set_run_id(str(welcome[3]))
 
     closed = threading.Event()
     #: heartbeats are suppressed until this monotonic instant (the
     #: ``partition`` chaos mode pushes it forward to go dark on purpose)
     suppress_hb_until = [0.0]
+    # Telemetry (metric deltas + log records) piggybacks on heartbeats
+    # through a bounded never-blocking buffer: a slow or partitioned
+    # coordinator drops (and counts) telemetry, never stalls a task.
+    forwarder = remote_mod.TelemetryForwarder(worker_id).attach()
 
     def heartbeat_loop():
         while not closed.is_set() and (stop is None or not stop.is_set()):
             if time.monotonic() >= suppress_hb_until[0]:
                 try:
-                    send(("heartbeat", worker_id))
+                    send(("heartbeat", worker_id, forwarder.collect()))
                 except (OSError, ConnectionError):
                     return
             closed.wait(hb_interval)
@@ -751,16 +799,18 @@ def _serve_connection(sock, worker_id, stop) -> tuple[str, int]:
             if kind == "shutdown":
                 return "shutdown", completed
             if kind == "init":
-                _, _session, blob = message
+                _session, blob = message[1], message[2]
+                if len(message) > 3 and message[3]:
+                    logs.set_run_id(str(message[3]))
                 initializer, initargs = pickle.loads(blob)
                 if initializer is not None:
                     initializer(*initargs)
                 continue
             if kind != "task":
                 continue
-            _, session, index, key, attempt, blob, deadline_s, chaos_spec = (
-                message
-            )
+            (_, session, index, key, attempt, blob, deadline_s, chaos_spec,
+             *rest) = message
+            obs_ctx = rest[0] if rest else None
             received_at = time.monotonic()
             net_mode = chaos_mod.net_action(chaos_spec, key, attempt)
             if net_mode == "disconnect":
@@ -781,11 +831,16 @@ def _serve_connection(sock, worker_id, stop) -> tuple[str, int]:
                 send(("error", session, index, attempt,
                       f"deadline expired before task {key!r} started"))
                 continue
+            capture = remote_mod.WorkerSpanCapture(
+                obs_ctx, "exec.task",
+                task=str(key), attempt=attempt, worker=worker_id,
+            )
             try:
                 if chaos_spec is not None:
                     chaos_mod.inject_before(chaos_spec, key, attempt)
-                fn, args = pickle.loads(blob)
-                result = fn(*args)
+                with capture:
+                    fn, args = pickle.loads(blob)
+                    result = fn(*args)
                 payload = pickle.dumps(
                     result, protocol=pickle.HIGHEST_PROTOCOL
                 )
@@ -807,10 +862,14 @@ def _serve_connection(sock, worker_id, stop) -> tuple[str, int]:
                 # Answer a previous generation; the coordinator must
                 # reject it and re-dispatch instead of reducing it.
                 reply_attempt = attempt - 1
-            send(("result", session, index, reply_attempt, crc, payload))
+            send(
+                ("result", session, index, reply_attempt, crc, payload,
+                 capture.span_dict)
+            )
             completed += 1
     finally:
         closed.set()
+        forwarder.detach()
     return "reconnect", completed
 
 
@@ -843,8 +902,9 @@ class DistributedExecutor(Executor):
         sleep=time.sleep,
         address: tuple[str, int] | None = None,
         connect_timeout: float | None = None,
+        profile: str | None = "auto",
     ) -> None:
-        super().__init__(name=name, policy=policy)
+        super().__init__(name=name, policy=policy, profile=profile)
         self.max_workers = max_workers
         self._initializer = initializer
         self._initargs = initargs
@@ -865,6 +925,7 @@ class DistributedExecutor(Executor):
                 initargs=self._initargs,
                 policy=self.policy,
                 sleep=self._sleep,
+                profile=self.profile,
             )
         return self._forkpool
 
@@ -881,8 +942,9 @@ class DistributedExecutor(Executor):
             if self._connect_timeout is not None
             else net_mod.connect_timeout()
         )
-        with span("exec.submit", engine=self.name, backend=self.kind,
-                  tasks=len(tasks), workers=coordinator.worker_count()):
+        with self._profile_submit(), \
+                span("exec.submit", engine=self.name, backend=self.kind,
+                     tasks=len(tasks), workers=coordinator.worker_count()):
             if not coordinator.wait_for_workers(window):
                 warnings.warn(
                     f"no exec-worker registered within {window}s; "
@@ -891,6 +953,7 @@ class DistributedExecutor(Executor):
                     stacklevel=3,
                 )
                 net_metrics["fallbacks"].labels(self.name, "forkpool").inc()
+                annotate("exec.degrade", engine=self.name, rung="forkpool")
                 _log.warning(
                     "no workers registered; degrading to forkpool",
                     extra={"engine": self.name, "window_s": window},

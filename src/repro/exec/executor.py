@@ -50,8 +50,10 @@ from repro.exec import chaos as chaos_mod
 from repro.exec import shm as shm_mod
 from repro.exec.policy import ExecPolicy, ShardTask, resolve_exec_backend
 from repro.obs import logs
+from repro.obs import remote as remote_mod
 from repro.obs.metrics import get_registry
-from repro.obs.trace import span
+from repro.obs.profile import profile_block
+from repro.obs.trace import annotate, span
 from repro.resilience.errors import ResultIntegrityError
 
 __all__ = [
@@ -124,19 +126,52 @@ def _heartbeat(hb_dir: str | None) -> None:
         pass
 
 
-def _exec_worker_run(fn, args, key, attempt, chaos_spec, hb_dir, verify):
+#: this fork-worker's metric delta tracker, created (and baselined, so
+#: fork-inherited parent values are never re-reported) at the first
+#: *observed* task — un-observed submits never pay for it
+_worker_delta_tracker: "remote_mod.MetricsDeltaTracker | None" = None
+
+
+def _worker_tracker() -> "remote_mod.MetricsDeltaTracker":
+    global _worker_delta_tracker
+    if _worker_delta_tracker is None:
+        _worker_delta_tracker = remote_mod.MetricsDeltaTracker()
+    return _worker_delta_tracker
+
+
+def _exec_worker_run(fn, args, key, attempt, chaos_spec, hb_dir, verify,
+                     obs_ctx=None):
     """The one entry point every forked task runs through.
 
     Order matters: heartbeat first (so a pre-chaos kill still leaves a
     liveness trace), chaos before the task (a crash lands where a real
     one would), checksum before corruption (so an injected — or real —
-    corrupted return is *detectable*, not silently wrong).
+    corrupted return is *detectable*, not silently wrong).  When the
+    submitting side is observed (``obs_ctx``), the result travels inside
+    an observability envelope carrying this task's span subtree and the
+    worker's metric delta; otherwise the payload is byte-identical to
+    the legacy path.
     """
     _heartbeat(hb_dir)
     try:
-        if chaos_spec is not None:
-            chaos_mod.inject_before(chaos_spec, key, attempt)
-        result = fn(*args)
+        if obs_ctx is None:
+            if chaos_spec is not None:
+                chaos_mod.inject_before(chaos_spec, key, attempt)
+            result = fn(*args)
+        else:
+            worker = f"fork-{os.getpid()}"
+            tracker = _worker_tracker()
+            capture = remote_mod.WorkerSpanCapture(
+                obs_ctx, "exec.task",
+                task=str(key), attempt=attempt, worker=worker,
+            )
+            if chaos_spec is not None:
+                chaos_mod.inject_before(chaos_spec, key, attempt)
+            with capture:
+                result = fn(*args)
+            result = remote_mod.pack_obs_envelope(
+                result, capture.span_dict, tracker.delta(), worker=worker
+            )
         if not verify:
             return result
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
@@ -154,10 +189,22 @@ class Executor:
 
     kind = "abstract"
 
-    def __init__(self, name: str = "exec", policy: ExecPolicy | None = None):
+    def __init__(
+        self,
+        name: str = "exec",
+        policy: ExecPolicy | None = None,
+        profile: str | None = "auto",
+    ):
         #: metric label and log field identifying the owning engine
         self.name = name
         self.policy = policy or ExecPolicy()
+        #: sampling-profiler mode around submits ("auto" resolves
+        #: REPRO_PROFILE at each submit, so it stays env-switchable)
+        self.profile = profile if profile is not None else "auto"
+
+    def _profile_submit(self):
+        """The profiler scope one submit runs under (no-op when off)."""
+        return profile_block(f"exec.{self.name}", self.profile)
 
     def submit(
         self,
@@ -192,8 +239,9 @@ class InProcessExecutor(Executor):
         metrics = ensure_exec_metrics()
         metrics["tasks"].labels(self.name, self.kind).inc(len(tasks))
         start = time.perf_counter()
-        with span("exec.submit", engine=self.name, backend=self.kind,
-                  tasks=len(tasks)):
+        with self._profile_submit(), \
+                span("exec.submit", engine=self.name, backend=self.kind,
+                     tasks=len(tasks)):
             results = [task.run_fallback() for task in tasks]
         metrics["submit_seconds"].labels(self.name).observe(
             time.perf_counter() - start
@@ -221,8 +269,9 @@ class ForkPoolExecutor(Executor):
         initargs: tuple = (),
         policy: ExecPolicy | None = None,
         sleep=time.sleep,
+        profile: str | None = "auto",
     ) -> None:
-        super().__init__(name=name, policy=policy)
+        super().__init__(name=name, policy=policy, profile=profile)
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
         self._initializer = initializer
         self._initargs = initargs
@@ -315,17 +364,23 @@ class ForkPoolExecutor(Executor):
         start = time.perf_counter()
         self.last_submit_failures = 0
         chaos_spec = chaos_mod.ChaosSpec.from_env()
-        with span("exec.submit", engine=self.name, backend=self.kind,
-                  tasks=len(tasks), chaos=chaos_spec.mode if chaos_spec else ""):
+        with self._profile_submit(), \
+                span("exec.submit", engine=self.name, backend=self.kind,
+                     tasks=len(tasks),
+                     chaos=chaos_spec.mode if chaos_spec else ""):
+            # Captured inside the submit span so worker subtrees land
+            # under it when grafted back at decode time.
+            obs_ctx = remote_mod.capture_obs_context()
             results = self._submit_supervised(
-                tasks, policy, sleep, chaos_spec, metrics
+                tasks, policy, sleep, chaos_spec, metrics, obs_ctx
             )
         metrics["submit_seconds"].labels(self.name).observe(
             time.perf_counter() - start
         )
         return results
 
-    def _submit_supervised(self, tasks, policy, sleep, chaos_spec, metrics):
+    def _submit_supervised(self, tasks, policy, sleep, chaos_spec, metrics,
+                           obs_ctx=None):
         n = len(tasks)
         results: list = [None] * n
         attempts = [0] * n
@@ -358,7 +413,8 @@ class ForkPoolExecutor(Executor):
                     if not pending:
                         break
             failed, last_exc, timed_out = self._run_round(
-                tasks, pending, attempts, results, policy, chaos_spec, metrics
+                tasks, pending, attempts, results, policy, chaos_spec, metrics,
+                obs_ctx,
             )
             for i in failed:
                 failcount[i] += 1
@@ -368,6 +424,10 @@ class ForkPoolExecutor(Executor):
             metrics["retries"].labels(self.name).inc(len(failed))
             self.last_submit_failures += len(failed)
             rounds += 1
+            annotate(
+                "exec.retry_round", engine=self.name, failed=len(failed),
+                round=rounds,
+            )
             if rounds >= policy.retry.max_attempts:
                 rescued.extend(failed)
                 break
@@ -401,7 +461,8 @@ class ForkPoolExecutor(Executor):
         return results
 
     def _run_round(
-        self, tasks, pending, attempts, results, policy, chaos_spec, metrics
+        self, tasks, pending, attempts, results, policy, chaos_spec, metrics,
+        obs_ctx=None,
     ):
         """Submit ``pending``; return (failed indices, last error, saw timeout)."""
         pool = self._ensure_pool()
@@ -421,6 +482,7 @@ class ForkPoolExecutor(Executor):
                     chaos_spec,
                     self._hb_dir,
                     policy.verify_integrity,
+                    obs_ctx,
                 )
         except BrokenProcessPool as exc:
             return list(pending), exc, False
@@ -442,16 +504,18 @@ class ForkPoolExecutor(Executor):
         return failed, last_exc, timed_out
 
     def _decode(self, task, raw, verify):
-        if not verify:
-            return raw
-        crc, payload = raw
-        if zlib.crc32(payload) != crc:
-            raise ResultIntegrityError(
-                f"task {task.key!r} returned a corrupted payload "
-                f"(CRC mismatch over {len(payload)} bytes)",
-                task_key=task.key,
-            )
-        return pickle.loads(payload)
+        if verify:
+            crc, payload = raw
+            if zlib.crc32(payload) != crc:
+                raise ResultIntegrityError(
+                    f"task {task.key!r} returned a corrupted payload "
+                    f"(CRC mismatch over {len(payload)} bytes)",
+                    task_key=task.key,
+                )
+            raw = pickle.loads(payload)
+        # Observed submits travel inside an envelope: graft the worker's
+        # span subtree + merge its metric delta, return the bare result.
+        return remote_mod.unpack_obs_envelope(raw, engine=self.name)
 
     def _rescue(self, tasks, rescued, rounds, last_exc, results, policy, metrics):
         if not policy.serial_fallback:
@@ -493,16 +557,19 @@ def make_executor(
     policy: ExecPolicy | None = None,
     sleep=time.sleep,
     default: str = "forkpool",
+    profile: str | None = "auto",
 ) -> Executor:
     """Build the executor for a resolved backend.
 
     ``backend=None``/``"auto"`` honours ``REPRO_EXEC_BACKEND`` and then
     ``default`` — engines pass the backend their workload heuristics
     chose as ``default`` so the environment stays a pure override.
+    ``profile`` attaches the sampling profiler around every submit
+    (``"auto"`` resolves ``REPRO_PROFILE``, default off).
     """
     resolved = resolve_exec_backend(backend, default=default)
     if resolved == "inprocess":
-        return InProcessExecutor(name=name, policy=policy)
+        return InProcessExecutor(name=name, policy=policy, profile=profile)
     if resolved == "socket":
         # Imported lazily: the coordinator pulls in this module, and most
         # processes never touch the distributed rung.
@@ -515,6 +582,7 @@ def make_executor(
             initargs=initargs,
             policy=policy,
             sleep=sleep,
+            profile=profile,
         )
     return ForkPoolExecutor(
         max_workers,
@@ -523,4 +591,5 @@ def make_executor(
         initargs=initargs,
         policy=policy,
         sleep=sleep,
+        profile=profile,
     )

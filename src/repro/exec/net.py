@@ -22,19 +22,37 @@ Messages are plain tuples ``(type, *fields)``:
 
 ==============  =======================================================
 ``register``    worker → coordinator: ``(worker_id, pid, host)``
-``welcome``     coordinator → worker: ``(worker_id, hb_interval_s)``
-``heartbeat``   worker → coordinator: ``(worker_id,)``
-``init``        coordinator → worker: ``(session, init_blob)`` — pickled
-                ``(initializer, initargs)`` staging per-process state
+``welcome``     coordinator → worker: ``(worker_id, hb_interval_s,
+                run_id)`` — the coordinator's run id, so fleet JSON
+                logs are joinable with the submitting run's
+``heartbeat``   worker → coordinator: ``(worker_id, telemetry)`` —
+                ``telemetry`` is ``None`` when quiet, else one batch of
+                buffered log records + metric deltas
+                (:mod:`repro.obs.remote`); the buffer is bounded and
+                never blocks, so a slow coordinator drops telemetry,
+                never tasks
+``init``        coordinator → worker: ``(session, init_blob, run_id)``
+                — pickled ``(initializer, initargs)`` staging
+                per-process state
 ``task``        coordinator → worker: ``(session, index, key, attempt,
-                task_blob, deadline_s, chaos_spec)`` — the deadline
-                travels in the frame so a worker can refuse work that
-                is already dead on arrival
+                task_blob, deadline_s, chaos_spec, obs_ctx)`` — the
+                deadline travels in the frame so a worker can refuse
+                work that is already dead on arrival; ``obs_ctx`` is
+                the submitting span's trace/run context (``None`` when
+                un-observed)
 ``result``      worker → coordinator: ``(session, index, attempt, crc,
-                payload)`` — payload CRC32-checked end-to-end
+                payload, span_tree)`` — payload CRC32-checked
+                end-to-end; ``span_tree`` is the worker's finished span
+                subtree (``Span.to_dict`` form, ``None`` un-traced),
+                grafted under the submitting span on receive
 ``error``       worker → coordinator: ``(session, index, attempt, text)``
 ``shutdown``    coordinator → worker: ``()``
 ==============  =======================================================
+
+Trailing fields added after PR 7 (``run_id``, ``telemetry``,
+``obs_ctx``, ``span_tree``) are read positionally-with-defaults on both
+sides, so mixed-version fleets interoperate: an old worker simply runs
+un-observed.
 
 Environment knobs (all optional)::
 
@@ -47,6 +65,10 @@ Environment knobs (all optional)::
     REPRO_EXEC_HB_TIMEOUT_S       silence after which the coordinator
                                   declares a worker partitioned and
                                   requeues its tasks (default 4x interval)
+    REPRO_OBS_TELEMETRY_BUFFER    worker-side telemetry buffer capacity,
+                                  records (default 256); overflow is
+                                  dropped and counted in
+                                  ``repro_obs_telemetry_dropped_total``
 """
 
 from __future__ import annotations

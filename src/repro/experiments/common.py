@@ -14,6 +14,7 @@ benchmark does not retrain from scratch.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 from pathlib import Path
 
@@ -85,10 +86,23 @@ def write_result(name: str, payload: dict) -> Path:
     """Persist an experiment's rows as JSON under :func:`results_dir`.
 
     The write is atomic, so an interrupted benchmark run never leaves a
-    truncated results file behind.
+    truncated results file behind.  ``BENCH_*`` payloads additionally
+    append their ``*_seconds`` timings to the perf-trend ledger
+    (``results/TREND_<bench>.jsonl``; see :mod:`repro.obs.trend`) so the
+    regression gate in ``scripts/bench_trend.py`` sees every run.
     """
     path = results_dir() / f"{name}.json"
-    return atomic_write_json(path, payload, indent=2, default=_jsonify)
+    result = atomic_write_json(path, payload, indent=2, default=_jsonify)
+    if name.startswith("BENCH_"):
+        from repro.obs.trend import record_trend
+
+        try:
+            record_trend(name[len("BENCH_") :], json.loads(path.read_text()))
+        except (OSError, ValueError):
+            # The trend ledger is best-effort bookkeeping; a full disk or
+            # unserialisable payload must not fail the benchmark itself.
+            pass
+    return result
 
 
 def checkpoint_dir() -> Path | None:

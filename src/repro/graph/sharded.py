@@ -390,6 +390,7 @@ class ShardedInference:
             initializer=_shard_worker_init,
             initargs=(payload,),
             sleep=self._sleep,
+            profile=self.execution.profile,
         )
 
     def _exec_policy(self) -> ExecPolicy:

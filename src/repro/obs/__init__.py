@@ -12,12 +12,22 @@ Four pieces, all stdlib-only:
 * :mod:`repro.obs.manifest` — atomic ``results/<run>/manifest.json``
   records (config, git SHA, seed, dataset fingerprint, metric snapshot).
 
+Distributed extensions (see ``docs/architecture.md``):
+
+* :mod:`repro.obs.remote` — cross-host trace propagation + worker
+  telemetry forwarding for the execution fabric;
+* :mod:`repro.obs.profile` — stdlib sampling profiler
+  (``REPRO_PROFILE=light|full``, ``repro profile <cmd>``);
+* :mod:`repro.obs.trend` — schema-versioned performance-trend records
+  (``results/TREND_<bench>.jsonl``) and the ``repro obs-report`` renderer.
+
 Metric naming convention: ``repro_<subsystem>_<name>_<unit>``.
 """
 
 from repro.obs.logs import configure as configure_logging
 from repro.obs.logs import get_logger, request_context, run_context
 from repro.obs.manifest import RunRecorder, dataset_fingerprint, git_sha
+from repro.obs.profile import flush_profiles, profile_block, resolve_profile_mode
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -26,7 +36,16 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
-from repro.obs.trace import Span, current_span, format_tree, last_trace, span, trace
+from repro.obs.trace import (
+    Span,
+    annotate,
+    current_span,
+    format_tree,
+    graft,
+    last_trace,
+    span,
+    trace,
+)
 
 __all__ = [
     "configure_logging",
@@ -36,6 +55,9 @@ __all__ = [
     "RunRecorder",
     "dataset_fingerprint",
     "git_sha",
+    "flush_profiles",
+    "profile_block",
+    "resolve_profile_mode",
     "Counter",
     "Gauge",
     "Histogram",
@@ -45,6 +67,8 @@ __all__ = [
     "Span",
     "span",
     "trace",
+    "annotate",
+    "graft",
     "current_span",
     "last_trace",
     "format_tree",

@@ -165,8 +165,15 @@ class RunRecorder:
     def write(self, status: str = "ok", error: str | None = None) -> Path:
         """Write ``manifest.json`` + ``trace.json`` atomically; returns the
         manifest path."""
+        from repro.obs import profile as profile_mod
+
         registry = self.registry or get_registry()
         root = self._root_span
+        run_dir = self.run_dir
+        run_dir.mkdir(parents=True, exist_ok=True)
+        profile_files = [
+            p.name for p in profile_mod.flush_profiles(run_dir)
+        ]
         manifest = {
             "run_id": self.run_id,
             "name": self.name,
@@ -183,12 +190,12 @@ class RunRecorder:
             "argv": sys.argv,
             "metrics": registry.snapshot(),
         }
+        if profile_files:
+            manifest["profiles"] = profile_files
         if error:
             manifest["error"] = error
         if self.extra:
             manifest["results"] = self.extra
-        run_dir = self.run_dir
-        run_dir.mkdir(parents=True, exist_ok=True)
         if root is not None:
             self.trace_path = atomic_write_json(
                 run_dir / "trace.json", root.to_dict(), indent=2

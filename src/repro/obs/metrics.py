@@ -354,8 +354,24 @@ class MetricsRegistry:
             return [self._metrics[name] for name in sorted(self._metrics)]
 
     def clear(self) -> None:
+        """Drop every family, releasing gauge callbacks as we go.
+
+        Pull-style gauges (``set_function``) hold closures over their
+        owner's state — a serve ``ScoringService``, an executor pool.
+        Anything still referencing the dropped family (a renderer built
+        before teardown, a leaked child) would otherwise keep calling
+        into a dead owner forever; a cleared registry must sever those
+        callbacks, not just forget the families.
+        """
         with self._lock:
+            metrics = list(self._metrics.values())
             self._metrics.clear()
+        for metric in metrics:
+            if isinstance(metric, Gauge):
+                with metric._lock:
+                    metric._fn = None
+                    for child in metric._children.values():
+                        child._fn = None
 
     # ---------------------------------------------------------------- #
     def render_prometheus(self) -> str:

@@ -1,0 +1,355 @@
+"""Sampling profiler: wall/CPU stacks, RSS and GC stats — stdlib only.
+
+A background thread snapshots every Python thread's stack via
+``sys._current_frames()`` at a fixed interval, aggregating collapsed
+stacks (the ``root;caller;leaf count`` format flamegraph tooling eats)
+plus RSS and garbage-collector deltas.  No signals, no C extension, no
+dependency — which is what lets it attach to *any* engine, including
+fork-pool children and remote ``exec-worker`` processes.
+
+Three modes, resolved by :func:`resolve_profile_mode`:
+
+========  =============  ====================================================
+mode      interval       intent
+========  =============  ====================================================
+``off``   —              hard no-op (the default; zero overhead)
+``light`` 25 ms          always-on-able: coarse hot paths, <1% overhead
+``full``  5 ms           investigation mode: fine-grained, still sampling
+========  =============  ====================================================
+
+Engines attach through :func:`profile_block` (driven by
+``ExecutionConfig.profile`` / ``REPRO_PROFILE``); the CLI wraps whole
+commands as ``repro profile <cmd>``.  Finished sessions aggregate by
+label and are flushed as ``profile_<label>.{wall,cpu}.collapsed`` +
+``profile_<label>.json`` into the run manifest directory by
+:class:`~repro.obs.manifest.RunRecorder`, or at interpreter exit into
+``REPRO_PROFILE_DIR`` (default ``results/profiles``) for runs that never
+opened a recorder.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import gc
+import os
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+__all__ = [
+    "PROFILE_MODES",
+    "PROFILE_ENV",
+    "PROFILE_DIR_ENV",
+    "SamplingProfiler",
+    "resolve_profile_mode",
+    "profile_block",
+    "start_profile",
+    "stop_profile",
+    "flush_profiles",
+    "pending_profiles",
+]
+
+PROFILE_MODES = ("off", "light", "full")
+PROFILE_ENV = "REPRO_PROFILE"
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+
+#: sampling period per mode (seconds)
+_INTERVALS = {"light": 0.025, "full": 0.005}
+
+
+def resolve_profile_mode(mode: str | None) -> str:
+    """``auto``/None honours ``REPRO_PROFILE``; anything else is explicit.
+
+    Unknown values raise ``ValueError`` — a typo'd profiler knob must not
+    silently run un-profiled.
+    """
+    if mode in (None, "auto", ""):
+        mode = os.environ.get(PROFILE_ENV, "").strip().lower() or "off"
+    mode = str(mode).lower()
+    if mode not in PROFILE_MODES:
+        raise ValueError(
+            f"unknown profile mode {mode!r}; expected one of {PROFILE_MODES} "
+            f"or 'auto'"
+        )
+    return mode
+
+
+def _read_rss_bytes() -> int:
+    """Current RSS in bytes (``/proc/self/statm``; 0 where unavailable)."""
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-linux
+        try:
+            import resource
+
+            return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+        except Exception:
+            return 0
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    name = getattr(code, "co_qualname", code.co_name)
+    return f"{Path(code.co_filename).name}:{name}"
+
+
+def _collapse(frame) -> str:
+    """One thread's stack as a root-first ``;``-joined collapsed line."""
+    parts: list[str] = []
+    depth = 0
+    while frame is not None and depth < 128:
+        parts.append(_frame_label(frame))
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """One profiling session over the whole process.
+
+    ``start()`` launches the sampler thread; ``stop()`` joins it and
+    returns the summary dict (also kept as :attr:`summary`).  Wall
+    stacks count samples; CPU stacks weight each sample by the process
+    CPU time consumed since the previous one, so a thread blocked on I/O
+    shows in wall but not CPU.
+    """
+
+    def __init__(self, label: str, mode: str = "light",
+                 interval_s: float | None = None):
+        mode = resolve_profile_mode(mode)
+        if mode == "off":
+            raise ValueError("cannot construct a profiler in mode 'off'")
+        self.label = label
+        self.mode = mode
+        self.interval_s = interval_s or _INTERVALS[mode]
+        self.wall_stacks: Counter = Counter()
+        self.cpu_stacks: Counter = Counter()
+        self.samples = 0
+        self.max_rss_bytes = 0
+        self._own_ident: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+        self._gc0: tuple = ()
+        self.summary: dict | None = None
+
+    # ---------------------------------------------------------------- #
+    def _sample_once(self, cpu_delta: float) -> None:
+        frames = sys._current_frames()
+        self.samples += 1
+        n_threads = max(1, len(frames) - 1)
+        for ident, frame in frames.items():
+            if ident == self._own_ident:
+                continue
+            stack = _collapse(frame)
+            self.wall_stacks[stack] += 1
+            if cpu_delta > 0:
+                # Attribute the period's CPU evenly across live threads
+                # (ms resolution; a sampling profiler is an estimator,
+                # not an accountant).
+                self.cpu_stacks[stack] += max(
+                    1, round(cpu_delta * 1000 / n_threads)
+                )
+
+    def _run(self) -> None:
+        self._own_ident = threading.get_ident()
+        last_cpu = time.process_time()
+        last_rss_check = 0.0
+        while not self._stop.wait(self.interval_s):
+            cpu = time.process_time()
+            self._sample_once(cpu - last_cpu)
+            last_cpu = cpu
+            now = time.monotonic()
+            if now - last_rss_check >= 0.1:  # RSS reads are syscalls; throttle
+                last_rss_check = now
+                self.max_rss_bytes = max(self.max_rss_bytes, _read_rss_bytes())
+
+    # ---------------------------------------------------------------- #
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            return self
+        self._started_at = time.monotonic()
+        self._gc0 = (
+            tuple(s.get("collections", 0) for s in gc.get_stats()),
+            tuple(s.get("collected", 0) for s in gc.get_stats()),
+        )
+        self.max_rss_bytes = _read_rss_bytes()
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-profile-{self.label}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> dict:
+        if self._thread is None:
+            raise RuntimeError("profiler was never started")
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        duration = time.monotonic() - self._started_at
+        stats = gc.get_stats()
+        collections0, collected0 = self._gc0 or ((), ())
+        self.summary = {
+            "label": self.label,
+            "mode": self.mode,
+            "interval_s": self.interval_s,
+            "duration_s": round(duration, 6),
+            "samples": self.samples,
+            "max_rss_bytes": self.max_rss_bytes,
+            "gc": {
+                "collections": sum(
+                    s.get("collections", 0) - c0
+                    for s, c0 in zip(stats, collections0)
+                ),
+                "collected": sum(
+                    s.get("collected", 0) - c0
+                    for s, c0 in zip(stats, collected0)
+                ),
+            },
+            "wall_stacks": dict(self.wall_stacks),
+            "cpu_stacks": dict(self.cpu_stacks),
+        }
+        return self.summary
+
+
+# --------------------------------------------------------------------- #
+# Global session registry: label-keyed, aggregated across blocks
+# --------------------------------------------------------------------- #
+_lock = threading.Lock()
+_active: dict[str, SamplingProfiler] = {}
+#: finished session summaries, merged by label, awaiting flush
+_finished: dict[str, dict] = {}
+
+
+def _merge_summary(summary: dict) -> None:
+    label = summary["label"]
+    with _lock:
+        base = _finished.get(label)
+        if base is None:
+            _finished[label] = summary
+            return
+        base["duration_s"] = round(
+            base["duration_s"] + summary["duration_s"], 6
+        )
+        base["samples"] += summary["samples"]
+        base["max_rss_bytes"] = max(
+            base["max_rss_bytes"], summary["max_rss_bytes"]
+        )
+        for key in ("collections", "collected"):
+            base["gc"][key] += summary["gc"][key]
+        for field in ("wall_stacks", "cpu_stacks"):
+            merged = Counter(base[field])
+            merged.update(summary[field])
+            base[field] = dict(merged)
+
+
+def start_profile(label: str, mode: str | None = "auto") -> SamplingProfiler | None:
+    """Start (or join) the session for ``label``; None when mode is off."""
+    mode = resolve_profile_mode(mode)
+    if mode == "off":
+        return None
+    with _lock:
+        profiler = _active.get(label)
+        if profiler is not None:
+            return profiler
+        profiler = SamplingProfiler(label, mode)
+        _active[label] = profiler
+    return profiler.start()
+
+
+def stop_profile(label: str) -> dict | None:
+    """Stop ``label``'s session; its summary joins the pending flush set."""
+    with _lock:
+        profiler = _active.pop(label, None)
+    if profiler is None:
+        return None
+    summary = profiler.stop()
+    _merge_summary(summary)
+    return summary
+
+
+@contextlib.contextmanager
+def profile_block(label: str, mode: str | None = "auto"):
+    """Profile a block under ``label``; a no-op when the mode is off.
+
+    Nested/concurrent blocks with the same label share one session — the
+    outermost exit stops it — so per-submit attachment in the executors
+    costs one dict lookup when a session is already running.
+    """
+    profiler = start_profile(label, mode)
+    if profiler is None:
+        yield None
+        return
+    try:
+        yield profiler
+    finally:
+        stop_profile(label)
+
+
+def pending_profiles() -> list[str]:
+    """Labels with finished-but-unflushed sessions."""
+    with _lock:
+        return sorted(_finished)
+
+
+def flush_profiles(directory: str | os.PathLike | None = None) -> list[Path]:
+    """Write pending session files; returns the written paths.
+
+    Emits, per label: ``profile_<label>.wall.collapsed`` and
+    ``.cpu.collapsed`` (flamegraph-ready) plus ``profile_<label>.json``
+    (mode, samples, RSS, GC).  Clears the pending set.
+    """
+    with _lock:
+        summaries, _finished_view = dict(_finished), _finished
+        _finished_view.clear()
+    if not summaries:
+        return []
+    directory = Path(
+        directory
+        or os.environ.get(PROFILE_DIR_ENV, "").strip()
+        or Path(os.environ.get("REPRO_RESULTS", "results")) / "profiles"
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for label, summary in sorted(summaries.items()):
+        safe = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in label)
+        for field, suffix in (("wall_stacks", "wall"), ("cpu_stacks", "cpu")):
+            path = directory / f"profile_{safe}.{suffix}.collapsed"
+            lines = [
+                f"{stack} {count}"
+                for stack, count in sorted(summary[field].items())
+            ]
+            path.write_text("\n".join(lines) + ("\n" if lines else ""))
+            written.append(path)
+        meta = {k: v for k, v in summary.items()
+                if k not in ("wall_stacks", "cpu_stacks")}
+        meta["top_wall"] = [
+            {"stack": stack, "samples": count}
+            for stack, count in Counter(summary["wall_stacks"]).most_common(10)
+        ]
+        from repro.resilience.atomic import atomic_write_json
+
+        written.append(
+            atomic_write_json(directory / f"profile_{safe}.json", meta, indent=2)
+        )
+    return written
+
+
+def _flush_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    with _lock:
+        for label in list(_active):
+            profiler = _active.pop(label)
+            with contextlib.suppress(Exception):
+                _merge_summary(profiler.stop())
+        has_pending = bool(_finished)
+    if has_pending:
+        with contextlib.suppress(Exception):
+            flush_profiles()
+
+
+atexit.register(_flush_at_exit)

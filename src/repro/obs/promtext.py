@@ -1,0 +1,271 @@
+"""Strict Prometheus text-exposition (0.0.4) parser / scrape validator.
+
+A real Prometheus server is lenient in ways our CI must not be: it
+ignores duplicate samples, tolerates missing ``+Inf`` buckets, and
+accepts families that drift between scrapes.  This parser enforces the
+format contract that ``MetricsRegistry.render_prometheus`` promises, so
+``scripts/check_metrics_scrape.py`` (and the renderer edge-case tests)
+fail the moment an escape rule or histogram invariant breaks.
+
+Checks beyond plain syntax:
+
+* ``# TYPE`` precedes the family's samples and appears at most once;
+* metric/label names match the spec grammar; label values unescape
+  cleanly (``\\\\``, ``\\"``, ``\\n`` only);
+* no duplicate sample (same name + label set);
+* histogram families carry ``_bucket``/``_sum``/``_count`` series with a
+  ``+Inf`` bucket, non-decreasing cumulative counts, and
+  ``_count == +Inf bucket``;
+* counter samples are finite and non-negative.
+
+:func:`parse_prometheus` returns the parsed families; :func:`validate`
+returns the list of violations instead of raising, for linters that want
+to report them all.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["PromTextError", "parse_prometheus", "validate"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: one label pair inside braces; values are escaped per the 0.0.4 spec
+_LABEL_PAIR_RE = re.compile(
+    r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"((?:[^"\\]|\\.)*)"\s*(,|$)'
+)
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?\s*$"
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class PromTextError(ValueError):
+    """A scrape body violating the text-exposition contract."""
+
+
+def _unescape_label(raw: str, lineno: int) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\":
+            if i + 1 >= len(raw):
+                raise PromTextError(f"line {lineno}: dangling backslash")
+            nxt = raw[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise PromTextError(
+                    f"line {lineno}: invalid escape \\{nxt} in label value"
+                )
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_value(raw: str, lineno: int) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise PromTextError(f"line {lineno}: bad sample value {raw!r}") from exc
+
+
+def _parse_labels(raw: str, lineno: int) -> tuple[tuple[str, str], ...]:
+    pairs: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_PAIR_RE.match(raw, pos)
+        if match is None:
+            raise PromTextError(
+                f"line {lineno}: malformed label set {{{raw}}}"
+            )
+        name, value = match.group(1), match.group(2)
+        if not _LABEL_NAME_RE.match(name):
+            raise PromTextError(f"line {lineno}: bad label name {name!r}")
+        if any(name == seen for seen, _ in pairs):
+            raise PromTextError(f"line {lineno}: duplicate label {name!r}")
+        pairs.append((name, _unescape_label(value, lineno)))
+        pos = match.end()
+    return tuple(pairs)
+
+
+def _family_of(sample_name: str, types: dict[str, str]) -> str:
+    """The declared family a sample belongs to (histogram suffix aware)."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return sample_name
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse and strictly validate a scrape body.
+
+    Returns ``{family: {"type", "help", "samples": [(name, labels,
+    value)]}}`` where ``labels`` is a tuple of ``(name, value)`` pairs;
+    raises :class:`PromTextError` on the first violation.
+    """
+    if text and not text.endswith("\n"):
+        raise PromTextError("scrape body must end with a newline")
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    families: dict[str, dict] = {}
+    seen_samples: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    sampled_families: set[str] = set()
+
+    for lineno, line in enumerate(text.split("\n")[:-1], start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                    raise PromTextError(
+                        f"line {lineno}: malformed # {parts[1]} line"
+                    )
+                name = parts[2]
+                body = parts[3] if len(parts) == 4 else ""
+                if parts[1] == "TYPE":
+                    if body not in _TYPES:
+                        raise PromTextError(
+                            f"line {lineno}: unknown type {body!r}"
+                        )
+                    if name in types:
+                        raise PromTextError(
+                            f"line {lineno}: duplicate # TYPE for {name}"
+                        )
+                    if name in sampled_families:
+                        raise PromTextError(
+                            f"line {lineno}: # TYPE for {name} after its "
+                            "samples"
+                        )
+                    types[name] = body
+                    families.setdefault(
+                        name,
+                        {"type": body, "help": helps.get(name, ""),
+                         "samples": []},
+                    )["type"] = body
+                else:
+                    helps[name] = body
+                    families.setdefault(
+                        name, {"type": None, "help": body, "samples": []}
+                    )["help"] = body
+            # other comments are free-form and ignored, per the spec
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PromTextError(f"line {lineno}: unparseable sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", lineno)
+        value = _parse_value(match.group("value"), lineno)
+        family = _family_of(name, types)
+        sampled_families.add(family)
+        if family not in families or families[family]["type"] is None:
+            raise PromTextError(
+                f"line {lineno}: sample {name} before its # TYPE"
+            )
+        key = (name, labels)
+        if key in seen_samples:
+            raise PromTextError(
+                f"line {lineno}: duplicate sample {name}{dict(labels)}"
+            )
+        seen_samples.add(key)
+        kind = families[family]["type"]
+        if kind == "counter" and not (value >= 0 and math.isfinite(value)):
+            raise PromTextError(
+                f"line {lineno}: counter {name} has value {value}"
+            )
+        families[family]["samples"].append((name, labels, value))
+
+    for family, data in families.items():
+        # A declared family with zero series is legal (pre-registered,
+        # never observed); the invariants bind per materialised child.
+        if data["type"] == "histogram" and data["samples"]:
+            _check_histogram(family, data["samples"])
+    return families
+
+
+def _check_histogram(family: str, samples: list) -> None:
+    """Bucket/count/sum invariants per child (grouped by non-le labels)."""
+    children: dict[tuple, dict] = {}
+    for name, labels, value in samples:
+        base = tuple(pair for pair in labels if pair[0] != "le")
+        child = children.setdefault(
+            base, {"buckets": [], "sum": None, "count": None}
+        )
+        if name == f"{family}_bucket":
+            le = dict(labels).get("le")
+            if le is None:
+                raise PromTextError(
+                    f"histogram {family}: _bucket sample without le label"
+                )
+            bound = _parse_value(le, 0)
+            child["buckets"].append((bound, value))
+        elif name == f"{family}_sum":
+            child["sum"] = value
+        elif name == f"{family}_count":
+            child["count"] = value
+    for base, child in children.items():
+        label_desc = dict(base) or "{}"
+        if not child["buckets"]:
+            raise PromTextError(
+                f"histogram {family}{label_desc}: no _bucket samples"
+            )
+        if child["sum"] is None or child["count"] is None:
+            raise PromTextError(
+                f"histogram {family}{label_desc}: missing _sum or _count"
+            )
+        bounds = [b for b, _ in child["buckets"]]
+        if bounds != sorted(bounds):
+            raise PromTextError(
+                f"histogram {family}{label_desc}: le bounds out of order"
+            )
+        if bounds[-1] != math.inf:
+            raise PromTextError(
+                f"histogram {family}{label_desc}: missing +Inf bucket"
+            )
+        counts = [c for _, c in child["buckets"]]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            raise PromTextError(
+                f"histogram {family}{label_desc}: bucket counts decrease"
+            )
+        if counts[-1] != child["count"]:
+            raise PromTextError(
+                f"histogram {family}{label_desc}: _count {child['count']} "
+                f"!= +Inf bucket {counts[-1]}"
+            )
+
+
+def validate(text: str) -> list[str]:
+    """The first violation in ``text`` as a list (empty = clean scrape).
+
+    Parsing stops at the first violation — once framing is broken, later
+    lines are unreliable — so the list has zero or one entry; the list
+    shape keeps call sites (`assert not validate(body)`) uniform.
+    """
+    try:
+        parse_prometheus(text)
+    except PromTextError as exc:
+        return [str(exc)]
+    return []

@@ -9,6 +9,14 @@ the <3 % overhead budget of the scalability sweep rides on that.
 The finished tree serialises to a JSON dict (``Span.to_dict``) that run
 manifests embed and ``results/<run>/trace.json`` stores verbatim, and
 renders as an indented text profile (:func:`format_tree`) for humans.
+
+Trees also cross process and host boundaries: a worker opens a *detached*
+root (``trace(..., register_last=False)`` — it never clobbers the
+submitting process's :func:`last_trace`), serialises it with
+``Span.to_dict``, and the parent reattaches it with :func:`graft` so one
+tree spans coordinator -> worker -> shard.  :func:`annotate` records
+zero-duration event spans (retries, straggler duplicate dispatches,
+fallback rungs) inside the active trace.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ __all__ = [
     "Span",
     "trace",
     "span",
+    "annotate",
+    "graft",
     "current_span",
     "last_trace",
     "format_tree",
@@ -100,6 +110,26 @@ class Span:
             out["dropped_spans"] = self.dropped
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a finished span subtree from ``to_dict`` output.
+
+        The inverse of :meth:`to_dict` for *finished* trees — the result
+        carries timings and children but no live start state, so it can
+        only be grafted (:func:`graft`), never re-entered.
+        """
+        node = cls(str(data.get("name", "?")), dict(data.get("attrs") or {}), root=None)
+        node.wall_s = float(data.get("wall_s", 0.0))
+        node.cpu_s = float(data.get("cpu_s", 0.0))
+        node.dropped = int(data.get("dropped_spans", 0))
+        for child in data.get("children") or ():
+            node.children.append(cls.from_dict(child))
+        return node
+
+    def size(self) -> int:
+        """Number of spans in this subtree (self included)."""
+        return 1 + sum(c.size() for c in self.children)
+
 
 def _jsonable(value):
     if isinstance(value, (str, int, float, bool)) or value is None:
@@ -117,8 +147,14 @@ def _jsonable(value):
 
 
 @contextlib.contextmanager
-def trace(name: str, **attrs):
-    """Open a root span, activating span recording inside the block."""
+def trace(name: str, register_last: bool = True, **attrs):
+    """Open a root span, activating span recording inside the block.
+
+    ``register_last=False`` opens a *detached* root: it records exactly
+    like a normal trace but never becomes :func:`last_trace` — remote
+    workers (and loopback worker threads sharing this process) use it so
+    capturing their subtree cannot clobber the submitting run's tree.
+    """
     global _last_trace
     root = Span(name, attrs, root=None)
     token = _current.set(root)
@@ -128,7 +164,8 @@ def trace(name: str, **attrs):
     finally:
         root._finish()
         _current.reset(token)
-        _last_trace = root
+        if register_last:
+            _last_trace = root
 
 
 @contextlib.contextmanager
@@ -153,6 +190,54 @@ def span(name: str, **attrs):
     finally:
         node._finish()
         _current.reset(token)
+
+
+def annotate(name: str, **attrs) -> Span | None:
+    """Record a zero-duration event span under the active trace.
+
+    Supervision events (a requeue, a straggler duplicate-dispatch, a
+    rejected stale result) have no meaningful duration of their own but
+    must show up in the merged tree; this records them without the
+    enter/exit ceremony.  No-op outside a trace.
+    """
+    parent = _current.get()
+    if parent is None:
+        return None
+    root = parent._root
+    if root._count >= MAX_SPANS:
+        root.dropped += 1
+        return None
+    node = Span(name, attrs, root=root)
+    root._count += 1
+    parent.children.append(node)
+    return node
+
+
+def graft(subtree: "Span | dict", **extra_attrs) -> Span | None:
+    """Attach a finished span subtree under the active span.
+
+    ``subtree`` is a :class:`Span` or a ``Span.to_dict`` payload — the
+    form worker span trees travel in over result frames.  ``extra_attrs``
+    (worker id, attempt number) are merged into the grafted root so
+    retries and straggler duplicates stay distinguishable in the merged
+    tree.  Grafted spans count against :data:`MAX_SPANS` like locally
+    recorded ones.  No-op outside a trace.
+    """
+    parent = _current.get()
+    if parent is None:
+        return None
+    if isinstance(subtree, dict):
+        subtree = Span.from_dict(subtree)
+    root = parent._root
+    size = subtree.size()
+    if root._count + size > MAX_SPANS:
+        root.dropped += size
+        return None
+    if extra_attrs:
+        subtree.attrs = {**subtree.attrs, **extra_attrs}
+    root._count += size
+    parent.children.append(subtree)
+    return subtree
 
 
 def current_span() -> Span | None:

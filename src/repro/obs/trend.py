@@ -1,0 +1,514 @@
+"""Performance-trend records and the regression gate behind them.
+
+Every benchmark run appends one schema-versioned JSON line to
+``results/TREND_<bench>.jsonl``: timestamp, git SHA, a host fingerprint
+(so a machine change explains a step function in the numbers), and the
+flattened ``*_seconds`` timings auto-extracted from the benchmark
+payload.  The file is an append-only ledger — cheap to write from CI,
+trivial to diff, and enough to answer "did this PR make the fault
+simulator slower?" without a metrics database.
+
+Three consumers:
+
+* ``scripts/bench_trend.py`` — records a run and/or gates on the trend
+  (``--check`` exits non-zero when the newest record is >20% slower than
+  the median of the preceding window);
+* ``benchmarks/conftest.py`` — auto-appends a record for every
+  ``BENCH_*`` payload a benchmark session writes;
+* ``repro obs-report`` — renders trajectories, profiler hot paths and
+  fleet metrics into ``results/<run>/report.{json,md}``.
+
+Forward compatibility: records carry ``schema``; readers skip lines with
+a *newer* schema than they understand instead of crashing, so mixed
+checkouts can share one results directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.manifest import git_sha
+
+__all__ = [
+    "TREND_SCHEMA",
+    "TREND_PREFIX",
+    "DEFAULT_WINDOW",
+    "DEFAULT_THRESHOLD",
+    "host_fingerprint",
+    "extract_timings",
+    "trend_path",
+    "list_benches",
+    "record_trend",
+    "load_trend",
+    "check_trend",
+    "check_all_trends",
+    "render_obs_report",
+    "write_obs_report",
+]
+
+#: bump when the record shape changes incompatibly
+TREND_SCHEMA = 1
+TREND_PREFIX = "TREND_"
+#: how many prior records form the baseline median
+DEFAULT_WINDOW = 5
+#: relative slowdown that fails the gate (0.20 = 20%)
+DEFAULT_THRESHOLD = 0.20
+
+
+def _results_root(results_root: str | os.PathLike | None = None) -> Path:
+    return Path(results_root or os.environ.get("REPRO_RESULTS", "results"))
+
+
+def host_fingerprint() -> dict:
+    """Enough machine identity to explain a step change in timings."""
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+
+
+def extract_timings(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten a benchmark payload to its ``*_seconds`` timings.
+
+    Walks dicts and lists (lists index into the path, so ``tiers[2]``
+    stays comparable across runs of the same configuration); keeps
+    numeric leaves whose key ends in ``_seconds`` or ``_s``, or equals
+    ``seconds``/``duration_s``.  Numeric lists under a timing key are
+    summed — a sweep's total is what trends meaningfully.
+    """
+    timings: dict[str, float] = {}
+
+    def timing_key(key: str) -> bool:
+        return (
+            key.endswith("_seconds")
+            or key.endswith("_s")
+            or key in ("seconds", "duration_s")
+        )
+
+    def walk(node, path: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                sub = f"{path}.{key}" if path else str(key)
+                if isinstance(value, (dict, list)):
+                    if (
+                        isinstance(value, list)
+                        and timing_key(str(key))
+                        and all(isinstance(v, (int, float)) for v in value)
+                        and not any(isinstance(v, bool) for v in value)
+                    ):
+                        timings[sub] = float(sum(value))
+                    else:
+                        walk(value, sub)
+                elif (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and timing_key(str(key))
+                ):
+                    timings[sub] = float(value)
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                if isinstance(value, (dict, list)):
+                    walk(value, f"{path}[{index}]")
+
+    walk(payload, prefix)
+    return timings
+
+
+# --------------------------------------------------------------------- #
+# The ledger: append / load / list
+# --------------------------------------------------------------------- #
+def trend_path(
+    bench: str, results_root: str | os.PathLike | None = None
+) -> Path:
+    return _results_root(results_root) / f"{TREND_PREFIX}{bench}.jsonl"
+
+
+def list_benches(results_root: str | os.PathLike | None = None) -> list[str]:
+    """Bench names with a trend ledger under the results root."""
+    root = _results_root(results_root)
+    if not root.is_dir():
+        return []
+    return sorted(
+        p.name[len(TREND_PREFIX) : -len(".jsonl")]
+        for p in root.glob(f"{TREND_PREFIX}*.jsonl")
+    )
+
+
+def record_trend(
+    bench: str,
+    payload: dict,
+    *,
+    ts: float | None = None,
+    results_root: str | os.PathLike | None = None,
+    extra: dict | None = None,
+) -> dict | None:
+    """Append one record for ``bench``; returns it (None = no timings).
+
+    A payload without any timing field produces no record — the ledger
+    only holds rows the gate can act on.
+    """
+    metrics = extract_timings(payload)
+    if not metrics:
+        return None
+    record = {
+        "schema": TREND_SCHEMA,
+        "bench": bench,
+        "ts": time.time() if ts is None else float(ts),
+        "git_sha": git_sha(),
+        "host": host_fingerprint(),
+        "metrics": metrics,
+    }
+    if extra:
+        record["extra"] = extra
+    path = trend_path(bench, results_root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # O_APPEND keeps concurrent writers line-atomic for records this
+    # small (well under PIPE_BUF); the gate re-validates on read anyway.
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_trend(
+    bench: str, results_root: str | os.PathLike | None = None
+) -> list[dict]:
+    """All readable records for ``bench``, oldest first.
+
+    Malformed lines and records from a newer schema are skipped, not
+    fatal — a half-written line from a crashed run must not wedge CI.
+    """
+    path = trend_path(bench, results_root)
+    if not path.is_file():
+        return []
+    records: list[dict] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(rec, dict):
+            continue
+        schema = rec.get("schema")
+        if not isinstance(schema, int) or schema > TREND_SCHEMA:
+            continue
+        if not isinstance(rec.get("metrics"), dict):
+            continue
+        records.append(rec)
+    return records
+
+
+# --------------------------------------------------------------------- #
+# The gate
+# --------------------------------------------------------------------- #
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def check_trend(
+    bench: str,
+    *,
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+    results_root: str | os.PathLike | None = None,
+) -> list[dict]:
+    """Regressions in ``bench``'s newest record vs the window median.
+
+    The baseline for each metric is the median over up to ``window``
+    immediately-preceding records that carry the metric (median, not
+    mean: one noisy CI run must not poison the baseline).  Returns one
+    finding per regressed metric; empty means the gate passes.  Fewer
+    than two records also passes — a fresh ledger cannot regress.
+    """
+    records = load_trend(bench, results_root)
+    if len(records) < 2:
+        return []
+    latest = records[-1]
+    history = records[:-1]
+    findings: list[dict] = []
+    for metric, value in sorted(latest["metrics"].items()):
+        prior = [
+            float(rec["metrics"][metric])
+            for rec in history[-window:]
+            if isinstance(rec["metrics"].get(metric), (int, float))
+        ]
+        if not prior or not isinstance(value, (int, float)):
+            continue
+        baseline = _median(prior)
+        if baseline <= 0:
+            continue
+        ratio = float(value) / baseline
+        if ratio > 1.0 + threshold:
+            findings.append(
+                {
+                    "bench": bench,
+                    "metric": metric,
+                    "latest": float(value),
+                    "baseline": round(baseline, 6),
+                    "ratio": round(ratio, 4),
+                    "threshold": threshold,
+                    "window": len(prior),
+                }
+            )
+    return findings
+
+
+def check_all_trends(
+    *,
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+    results_root: str | os.PathLike | None = None,
+) -> dict[str, list[dict]]:
+    """``check_trend`` over every ledger; bench -> findings (may be [])."""
+    return {
+        bench: check_trend(
+            bench,
+            window=window,
+            threshold=threshold,
+            results_root=results_root,
+        )
+        for bench in list_benches(results_root)
+    }
+
+
+# --------------------------------------------------------------------- #
+# The report: trajectory + hot paths + fleet metrics for one run
+# --------------------------------------------------------------------- #
+def _trajectory(
+    records: list[dict], window: int, threshold: float
+) -> dict:
+    """Per-metric recent values + baseline for one bench's records."""
+    latest = records[-1]
+    metrics = {}
+    for metric in sorted(latest.get("metrics", {})):
+        values = [
+            float(rec["metrics"][metric])
+            for rec in records
+            if isinstance(rec["metrics"].get(metric), (int, float))
+        ]
+        prior = values[:-1][-window:]
+        baseline = _median(prior) if prior else None
+        entry = {
+            "latest": values[-1],
+            "baseline": None if baseline is None else round(baseline, 6),
+            "recent": [round(v, 6) for v in values[-(window + 1) :]],
+        }
+        if baseline and baseline > 0:
+            ratio = values[-1] / baseline
+            entry["ratio"] = round(ratio, 4)
+            entry["regressed"] = ratio > 1.0 + threshold
+        metrics[metric] = entry
+    return {
+        "records": len(records),
+        "last_git_sha": latest.get("git_sha"),
+        "last_ts": latest.get("ts"),
+        "metrics": metrics,
+    }
+
+
+def _hot_paths(run_dir: Path, limit: int = 10) -> list[dict]:
+    """Top wall-clock stacks from the run's flushed profiler sessions."""
+    sessions = []
+    for path in sorted(run_dir.glob("profile_*.json")):
+        try:
+            meta = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        sessions.append(
+            {
+                "label": meta.get("label", path.stem),
+                "mode": meta.get("mode"),
+                "samples": meta.get("samples"),
+                "duration_s": meta.get("duration_s"),
+                "max_rss_bytes": meta.get("max_rss_bytes"),
+                "gc": meta.get("gc"),
+                "top_wall": (meta.get("top_wall") or [])[:limit],
+            }
+        )
+    return sessions
+
+
+def _fleet_metrics(manifest: dict) -> dict:
+    """The fleet-scoped (``repro_fleet_*``/``repro_obs_*``) families from
+    a run manifest's metric snapshot."""
+    snapshot = manifest.get("metrics") or {}
+    fleet = {}
+    for name, family in sorted(snapshot.items()):
+        if name.startswith(("repro_fleet_", "repro_obs_")):
+            fleet[name] = family
+    return fleet
+
+
+def render_obs_report(
+    run_dir: str | os.PathLike,
+    *,
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+    results_root: str | os.PathLike | None = None,
+) -> tuple[dict, str]:
+    """The observability report for ``run_dir`` as ``(dict, markdown)``.
+
+    Three sections: per-bench timing trajectories from the trend
+    ledgers, profiler hot paths flushed into the run directory, and the
+    fleet-labelled metric families from the run manifest.
+    """
+    run_dir = Path(run_dir)
+    manifest: dict = {}
+    manifest_path = run_dir / "manifest.json"
+    if manifest_path.is_file():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError:
+            manifest = {}
+    benches = {
+        bench: _trajectory(load_trend(bench, results_root), window, threshold)
+        for bench in list_benches(results_root)
+    }
+    regressions = [
+        finding
+        for bench in benches
+        for finding in check_trend(
+            bench, window=window, threshold=threshold,
+            results_root=results_root,
+        )
+    ]
+    report = {
+        "schema": TREND_SCHEMA,
+        "run_id": manifest.get("run_id") or run_dir.name,
+        "git_sha": manifest.get("git_sha") or git_sha(),
+        "host": host_fingerprint(),
+        "gate": {
+            "window": window,
+            "threshold": threshold,
+            "regressions": regressions,
+        },
+        "benches": benches,
+        "hot_paths": _hot_paths(run_dir),
+        "fleet_metrics": _fleet_metrics(manifest),
+    }
+    return report, _render_markdown(report)
+
+
+def _render_markdown(report: dict) -> str:
+    lines = [
+        f"# Observability report — `{report['run_id']}`",
+        "",
+        f"- git sha: `{report.get('git_sha') or 'unknown'}`",
+        f"- host: {report['host']['hostname']} "
+        f"({report['host']['machine']}, {report['host']['cpus']} cpus)",
+        "",
+    ]
+    gate = report["gate"]
+    lines.append("## Perf-trend gate")
+    lines.append("")
+    if gate["regressions"]:
+        lines.append(
+            f"**FAIL** — {len(gate['regressions'])} metric(s) more than "
+            f"{gate['threshold']:.0%} over the trailing median:"
+        )
+        lines.append("")
+        lines.append("| bench | metric | latest | baseline | ratio |")
+        lines.append("|---|---|---|---|---|")
+        for f in gate["regressions"]:
+            lines.append(
+                f"| {f['bench']} | {f['metric']} | {f['latest']:.4f}s "
+                f"| {f['baseline']:.4f}s | {f['ratio']:.2f}x |"
+            )
+    else:
+        lines.append(
+            f"PASS — no metric more than {gate['threshold']:.0%} over its "
+            f"trailing median (window {gate['window']})."
+        )
+    lines.append("")
+    lines.append("## Timing trajectories")
+    lines.append("")
+    if report["benches"]:
+        for bench, traj in sorted(report["benches"].items()):
+            lines.append(f"### {bench} ({traj['records']} records)")
+            lines.append("")
+            lines.append("| metric | latest | baseline | recent |")
+            lines.append("|---|---|---|---|")
+            for metric, entry in traj["metrics"].items():
+                baseline = (
+                    "—"
+                    if entry["baseline"] is None
+                    else f"{entry['baseline']:.4f}s"
+                )
+                recent = ", ".join(f"{v:.3f}" for v in entry["recent"])
+                flag = " ⚠" if entry.get("regressed") else ""
+                lines.append(
+                    f"| {metric}{flag} | {entry['latest']:.4f}s "
+                    f"| {baseline} | {recent} |"
+                )
+            lines.append("")
+    else:
+        lines.append("No trend ledgers found (run a `BENCH_*` benchmark or")
+        lines.append("`scripts/bench_trend.py --record` first).")
+        lines.append("")
+    lines.append("## Profiler hot paths")
+    lines.append("")
+    if report["hot_paths"]:
+        for session in report["hot_paths"]:
+            rss_mb = (session.get("max_rss_bytes") or 0) / 1e6
+            lines.append(
+                f"### {session['label']} — mode={session['mode']}, "
+                f"{session['samples']} samples, peak RSS {rss_mb:.0f} MB"
+            )
+            lines.append("")
+            for row in session["top_wall"]:
+                leaf = row["stack"].rsplit(";", 1)[-1]
+                lines.append(f"- `{leaf}` × {row['samples']}")
+            lines.append("")
+    else:
+        lines.append("No profiler sessions flushed into this run")
+        lines.append("(set `REPRO_PROFILE=light` or use `repro profile`).")
+        lines.append("")
+    lines.append("## Fleet metrics")
+    lines.append("")
+    if report["fleet_metrics"]:
+        for name in report["fleet_metrics"]:
+            lines.append(f"- `{name}`")
+    else:
+        lines.append("No fleet-labelled metric families in the manifest")
+        lines.append("(distributed telemetry appears once remote or")
+        lines.append("fork-pool workers forward deltas).")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_obs_report(
+    run_dir: str | os.PathLike,
+    *,
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+    results_root: str | os.PathLike | None = None,
+) -> tuple[Path, Path]:
+    """Render and write ``report.json`` + ``report.md`` into ``run_dir``."""
+    from repro.resilience.atomic import atomic_write_json
+
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    report, markdown = render_obs_report(
+        run_dir,
+        window=window,
+        threshold=threshold,
+        results_root=results_root,
+    )
+    json_path = atomic_write_json(run_dir / "report.json", report, indent=2)
+    md_path = run_dir / "report.md"
+    md_path.write_text(markdown)
+    return json_path, md_path

@@ -271,9 +271,11 @@ class NetlistScoreServer:
         # families are scrapeable before the first worker failure — both the
         # fork-pool families and the distributed-backend net families.
         from repro.exec import ensure_exec_metrics, ensure_net_metrics
+        from repro.obs.remote import ensure_obs_metrics
 
         ensure_exec_metrics()
         ensure_net_metrics()
+        ensure_obs_metrics()
         text = self.registry.render_prometheus()
         default = get_registry()
         if default is not self.registry:

@@ -1,0 +1,162 @@
+"""Sampling profiler: mode resolution, sessions, flush, manifest wiring."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs import profile as profile_mod
+from repro.obs.manifest import RunRecorder
+from repro.obs.profile import (
+    SamplingProfiler,
+    flush_profiles,
+    pending_profiles,
+    profile_block,
+    resolve_profile_mode,
+    start_profile,
+    stop_profile,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_sessions():
+    """No profiler state may leak between tests (or from earlier ones)."""
+    yield
+    for label in list(profile_mod._active):
+        stop_profile(label)
+    with profile_mod._lock:
+        profile_mod._finished.clear()
+
+
+def _burn(seconds=0.12):
+    """Python-level busywork the sampler can catch stacks inside."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(i * i for i in range(200))
+    return total
+
+
+# --------------------------------------------------------------------- #
+class TestResolveMode:
+    def test_explicit_modes_pass_through(self):
+        for mode in ("off", "light", "full"):
+            assert resolve_profile_mode(mode) == mode
+        assert resolve_profile_mode("FULL") == "full"
+
+    def test_auto_honours_env(self, monkeypatch):
+        monkeypatch.delenv(profile_mod.PROFILE_ENV, raising=False)
+        assert resolve_profile_mode("auto") == "off"
+        assert resolve_profile_mode(None) == "off"
+        monkeypatch.setenv(profile_mod.PROFILE_ENV, "light")
+        assert resolve_profile_mode("auto") == "light"
+        assert resolve_profile_mode("") == "light"
+        # explicit beats env
+        assert resolve_profile_mode("off") == "off"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown profile mode"):
+            resolve_profile_mode("verbose")
+        with pytest.raises(ValueError):
+            SamplingProfiler("x", mode="off")
+
+
+# --------------------------------------------------------------------- #
+class TestSampling:
+    def test_start_stop_summary(self):
+        profiler = SamplingProfiler("unit", mode="full")
+        profiler.start()
+        _burn()
+        summary = profiler.stop()
+        assert summary["label"] == "unit"
+        assert summary["mode"] == "full"
+        assert summary["samples"] > 0
+        assert summary["duration_s"] > 0
+        assert summary["max_rss_bytes"] > 0
+        assert summary["wall_stacks"], "no stacks collapsed"
+        # collapsed frames are file:qualname joined root-first by ';'
+        assert any("test_profile" in s for s in summary["wall_stacks"])
+
+    def test_profile_block_off_is_noop(self, monkeypatch):
+        monkeypatch.delenv(profile_mod.PROFILE_ENV, raising=False)
+        with profile_block("unit") as profiler:
+            assert profiler is None
+        assert pending_profiles() == []
+
+    def test_shared_label_joins_one_session(self):
+        with profile_block("shared", "light") as outer:
+            with profile_block("shared", "light") as inner:
+                assert inner is outer
+                _burn(0.05)
+            # inner exit stopped the shared session (label-keyed pop)
+        assert pending_profiles() == ["shared"]
+
+    def test_sequential_blocks_merge_by_label(self):
+        with profile_block("merged", "full"):
+            _burn(0.08)
+        with profile_block("merged", "full"):
+            _burn(0.08)
+        with profile_mod._lock:
+            merged = dict(profile_mod._finished["merged"])
+        assert merged["samples"] > 0
+        assert merged["duration_s"] >= 0.16
+
+    def test_start_profile_off_returns_none(self, monkeypatch):
+        monkeypatch.delenv(profile_mod.PROFILE_ENV, raising=False)
+        assert start_profile("unit") is None
+        assert stop_profile("unit") is None
+
+
+# --------------------------------------------------------------------- #
+class TestFlush:
+    def test_flush_writes_collapsed_and_meta(self, tmp_path):
+        with profile_block("flush me/x", "full"):
+            _burn()
+        written = flush_profiles(tmp_path)
+        names = sorted(p.name for p in written)
+        # label sanitised for the filesystem
+        assert names == [
+            "profile_flush_me_x.cpu.collapsed",
+            "profile_flush_me_x.json",
+            "profile_flush_me_x.wall.collapsed",
+        ]
+        wall = (tmp_path / "profile_flush_me_x.wall.collapsed").read_text()
+        for line in wall.strip().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack or stack
+            assert int(count) > 0
+        meta = json.loads((tmp_path / "profile_flush_me_x.json").read_text())
+        assert meta["label"] == "flush me/x"
+        assert meta["top_wall"]
+        assert "wall_stacks" not in meta  # stacks live in .collapsed only
+        # pending set cleared: a second flush writes nothing
+        assert flush_profiles(tmp_path) == []
+
+    def test_flush_respects_profile_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(profile_mod.PROFILE_DIR_ENV, str(tmp_path / "pd"))
+        with profile_block("envdir", "light"):
+            _burn(0.05)
+        written = flush_profiles()
+        assert written
+        assert all(p.parent == tmp_path / "pd" for p in written)
+
+    def test_run_recorder_claims_pending_sessions(self, tmp_path):
+        with profile_block("runwired", "full"):
+            _burn()
+        recorder = RunRecorder(
+            "prof", results_root=tmp_path, run_id="prof-run"
+        )
+        manifest = json.loads(recorder.write().read_text())
+        assert "profile_runwired.wall.collapsed" in manifest["profiles"]
+        run_dir = tmp_path / "prof-run"
+        assert (run_dir / "profile_runwired.json").is_file()
+        assert pending_profiles() == []
+
+    def test_manifest_omits_profiles_key_when_none(self, tmp_path):
+        recorder = RunRecorder(
+            "noprof", results_root=tmp_path, run_id="no-prof"
+        )
+        manifest = json.loads(recorder.write().read_text())
+        assert "profiles" not in manifest

@@ -1,0 +1,266 @@
+"""Prometheus renderer edge cases, strict-parser teeth, clear() semantics.
+
+The renderer promises strict 0.0.4 text exposition; the promtext parser
+is the independent check CI runs over every scrape.  These tests pin the
+hairy corners: label escaping round-trips, ``+Inf`` bucket/``_count``
+invariants under concurrent observers, and the parser actually rejecting
+the violations it claims to.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import PromTextError, parse_prometheus, validate
+
+
+def _samples(families, name):
+    return families[name]["samples"]
+
+
+# --------------------------------------------------------------------- #
+class TestLabelEscapingRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'C:\\netlists\\"b1"',
+            "line one\nline two",
+            "\\",
+            '\\"',
+            "trailing backslash\\",
+            "\\n literal-backslash-n",
+            "plain",
+            "",
+        ],
+    )
+    def test_adversarial_label_values_survive_render_parse(self, value):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_edge_total", "h", ("path",))
+        counter.labels(value).inc()
+        families = parse_prometheus(registry.render_prometheus())
+        parsed = {
+            dict(labels)["path"]
+            for _, labels, _ in _samples(families, "repro_edge_total")
+        }
+        assert parsed == {value}
+
+    def test_help_text_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_edge_total", 'back\\slash and\nnewline "q"')
+        families = parse_prometheus(registry.render_prometheus())
+        # HELP escapes \ and newline (quotes travel bare, per the spec)
+        assert (
+            families["repro_edge_total"]["help"]
+            == 'back\\\\slash and\\nnewline "q"'
+        )
+
+    def test_distinct_adversarial_values_stay_distinct(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_edge_total", "", ("p",))
+        counter.labels('a\\"b').inc()
+        counter.labels('a"b').inc(2)
+        families = parse_prometheus(registry.render_prometheus())
+        parsed = {
+            dict(labels)["p"]: value
+            for _, labels, value in _samples(families, "repro_edge_total")
+        }
+        assert parsed == {'a\\"b': 1.0, 'a"b': 2.0}
+
+
+# --------------------------------------------------------------------- #
+class TestHistogramInvariants:
+    def test_inf_bucket_and_count_sum_present(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_edge_seconds", "", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 50.0):
+            hist.observe(v)
+        families = parse_prometheus(registry.render_prometheus())
+        by_name = {}
+        for name, labels, value in _samples(families, "repro_edge_seconds"):
+            by_name.setdefault(name, []).append((dict(labels), value))
+        buckets = {
+            labels["le"]: value
+            for labels, value in by_name["repro_edge_seconds_bucket"]
+        }
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+        assert by_name["repro_edge_seconds_count"] == [({}, 3.0)]
+        assert by_name["repro_edge_seconds_sum"][0][1] == pytest.approx(50.55)
+
+    def test_concurrent_observers_yield_consistent_scrape(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_edge_seconds", "", ("mode",), buckets=(0.5,)
+        )
+        stop = threading.Event()
+
+        def hammer(mode):
+            child = hist.labels(mode)
+            value = 0.25 if mode == "lo" else 0.75
+            while not stop.is_set():
+                child.observe(value)
+
+        threads = [
+            threading.Thread(target=hammer, args=(m,)) for m in ("lo", "hi")
+        ]
+        for t in threads:
+            t.start()
+        try:
+            # Every mid-flight scrape must parse and satisfy the bucket
+            # invariants (+Inf present, cumulative, _count == +Inf).
+            for _ in range(50):
+                assert validate(registry.render_prometheus()) == []
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        families = parse_prometheus(registry.render_prometheus())
+        count = sum(
+            value
+            for name, _, value in _samples(families, "repro_edge_seconds")
+            if name == "repro_edge_seconds_count"
+        )
+        assert count == hist.labels("lo").count + hist.labels("hi").count
+
+    def test_declared_but_unobserved_histogram_is_legal(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_edge_seconds", "", ("mode",))
+        body = registry.render_prometheus()
+        assert validate(body) == []
+        assert _samples(parse_prometheus(body), "repro_edge_seconds") == []
+
+
+# --------------------------------------------------------------------- #
+class TestParserRejections:
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            ("repro_x_total 1\n# TYPE repro_x_total counter\n", "before its"),
+            ("repro_x_total 1\n", "before its # TYPE"),
+            (
+                "# TYPE repro_x_total counter\n"
+                "# TYPE repro_x_total counter\n",
+                "duplicate # TYPE",
+            ),
+            (
+                "# TYPE repro_x_total counter\n"
+                "repro_x_total 1\nrepro_x_total 2\n",
+                "duplicate sample",
+            ),
+            (
+                "# TYPE repro_x_total counter\nrepro_x_total -1\n",
+                "has value",
+            ),
+            (
+                "# TYPE repro_x_total counter\nrepro_x_total NaN\n",
+                "has value",
+            ),
+            (
+                '# TYPE repro_x_total counter\nrepro_x_total{p="a\\q"} 1\n',
+                "invalid escape",
+            ),
+            (
+                '# TYPE repro_x_total counter\nrepro_x_total{p="a} 1\n',
+                "malformed label set",
+            ),
+            ("# TYPE repro_x_total counter\nrepro_x_total 1", "newline"),
+            ("# TYPE repro_x_total martian\n", "unknown type"),
+            ("# TYPE repro_x_total counter\nrepro_x_total one\n", "bad sample"),
+        ],
+    )
+    def test_violation_rejected(self, body, fragment):
+        with pytest.raises(PromTextError, match=fragment):
+            parse_prometheus(body)
+        problems = validate(body)
+        assert len(problems) == 1 and fragment.split()[0] in problems[0]
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            (
+                "# TYPE repro_h_seconds histogram\n"
+                'repro_h_seconds_bucket{le="1"} 1\n'
+                "repro_h_seconds_sum 1\nrepro_h_seconds_count 1\n",
+                "missing \\+Inf bucket",
+            ),
+            (
+                "# TYPE repro_h_seconds histogram\n"
+                'repro_h_seconds_bucket{le="1"} 2\n'
+                'repro_h_seconds_bucket{le="+Inf"} 1\n'
+                "repro_h_seconds_sum 1\nrepro_h_seconds_count 1\n",
+                "counts decrease",
+            ),
+            (
+                "# TYPE repro_h_seconds histogram\n"
+                'repro_h_seconds_bucket{le="+Inf"} 2\n'
+                "repro_h_seconds_sum 1\nrepro_h_seconds_count 1\n",
+                "!= \\+Inf bucket",
+            ),
+            (
+                "# TYPE repro_h_seconds histogram\n"
+                'repro_h_seconds_bucket{le="+Inf"} 1\n'
+                "repro_h_seconds_count 1\n",
+                "missing _sum or _count",
+            ),
+        ],
+    )
+    def test_histogram_invariant_violations(self, body, fragment):
+        with pytest.raises(PromTextError, match=fragment):
+            parse_prometheus(body)
+
+    def test_inf_nan_gauges_parse(self):
+        body = (
+            "# TYPE repro_g gauge\n"
+            'repro_g{k="a"} +Inf\nrepro_g{k="b"} -Inf\nrepro_g{k="c"} NaN\n'
+        )
+        families = parse_prometheus(body)
+        values = {
+            dict(labels)["k"]: value
+            for _, labels, value in _samples(families, "repro_g")
+        }
+        assert values["a"] == math.inf and values["b"] == -math.inf
+        assert math.isnan(values["c"])
+
+
+# --------------------------------------------------------------------- #
+class TestRegistryClear:
+    def test_clear_releases_gauge_callbacks(self):
+        """Regression: ``clear()`` must sever pull-gauge closures.
+
+        A leaked ``set_function`` callback kept calling into its (dead)
+        owner on every collection of a retained child reference.
+        """
+        registry = MetricsRegistry()
+        calls = []
+
+        def pull():
+            calls.append(1)
+            return 42.0
+
+        plain = registry.gauge("repro_edge_gauge", "")
+        plain.set_function(pull)
+        labelled = registry.gauge("repro_edge_child_gauge", "", ("w",))
+        child = labelled.labels("w0")
+        child.set_function(pull)
+        assert plain.value == 42.0 and child.value == 42.0
+        assert len(calls) == 2
+
+        registry.clear()
+        assert registry.collect() == []
+        # Family and child callbacks are both gone: reads fall back to
+        # the stored value instead of re-entering the dead owner.
+        assert plain.value == 0.0
+        assert child.value == 0.0
+        assert len(calls) == 2
+
+    def test_cleared_registry_renders_empty_and_reusable(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_edge_total", "").inc()
+        registry.clear()
+        assert registry.render_prometheus() == ""
+        # the name is free again, with a different kind even
+        registry.gauge("repro_edge_total", "").set(5)
+        assert validate(registry.render_prometheus()) == []

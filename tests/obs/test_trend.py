@@ -1,0 +1,227 @@
+"""Trend ledger + perf gate + obs report: record, check, render."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trend import (
+    TREND_SCHEMA,
+    check_all_trends,
+    check_trend,
+    extract_timings,
+    list_benches,
+    load_trend,
+    record_trend,
+    render_obs_report,
+    trend_path,
+    write_obs_report,
+)
+
+
+def _seed(root, bench, values, metric="serial_seconds"):
+    """Append one well-formed record per value, oldest first."""
+    for i, value in enumerate(values):
+        rec = record_trend(
+            bench, {metric: value}, ts=1000.0 + i, results_root=root
+        )
+        assert rec is not None
+
+
+# --------------------------------------------------------------------- #
+class TestExtractTimings:
+    def test_flattens_nested_and_indexed_paths(self):
+        payload = {
+            "serial_seconds": 1.5,
+            "meta": {"duration_s": 2.0, "gates": 500},
+            "tiers": [
+                {"name": "a", "wall_seconds": 0.25},
+                {"name": "b", "wall_seconds": 0.75},
+            ],
+        }
+        timings = extract_timings(payload)
+        assert timings == {
+            "serial_seconds": 1.5,
+            "meta.duration_s": 2.0,
+            "tiers[0].wall_seconds": 0.25,
+            "tiers[1].wall_seconds": 0.75,
+        }
+
+    def test_numeric_lists_under_timing_keys_are_summed(self):
+        assert extract_timings({"epoch_seconds": [1.0, 2.0, 3.5]}) == {
+            "epoch_seconds": 6.5
+        }
+
+    def test_bools_and_non_timing_keys_excluded(self):
+        payload = {
+            "within_budget": True,
+            "ok_s": False,
+            "count": 9,
+            "ratio": 1.2,
+            "flags_s": [True, False],
+        }
+        assert extract_timings(payload) == {}
+
+    def test_plain_seconds_and_suffix_s_keys_kept(self):
+        assert extract_timings({"seconds": 3.0, "warm_s": 0.5}) == {
+            "seconds": 3.0,
+            "warm_s": 0.5,
+        }
+
+
+# --------------------------------------------------------------------- #
+class TestLedger:
+    def test_record_and_load_roundtrip(self, tmp_path):
+        rec = record_trend(
+            "demo", {"serial_seconds": 1.0}, ts=5.0, results_root=tmp_path,
+            extra={"scale": 0.4},
+        )
+        assert rec["schema"] == TREND_SCHEMA
+        assert rec["metrics"] == {"serial_seconds": 1.0}
+        assert rec["extra"] == {"scale": 0.4}
+        assert rec["host"]["cpus"] >= 1
+        loaded = load_trend("demo", tmp_path)
+        assert loaded == [rec]
+        assert list_benches(tmp_path) == ["demo"]
+
+    def test_payload_without_timings_produces_no_record(self, tmp_path):
+        assert record_trend("demo", {"gates": 9}, results_root=tmp_path) is None
+        assert not trend_path("demo", tmp_path).exists()
+
+    def test_loader_skips_malformed_and_newer_schema(self, tmp_path):
+        _seed(tmp_path, "demo", [1.0])
+        path = trend_path("demo", tmp_path)
+        with open(path, "a") as fh:
+            fh.write("{truncated by a crash\n")
+            fh.write('"just-a-string"\n')
+            fh.write(json.dumps({"schema": TREND_SCHEMA + 1,
+                                 "metrics": {"x_s": 1}}) + "\n")
+            fh.write(json.dumps({"schema": TREND_SCHEMA,
+                                 "metrics": "not-a-dict"}) + "\n")
+        _seed(tmp_path, "demo", [1.1])
+        records = load_trend("demo", tmp_path)
+        assert [r["metrics"]["serial_seconds"] for r in records] == [1.0, 1.1]
+
+
+# --------------------------------------------------------------------- #
+class TestGate:
+    def test_fresh_ledger_passes(self, tmp_path):
+        assert check_trend("absent", results_root=tmp_path) == []
+        _seed(tmp_path, "demo", [1.0])
+        assert check_trend("demo", results_root=tmp_path) == []
+
+    def test_steady_timings_pass(self, tmp_path):
+        _seed(tmp_path, "demo", [1.0, 1.02, 0.98, 1.01, 1.0])
+        assert check_trend("demo", results_root=tmp_path) == []
+
+    def test_25pct_slowdown_fails_the_gate(self, tmp_path):
+        _seed(tmp_path, "demo", [1.0, 1.0, 1.0, 1.25])
+        findings = check_trend("demo", results_root=tmp_path)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f["bench"] == "demo"
+        assert f["metric"] == "serial_seconds"
+        assert f["latest"] == 1.25
+        assert f["baseline"] == 1.0
+        assert f["ratio"] == 1.25
+        # the median baseline shrugs off one noisy prior run
+        _seed(tmp_path, "noisy", [1.0, 9.0, 1.0, 1.0, 1.1])
+        assert check_trend("noisy", results_root=tmp_path) == []
+
+    def test_threshold_and_window_are_tunable(self, tmp_path):
+        _seed(tmp_path, "demo", [1.0, 1.15])
+        assert check_trend("demo", results_root=tmp_path) == []
+        strict = check_trend("demo", threshold=0.10, results_root=tmp_path)
+        assert len(strict) == 1
+        # window=1 baselines on the immediately preceding record only;
+        # a wider window lets the older slow record pull the median up
+        _seed(tmp_path, "drift", [2.0, 1.0, 1.3])
+        assert check_trend("drift", window=1, results_root=tmp_path)
+        assert check_trend("drift", window=5, results_root=tmp_path) == []
+
+    def test_check_all_trends_covers_every_ledger(self, tmp_path):
+        _seed(tmp_path, "ok", [1.0, 1.0])
+        _seed(tmp_path, "bad", [1.0, 1.0, 2.0])
+        results = check_all_trends(results_root=tmp_path)
+        assert sorted(results) == ["bad", "ok"]
+        assert results["ok"] == [] and results["bad"]
+
+
+# --------------------------------------------------------------------- #
+class TestObsReport:
+    def test_render_covers_gate_trend_profiles_fleet(self, tmp_path):
+        results = tmp_path / "results"
+        run_dir = results / "run-1"
+        run_dir.mkdir(parents=True)
+        _seed(results, "demo", [1.0, 1.0, 1.5])
+        (run_dir / "profile_engine.json").write_text(json.dumps({
+            "label": "engine", "mode": "light", "samples": 40,
+            "duration_s": 1.0, "max_rss_bytes": 10_000_000,
+            "gc": {"collections": 1, "collected": 2},
+            "top_wall": [{"stack": "a.py:f;b.py:g", "samples": 30}],
+        }))
+        (run_dir / "manifest.json").write_text(json.dumps({
+            "run_id": "run-1",
+            "git_sha": "cafe123",
+            "metrics": {
+                "repro_fleet_exec_tasks_total": {"kind": "counter",
+                                                 "samples": []},
+                "repro_obs_telemetry_dropped_total": {"kind": "counter",
+                                                      "samples": []},
+                "repro_serve_requests_total": {"kind": "counter",
+                                               "samples": []},
+            },
+        }))
+        report, markdown = render_obs_report(run_dir, results_root=results)
+        assert report["run_id"] == "run-1"
+        assert report["git_sha"] == "cafe123"
+        assert [f["bench"] for f in report["gate"]["regressions"]] == ["demo"]
+        assert report["benches"]["demo"]["metrics"]["serial_seconds"][
+            "regressed"
+        ]
+        assert report["hot_paths"][0]["label"] == "engine"
+        # only fleet/obs families survive the manifest filter
+        assert sorted(report["fleet_metrics"]) == [
+            "repro_fleet_exec_tasks_total",
+            "repro_obs_telemetry_dropped_total",
+        ]
+        assert "**FAIL**" in markdown
+        assert "`b.py:g` × 30" in markdown
+        assert "repro_serve_requests_total" not in markdown
+
+    def test_write_obs_report_emits_both_files(self, tmp_path):
+        run_dir = tmp_path / "run-2"
+        json_path, md_path = write_obs_report(run_dir, results_root=tmp_path)
+        assert json_path == run_dir / "report.json"
+        assert md_path == run_dir / "report.md"
+        report = json.loads(json_path.read_text())
+        assert report["gate"]["regressions"] == []
+        assert "PASS" in md_path.read_text()
+
+
+# --------------------------------------------------------------------- #
+class TestBenchTrendScript:
+    def test_record_check_then_injected_slowdown(self, tmp_path, monkeypatch):
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parents[2] / "scripts" / "bench_trend.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_trend", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        payload = tmp_path / "BENCH_demo.json"
+        payload.write_text(json.dumps({"serial_seconds": 1.0}))
+        # two consecutive record+check rounds pass
+        for _ in range(2):
+            assert module.main(["--record", "demo"]) == 0
+            assert module.main(["--check"]) == 0
+        # an injected 25% slowdown fails the very next check
+        payload.write_text(json.dumps({"serial_seconds": 1.25}))
+        assert module.main(["--record", "demo"]) == 0
+        assert module.main(["--check"]) == 1
+        assert module.main(["--check", "absent"]) == 0
+        assert module.main(["--list"]) == 0
