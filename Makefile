@@ -1,6 +1,8 @@
 # Convenience targets; see README.md for the full story.
 
 PYTHON ?= python
+# Extra flags for bench-sharded, e.g. "--force-pool --gate-exchange 0.10"
+BENCH_SHARDED_FLAGS ?=
 
 .PHONY: install test lint bench bench-full bench-faultsim bench-sharded bench-obs bench-check obs-report examples report serve-smoke faultsim-smoke clean-cache
 
@@ -30,7 +32,7 @@ bench-faultsim:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fault_sim.py
 
 bench-sharded:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_sharded_inference.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sharded_inference.py $(BENCH_SHARDED_FLAGS)
 
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_overhead.py

@@ -1,15 +1,34 @@
-"""Sharded-inference benchmark: single-process vs partitioned multi-core.
+"""Sharded-inference benchmark: single-process vs boundary-exchange shards.
 
 Scores a ladder of synthetic designs through the plain ``FastInference``
 chain and through ``ShardedInference`` (in-process shard loop and, on
-multi-core hosts, the fork-pool path) and writes
-``results/BENCH_sharded_inference.json`` with nodes/sec, wall-clock,
-speedups over the single-process baseline, partition quality (edge cut,
-imbalance, halo fraction) and a float64 bit-identity check per tier.
+multi-core hosts or under ``--force-pool``, the fork-pool path) and
+writes ``results/BENCH_sharded_inference.json`` with nodes/sec,
+wall-clock, speedups over the single-process baseline, partition quality
+(edge cut, imbalance) and the boundary-exchange volume per tier.  Every
+tier partitions into a fixed four shards so the exchange-fraction gate
+measures the same quantity run over run.
+
+``exchange_fraction`` counts the rows each shard ships to its peers per
+layer as a fraction of all nodes; ``halo_fraction`` is kept as an alias
+(the one-hop frontier *is* the halo under per-layer exchange) so the
+perf-trend ledger stays continuous with the precomputed-halo era.
+
+On top of the three relative tiers there is a million-gate sweep tier
+(``10**6 * REPRO_SCALE`` gates) exercising the partitioner and exchange
+compiler at paper scale; a float64 bit-identity check against
+``FastInference`` runs on every tier.
 
 Run directly (``make bench-sharded``); it is not a pytest-benchmark
 module — the acceptance numbers come from wall-clock over a fixed
 workload, not statistical micro-timing.
+
+Flags: ``--force-pool`` measures the fork-pool tier even on single-core
+hosts (with two timesharing workers — honest, if unflattering, numbers);
+``--gate-exchange X`` exits non-zero when the sweep tier's exchange
+fraction reaches ``X`` (CI passes 0.10; the small relative tiers are
+reported but not gated — a few-hundred-gate design cannot have a thin
+boundary, and the locality claim is about scale).
 
 Environment knobs: ``REPRO_SCALE`` scales every tier, ``REPRO_RESULTS``
 redirects the output directory, ``REPRO_BENCH_REPEATS`` (default 3) sets
@@ -18,7 +37,9 @@ best-of-N timing.
 
 from __future__ import annotations
 
+import argparse
 import os
+import sys
 import time
 
 import numpy as np
@@ -29,12 +50,17 @@ from repro.core.inference import FastInference
 from repro.core.model import GCN, GCNConfig
 from repro.data.benchmarks import benchmark_scale, generate_design
 from repro.experiments.common import write_result
-from repro.graph import PartitionConfig, ShardedInference, partition_graph
+from repro.graph import ShardedInference
 
 #: tier gate counts as fractions of the default benchmark design size
 _TIERS = (0.15, 0.6, 1.0)
 _BASE_GATES = 20_000
+#: the paper-scale sweep tier: a million gates at REPRO_SCALE=1
+_SWEEP_GATES = 1_000_000
 _SEED = 13
+#: every tier partitions into this many shards so the exchange gate
+#: tracks one configuration across runs
+_N_SHARDS = 4
 
 
 def _best_of(fn, repeats: int):
@@ -47,7 +73,7 @@ def _best_of(fn, repeats: int):
     return min(elapsed), result
 
 
-def _score_tier(n_gates: int, n_shards: int, repeats: int, weights) -> dict:
+def _score_tier(n_gates: int, repeats: int, weights, force_pool: bool) -> dict:
     netlist = generate_design(n_gates, seed=_SEED)
     graph = GraphData.from_netlist(netlist)
     single = FastInference(weights)
@@ -58,43 +84,67 @@ def _score_tier(n_gates: int, n_shards: int, repeats: int, weights) -> dict:
 
     t_single, reference = _best_of(lambda: single.logits(graph), repeats)
 
-    partition = partition_graph(graph, PartitionConfig(n_shards=n_shards))
-    halo = sum(s.halo.size for s in partition.shards)
     row = {
         "gates": graph.num_nodes,
-        "shards": partition.n_shards,
-        "edge_cut": partition.edge_cut,
-        "imbalance": partition.imbalance,
-        "halo_fraction": halo / max(1, graph.num_nodes),
+        "shards": _N_SHARDS,
         "single_seconds": t_single,
         "single_nodes_per_second": graph.num_nodes / t_single,
         "bit_identical": True,
     }
 
-    modes = [("sharded_inprocess", ExecutionConfig(shards=n_shards, workers=1))]
+    modes = [("sharded_inprocess", ExecutionConfig(shards=_N_SHARDS, workers=1))]
     if (os.cpu_count() or 1) > 1:
         modes.append(
-            ("sharded_pool", ExecutionConfig(shards=n_shards, workers=None))
+            ("sharded_pool", ExecutionConfig(shards=_N_SHARDS, workers=None))
+        )
+    elif force_pool:
+        modes.append(
+            ("sharded_pool", ExecutionConfig(shards=_N_SHARDS, workers=2))
         )
     else:
         row["sharded_pool_seconds"] = None
         row["sharded_pool_speedup"] = None
-        row["sharded_pool_skipped"] = "single-core host"
+        row["sharded_pool_skipped"] = "single-core host (use --force-pool)"
+    partition = exchange = None
     for label, execution in modes:
         with ShardedInference(weights, execution) as engine:
             engine.logits(graph)  # warm the partition plan before timing
             t, logits = _best_of(lambda: engine.logits(graph), repeats)
+            plan = engine.plan_for(graph)
+            partition, exchange = plan.partition, plan.exchange
         row[f"{label}_seconds"] = t
         row[f"{label}_nodes_per_second"] = graph.num_nodes / t
         row[f"{label}_speedup"] = t_single / t
         row["bit_identical"] &= bool(np.array_equal(reference, logits))
+    row["edge_cut"] = partition.edge_cut
+    row["imbalance"] = partition.imbalance
+    row["cut_edges"] = exchange.cut_edges
+    row["exchange_rows_per_layer"] = exchange.exchange_rows
+    row["exchange_fraction"] = exchange.exchange_fraction
+    # Under per-layer exchange the one-hop frontier *is* the halo; keep
+    # the historical key so trend tooling sees one continuous series.
+    row["halo_fraction"] = exchange.exchange_fraction
     return row
 
 
-def main() -> dict:
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force-pool",
+        action="store_true",
+        help="measure the fork-pool tier even on a single-core host",
+    )
+    parser.add_argument(
+        "--gate-exchange",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit 1 if the sweep tier's exchange_fraction reaches this",
+    )
+    args = parser.parse_args(argv)
+
     scale = benchmark_scale()
     repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
-    n_shards = max(2, min(8, os.cpu_count() or 2))
     model = GCN(GCNConfig(seed=3))
     rng = np.random.default_rng(5)
     for p in model.parameters():
@@ -102,10 +152,11 @@ def main() -> dict:
     weights = model.layer_weights()
 
     tiers = []
-    for fraction in _TIERS:
-        n_gates = max(200, int(_BASE_GATES * fraction * scale))
-        row = _score_tier(n_gates, n_shards, repeats, weights)
-        row["tier"] = fraction
+    ladder = [(f, max(200, int(_BASE_GATES * f * scale))) for f in _TIERS]
+    ladder.append(("sweep_1e6", max(200, int(_SWEEP_GATES * scale))))
+    for tier, n_gates in ladder:
+        row = _score_tier(n_gates, repeats, weights, args.force_pool)
+        row["tier"] = tier
         tiers.append(row)
         speedups = ", ".join(
             f"{mode}={row[f'{mode}_speedup']:.2f}x"
@@ -113,25 +164,50 @@ def main() -> dict:
             if row.get(f"{mode}_speedup")
         )
         print(
-            f"gates={row['gates']} shards={row['shards']} "
+            f"tier={tier} gates={row['gates']} shards={row['shards']} "
             f"single={row['single_seconds']:.3f}s {speedups} "
+            f"exchange={row['exchange_fraction']:.4f} "
             f"identical={row['bit_identical']}"
         )
-    default_tier = tiers[-1]
+    default_tier = tiers[len(_TIERS) - 1]
+    sweep_tier = tiers[-1]
+    gate_exchange = sweep_tier["exchange_fraction"]
     payload = {
         "scale": scale,
         "repeats": repeats,
         "cpu_count": os.cpu_count(),
-        "shards": n_shards,
+        "shards": _N_SHARDS,
         "tiers": tiers,
         "default_scale_inprocess_speedup": default_tier[
             "sharded_inprocess_speedup"
         ],
         "default_scale_pool_speedup": default_tier.get("sharded_pool_speedup"),
+        "sweep_gates": sweep_tier["gates"],
+        "sweep_inprocess_speedup": sweep_tier["sharded_inprocess_speedup"],
+        "sweep_exchange_fraction": gate_exchange,
         "all_bit_identical": all(t["bit_identical"] for t in tiers),
     }
-    path = write_result("BENCH_sharded_inference", payload)
+    path = write_result(
+        "BENCH_sharded_inference",
+        payload,
+        trend_extra={
+            "sweep_exchange_fraction": gate_exchange,
+            "halo_fraction": gate_exchange,
+            "inprocess_speedups": {
+                str(t["tier"]): t["sharded_inprocess_speedup"] for t in tiers
+            },
+            "pool_speedups": {
+                str(t["tier"]): t.get("sharded_pool_speedup") for t in tiers
+            },
+        },
+    )
     print(f"wrote {path}")
+    if args.gate_exchange is not None and gate_exchange >= args.gate_exchange:
+        print(
+            f"FAIL: sweep-tier exchange_fraction {gate_exchange:.4f} >= "
+            f"gate {args.gate_exchange:.4f}"
+        )
+        sys.exit(1)
     return payload
 
 

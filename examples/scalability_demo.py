@@ -59,7 +59,10 @@ def main() -> None:
             f"{fast_per_node * 1e6:>9.2f} us   {rec_per_node / fast_per_node:>6.0f}x"
         )
 
-    print("\npartitioned inference (level-aware shards + one-hop halos):")
+    print(
+        "\npartitioned inference "
+        "(locality-aware shards + per-layer boundary exchange):"
+    )
     netlist = generate_design(20_000, seed=3)
     graph = build_graph(netlist)
     single = FastInference(weights).logits(graph)

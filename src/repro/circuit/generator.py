@@ -64,6 +64,11 @@ class GeneratorConfig:
     gating_depth: int = 3  #: width of low-probability enable cones
     gated_output_fraction: float = 0.15  #: share of block outputs gated
     dff_fraction: float = 0.0  #: share of block outputs registered
+    pi_interface: int | None = None  #: PIs sampled per block (None: auto; 0: all)
+    pi_window_fraction: float = 0.12  #: PI-space window a block's interface spans
+    import_window: int = 240  #: imports are drawn from this many newest exports
+    hub_window: int = 12  #: hub picks favour this many most recent hubs
+    hub_global_prob: float = 0.1  #: share of hub picks from the full hub list
 
 
 def _pick_gate_type(rng: np.random.Generator, n_fanin: int) -> GateType:
@@ -108,11 +113,20 @@ def generate_design(
         remaining -= block_gates
         block_index += 1
 
-        # Block inputs: a sample of global PIs plus earlier block outputs.
-        candidates = list(pis)
+        # Block inputs: a thin interface sampled from a window of the PI
+        # space (blocks sweeping the design see overlapping, drifting
+        # windows, the way placed partitions share nearby top-level pins)
+        # plus a sample of recently exported block outputs.
+        done_frac = (config.n_gates - remaining - block_gates) / max(1, config.n_gates)
+        candidates = _pick_block_interface(rng, pis, block_gates, done_frac, config)
         if inter_block:
-            take = min(len(inter_block), max(4, block_gates // 20))
-            candidates += list(rng.choice(inter_block, size=take, replace=False))
+            recent = (
+                inter_block[-config.import_window :]
+                if config.import_window
+                else inter_block
+            )
+            take = min(len(recent), max(4, block_gates // 20))
+            candidates += list(rng.choice(recent, size=take, replace=False))
 
         # Build the block level by level so its logic depth is bounded:
         # deep random AND/OR cascades would make most of the design
@@ -157,12 +171,51 @@ def generate_design(
         exported = _gate_block_outputs(netlist, rng, frontier, created, config)
         inter_block.extend(exported)
         if len(inter_block) > 4 * config.block_size:
-            inter_block = list(
-                rng.choice(inter_block, size=2 * config.block_size, replace=False)
-            )
+            # Keep the newest exports so import locality survives trimming.
+            inter_block = inter_block[-2 * config.block_size :]
 
     _register_outputs(netlist, rng, config)
     return netlist
+
+
+def _pick_block_interface(
+    rng: np.random.Generator,
+    pis: list[int],
+    block_gates: int,
+    done_frac: float,
+    config: GeneratorConfig,
+) -> list[int]:
+    """Sample the thin PI interface a block is wired to.
+
+    Real SoC partitions connect to a limited set of nearby top-level pins,
+    not to every primary input; the window drifts across the PI space as
+    blocks are emitted so neighbouring blocks share interface nets while
+    distant blocks touch disjoint ones.  ``pi_interface=0`` restores the
+    legacy all-PIs pool.
+    """
+    take = config.pi_interface
+    if take is None:
+        take = max(12, block_gates // 10)
+    if not take or len(pis) <= take:
+        return list(pis)
+    width = max(take, int(len(pis) * config.pi_window_fraction))
+    center = int(round(done_frac * (len(pis) - 1)))
+    lo = max(0, min(center - width // 2, len(pis) - width))
+    window = pis[lo : lo + width]
+    return [int(v) for v in rng.choice(window, size=min(take, len(window)), replace=False)]
+
+
+def _draw_hub(rng: np.random.Generator, hubs: list[int], config: GeneratorConfig) -> int:
+    """Pick a hub fanin, favouring recently promoted (nearby) hubs.
+
+    A small share of picks still comes from the full hub list so a few
+    enable/select-like nets stay genuinely global, as in real designs.
+    """
+    if len(hubs) > config.hub_window and rng.random() >= config.hub_global_prob:
+        pool = hubs[-config.hub_window :]
+    else:
+        pool = hubs
+    return int(pool[rng.integers(0, len(pool))])
 
 
 def _draw_fanins(
@@ -178,7 +231,7 @@ def _draw_fanins(
     while len(chosen) < n_fanin and attempts < 50:
         attempts += 1
         if hubs and rng.random() < config.hub_pick_prob:
-            candidate = int(hubs[rng.integers(0, len(hubs))])
+            candidate = _draw_hub(rng, hubs, config)
         else:
             candidate = int(pool[rng.integers(0, len(pool))])
         if candidate not in chosen:

@@ -114,7 +114,11 @@ class ExecutionConfig:
     shards: int | None = None
     #: execution-fabric backend request (``auto`` | ``inprocess`` |
     #: ``forkpool`` | ``socket``); ``auto`` honours
-    #: ``REPRO_EXEC_BACKEND`` then the engine's own workload heuristic
+    #: ``REPRO_EXEC_BACKEND`` then the engine's own workload heuristic.
+    #: Under ``socket``, sharded inference ships per-layer activation
+    #: frames by value (no ``/dev/shm`` references), so shard rounds are
+    #: runnable on any fleet host; with no reachable remote workers it
+    #: degrades to the forkpool path unchanged.
     exec_backend: str = "auto"
     #: sampling-profiler mode around executor submits (``auto`` | ``off``
     #: | ``light`` | ``full``); ``auto`` honours ``REPRO_PROFILE`` then

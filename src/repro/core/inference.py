@@ -37,22 +37,28 @@ def row_stable_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     in.  Sharded inference slices the node set into shards of varying
     height and still promises bit-identical float64 logits, so both the
     single-shard and sharded engines route every dense product through
-    this helper: zero-padding the narrow dimension up to four keeps the
-    computation on the row-stable blocked kernel, and the padding columns
-    or rows are exact zeros that never feed back into real outputs.
+    this helper.  Narrow outputs take an explicit fixed-order
+    k-accumulation — zero-padding the output up to four columns is not
+    enough, because skinny gemm still switches kernels on the row count
+    (observed: ``(3222, 128) @ (128, 2)`` rounds differently from its
+    805-row slice even padded).  The explicit loop makes every row an
+    independent, identically-ordered sum, at a cost that only the tiny
+    final layer pays.  Single rows are zero-padded up to the blocked
+    kernel's minimum height; padding rows are exact zeros that never
+    feed back into real outputs.
     """
     m, n = a.shape[0], b.shape[1]
-    if n >= 4 and m != 1:
-        return a @ b
     if n < 4:
-        b = np.concatenate(
-            [b, np.zeros((b.shape[0], 4 - n), dtype=b.dtype)], axis=1
-        )
+        out = np.zeros((m, n), dtype=np.result_type(a, b))
+        for k in range(a.shape[1]):
+            out += a[:, k : k + 1] * b[k]
+        return out
     if m == 1:
         a = np.concatenate(
             [a, np.zeros((3, a.shape[1]), dtype=a.dtype)], axis=0
         )
-    return (a @ b)[:m, :n]
+        return (a @ b)[:m]
+    return a @ b
 
 
 def _obs():

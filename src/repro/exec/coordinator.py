@@ -206,6 +206,13 @@ class Coordinator:
         self._submit_lock = threading.Lock()
         #: failed dispatches during the most recent submit (engine counters)
         self.last_submit_failures = 0
+        # Dispatch ids must be unique across the coordinator's lifetime,
+        # not merely within one submit: engines that submit many rounds
+        # in one session (sharded inference) reuse task indices, and a
+        # chaos-delayed reply from round d would otherwise match round
+        # d+1's identical (task, attempt) key and be reduced as its
+        # result.
+        self._attempt_seq = 0
         threading.Thread(
             target=self._accept_loop, name="repro-exec-accept", daemon=True
         ).start()
@@ -340,7 +347,6 @@ class Coordinator:
         done = [False] * n
         failures = [0] * n  # failed dispatches, any cause
         deaths = [0] * n  # dispatches that coincided with a worker death
-        attempt_counter = [0] * n
         inflight: dict[tuple[int, int], _Dispatch] = {}
         pending: deque[int] = deque()
         rescued: set[int] = set()
@@ -430,8 +436,8 @@ class Coordinator:
             conn.inflight.clear()
 
         def dispatch(i: int, conn: _WorkerConn) -> bool:
-            attempt_counter[i] += 1
-            attempt = attempt_counter[i]
+            self._attempt_seq += 1
+            attempt = self._attempt_seq
             task = tasks[i]
             try:
                 if conn.session != session:
@@ -446,7 +452,7 @@ class Coordinator:
                 )
             except (OSError, ConnectionError):
                 conn.kill()
-                attempt_counter[i] -= 1
+                # the attempt id is burned, never reused
                 return False
             inflight[(i, attempt)] = _Dispatch(conn)
             conn.inflight.add((i, attempt))

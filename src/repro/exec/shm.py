@@ -89,6 +89,25 @@ class SharedSegment:
         view[:] = source
         return cls(name, shm, view)
 
+    @classmethod
+    def zeros(cls, shape, dtype) -> "SharedSegment":
+        """An owned zero-filled segment (e.g. an activation slab workers
+        fill in place) — same lifecycle guarantees as :meth:`from_array`.
+        """
+        from multiprocessing import shared_memory
+
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        name = _new_name()
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, nbytes)
+        )
+        with _lock:
+            _live[name] = shm
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        view[:] = 0
+        return cls(name, shm, view)
+
     def close_unlink(self) -> None:
         """Release the parent mapping and remove the segment (idempotent)."""
         with _lock:

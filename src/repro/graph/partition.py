@@ -1,27 +1,37 @@
-"""Deterministic, level-aware edge-cut graph partitioning with halos.
+"""Deterministic locality-aware edge-cut graph partitioning.
 
 The GCN aggregates over predecessor *and* successor relations, so a shard
-can only compute a node's layer-``d`` embedding if it also holds the
-layer-``d-1`` embeddings of every in/out neighbour.  The partitioner
-therefore pairs each shard's *owned* node set with a **halo**: the one-hop
-neighbourhood taken once per aggregation layer (``halo_hops`` hops total).
-A node at hop ``h`` from the owned set is exact through layer ``L - h``,
-which is precisely deep enough for every contribution that reaches an
-owned node — so per-shard inference is self-contained and bit-identical
-for owned rows.
+can only compute a node's layer-``d`` embedding if it also sees the
+layer-``d-1`` embeddings of every in/out neighbour.  Sharded inference
+(:mod:`repro.graph.sharded`) satisfies that with **per-layer boundary
+exchange** (:mod:`repro.graph.exchange`): each shard computes owned rows
+only and swaps cut-edge activations between layers, so partition quality
+— the number of cut-adjacent nodes — is what the whole scheme's
+performance rides on.
 
-Assignment is deterministic and level-aware: nodes are ordered by
-``(logic level, node id)`` — levels computed from the predecessor DAG with
-Kahn's algorithm, tolerant of the sequential (DFF feedback) cycles real
-netlists contain — and split into contiguous runs balanced by
-``1 + fanin + fanout`` degree weight.  Level-contiguous runs keep most
-edges internal on feed-forward circuits (small edge cut, small halos), and
-the same input always produces the same partition, which the equivalence
-suite and checkpoint resume both rely on.
+The partitioner works in the netlist's creation order, which for both the
+synthetic generator and real synthesis netlists is the locality order
+(blocks are emitted one after another, wired mostly within themselves):
+
+1. **Degree-balanced targets** — cut positions that split the
+   ``1 + fanin + fanout`` weight evenly across shards.
+2. **Min-crossing snap** — each cut is moved to the position with the
+   fewest straddling undirected edges within ``seed_slack`` of its
+   balance target, aligning cuts with the thin inter-block interfaces.
+3. **Gain refinement** — up to ``refine_passes`` deterministic passes
+   move boundary nodes to the neighbouring shard holding most of their
+   neighbours, while both shards stay within ``balance_slack`` of the
+   mean weight.
+
+Mini-batch training still consumes the classic *halo* form (owned nodes
+plus a ``halo_hops``-hop borrowed neighbourhood, one hop per aggregation
+layer) via :func:`shard_minibatches`; inference passes
+``halo_hops=None`` and builds a :class:`~repro.graph.exchange.
+BoundaryPlan` instead.
 
 GROOT-style partition-based processing is how GNN pipelines reach
 multi-million-gate designs; unlike coarsening approaches, nothing here is
-approximate — the halo construction preserves exact aggregation semantics,
+approximate — boundary exchange preserves exact aggregation semantics,
 and :meth:`GraphPartition.validate` asserts the owned sets are an exact
 partition of the node set.
 """
@@ -52,19 +62,39 @@ class PartitionConfig:
 
     #: number of shards (clamped to the node count; >= 1)
     n_shards: int = 2
-    #: halo depth in hops — one hop per aggregation layer for exactness
-    halo_hops: int = 3
+    #: halo depth in hops — one hop per aggregation layer for exactness.
+    #: ``None`` (the default) skips halo construction entirely; consumers
+    #: that need halos (mini-batch training) pass the model depth
+    #: explicitly, so depth is never silently assumed.
+    halo_hops: int | None = None
+    #: how far (fraction of the node count) a cut may move from its
+    #: balance target while hunting for the minimum edge-crossing point
+    seed_slack: float = 0.04
+    #: per-shard degree-weight tolerance around the mean during refinement
+    balance_slack: float = 0.10
+    #: maximum boundary-refinement passes (0 disables refinement)
+    refine_passes: int = 8
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
-        if self.halo_hops < 0:
+        if self.halo_hops is not None and self.halo_hops < 0:
             raise ValueError("halo_hops must be >= 0")
+        if not 0.0 <= self.seed_slack < 1.0:
+            raise ValueError("seed_slack must be in [0, 1)")
+        if not 0.0 <= self.balance_slack < 1.0:
+            raise ValueError("balance_slack must be in [0, 1)")
+        if self.refine_passes < 0:
+            raise ValueError("refine_passes must be >= 0")
 
 
 @dataclass
 class Shard:
-    """One shard: owned nodes plus the halo needed for local aggregation."""
+    """One shard: owned nodes plus the halo needed for local aggregation.
+
+    Under boundary exchange the halo is empty and ``nodes == owned``; the
+    frontier lives in the :class:`~repro.graph.exchange.BoundaryPlan`.
+    """
 
     index: int
     #: global node ids this shard is responsible for (sorted, exclusive)
@@ -100,6 +130,9 @@ class GraphPartition:
     edge_cut: int = 0
     #: max over shards of (shard weight / mean shard weight); 1.0 = perfect
     imbalance: float = 1.0
+    #: distinct (node, remote-adjacent shard) pairs over the node count —
+    #: the rows per layer that boundary exchange ships between shards
+    frontier_fraction: float = 0.0
     #: per-node owning shard index
     owner: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
 
@@ -143,7 +176,10 @@ def _dag_levels(pred: sp.csr_matrix) -> np.ndarray:
     ``pred[v, u] != 0`` means ``u`` drives ``v``.  Kahn's algorithm over
     that relation; nodes caught in cycles (sequential feedback through
     flops appears as cycles in the exported adjacency) keep level 0 — they
-    only need *a* deterministic level, not a meaningful one.
+    only need *a* deterministic level, not a meaningful one.  Retained for
+    level-aware consumers (diagnostics, tests); the partitioner itself
+    works in creation order, which preserves block locality where level
+    order interleaves blocks and cuts nearly every edge.
     """
     n = pred.shape[0]
     levels = np.zeros(n, dtype=np.int64)
@@ -181,6 +217,113 @@ def _balanced_boundaries(weights: np.ndarray, n_shards: int) -> list[np.ndarray]
     return [np.arange(bounds[i], bounds[i + 1]) for i in range(n_shards)]
 
 
+def _crossing_profile(undirected: sp.csr_matrix) -> np.ndarray:
+    """``crossing[i]``: undirected edges straddling a cut before index ``i``.
+
+    An edge ``(u, v)`` with ``u < v`` crosses every cut position
+    ``u < i <= v``; a +1/-1 difference array over unique pairs turns the
+    whole profile into one cumulative sum.
+    """
+    n = undirected.shape[0]
+    coo = undirected.tocoo()
+    mask = coo.row < coo.col  # each symmetric pair once
+    lo = coo.row[mask].astype(np.int64)
+    hi = coo.col[mask].astype(np.int64)
+    diff = np.bincount(lo + 1, minlength=n + 1).astype(np.int64)
+    diff -= np.bincount(hi + 1, minlength=n + 1)
+    return np.cumsum(diff)[:n]
+
+
+def _min_crossing_bounds(
+    weights: np.ndarray,
+    crossing: np.ndarray,
+    n_shards: int,
+    seed_slack: float,
+) -> list[np.ndarray]:
+    """Contiguous runs balanced by weight, each cut snapped to the
+    minimum-crossing position within ``seed_slack`` of its target.
+
+    Netlists are emitted block by block, so the crossing profile dips at
+    block boundaries; snapping cuts into those dips is what keeps the
+    exchanged frontier thin before refinement even starts.
+    """
+    n = len(weights)
+    cumulative = np.cumsum(weights, dtype=np.float64)
+    total = float(cumulative[-1])
+    half = max(1, int(n * seed_slack))
+    bounds = [0]
+    for k in range(1, n_shards):
+        target = int(np.searchsorted(cumulative, total * k / n_shards))
+        floor = bounds[-1] + 1
+        ceil = n - (n_shards - k)
+        lo = max(floor, target - half)
+        hi = min(ceil, target + half)
+        if lo > hi:  # window squeezed shut by earlier cuts: keep balance
+            cut = min(max(target, floor), ceil)
+        else:
+            cut = lo + int(np.argmin(crossing[lo : hi + 1]))
+        bounds.append(cut)
+    bounds.append(n)
+    return [np.arange(bounds[i], bounds[i + 1]) for i in range(n_shards)]
+
+
+def _refine_owner(
+    owner: np.ndarray,
+    undirected: sp.csr_matrix,
+    weights: np.ndarray,
+    n_shards: int,
+    passes: int,
+    balance_slack: float,
+) -> np.ndarray:
+    """Deterministic gain-based boundary refinement.
+
+    Each pass visits the current boundary nodes in id order and moves a
+    node to the neighbouring shard holding strictly more of its
+    neighbours, provided both shards stay within ``balance_slack`` of the
+    mean degree weight and neither empties.  Stops early when a pass moves
+    nothing.
+    """
+    if n_shards < 2 or passes <= 0:
+        return owner
+    indptr, indices = undirected.indptr, undirected.indices
+    n = len(owner)
+    row = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    load = np.zeros(n_shards, dtype=np.float64)
+    np.add.at(load, owner, weights)
+    counts = np.bincount(owner, minlength=n_shards)
+    target = float(weights.sum()) / n_shards
+    lo = (1.0 - balance_slack) * target
+    hi = (1.0 + balance_slack) * target
+    for _ in range(passes):
+        cross = owner[row] != owner[indices]
+        boundary = np.unique(row[cross])
+        moved = 0
+        for v in boundary:
+            nb = indices[indptr[v] : indptr[v + 1]]
+            if not len(nb):
+                continue
+            here = np.bincount(owner[nb], minlength=n_shards)
+            a = owner[v]
+            b = int(np.argmax(here))
+            w = float(weights[v])
+            if (
+                b != a
+                and here[b] > here[a]
+                and counts[a] > 1
+                and load[a] - w >= lo
+                and load[b] + w <= hi
+            ):
+                owner[v] = b
+                load[a] -= w
+                load[b] += w
+                counts[a] -= 1
+                counts[b] += 1
+                moved += 1
+        if not moved:
+            break
+    return owner
+
+
 def _halo(
     owned_mask: np.ndarray, undirected: sp.csr_matrix, hops: int
 ) -> np.ndarray:
@@ -200,7 +343,7 @@ def _halo(
 def partition_graph(
     graph: GraphData, config: PartitionConfig | None = None
 ) -> GraphPartition:
-    """Partition ``graph`` into level-aware, degree-balanced shards.
+    """Partition ``graph`` into locality-aware, degree-balanced shards.
 
     Deterministic: the same graph and config always yield the same
     partition.  Handles every degenerate shape the test suite throws at
@@ -208,31 +351,49 @@ def partition_graph(
     nodes (clamped), and halos that swallow the whole graph.
     """
     config = config or PartitionConfig()
+    halo_hops = config.halo_hops or 0
     n = graph.num_nodes
     if n == 0:
-        return GraphPartition(shards=[], n_nodes=0, halo_hops=config.halo_hops)
+        return GraphPartition(shards=[], n_nodes=0, halo_hops=halo_hops)
     n_shards = min(config.n_shards, n)
     with span("graph.partition", nodes=n, shards=n_shards):
         pred = graph.pred.to_scipy()
         succ = graph.succ.to_scipy()
-        levels = _dag_levels(pred)
         indeg = np.diff(pred.indptr).astype(np.int64)
         outdeg = np.diff(succ.indptr).astype(np.int64)
         weights = 1 + indeg + outdeg
-
-        # Level-aware deterministic order: primary logic level, ties by id.
-        order = np.lexsort((np.arange(n), levels))
-        runs = _balanced_boundaries(weights[order], n_shards)
-
         undirected = ((pred != 0) + (succ != 0)).tocsr()
+
+        # Seed: contiguous id-order blocks (the netlist's locality order),
+        # cuts snapped to thin inter-block interfaces; then refine.
         owner = np.empty(n, dtype=np.int64)
+        if n_shards > 1:
+            crossing = _crossing_profile(undirected)
+            runs = _min_crossing_bounds(
+                weights, crossing, n_shards, config.seed_slack
+            )
+            for i, run in enumerate(runs):
+                owner[run] = i
+            owner = _refine_owner(
+                owner,
+                undirected,
+                weights.astype(np.float64),
+                n_shards,
+                config.refine_passes,
+                config.balance_slack,
+            )
+        else:
+            owner[:] = 0
+
         shards: list[Shard] = []
-        for i, run in enumerate(runs):
-            owned = np.sort(order[run])
-            owner[owned] = i
-            owned_mask = np.zeros(n, dtype=bool)
-            owned_mask[owned] = True
-            halo = _halo(owned_mask, undirected, config.halo_hops)
+        for i in range(n_shards):
+            owned = np.flatnonzero(owner == i)
+            if halo_hops:
+                owned_mask = np.zeros(n, dtype=bool)
+                owned_mask[owned] = True
+                halo = _halo(owned_mask, undirected, halo_hops)
+            else:
+                halo = np.empty(0, dtype=np.int64)
             nodes = np.union1d(owned, halo)
             local_owned = np.searchsorted(nodes, owned)
             shards.append(
@@ -249,6 +410,13 @@ def partition_graph(
         drivers = graph.pred.cols
         sinks = graph.pred.rows
         edge_cut = int((owner[drivers] != owner[sinks]).sum())
+        coo = undirected.tocoo()
+        cross = owner[coo.row] != owner[coo.col]
+        # Distinct (node, remote shard) pairs: the per-layer exchange rows.
+        pairs = np.unique(
+            coo.col[cross].astype(np.int64) * n_shards + owner[coo.row[cross]]
+        )
+        frontier_fraction = len(pairs) / n
         shard_weights = np.array([s.weight for s in shards], dtype=np.float64)
         imbalance = (
             float(shard_weights.max() / shard_weights.mean())
@@ -258,9 +426,10 @@ def partition_graph(
     return GraphPartition(
         shards=shards,
         n_nodes=n,
-        halo_hops=config.halo_hops,
+        halo_hops=halo_hops,
         edge_cut=edge_cut,
         imbalance=imbalance,
+        frontier_fraction=frontier_fraction,
         owner=owner,
     )
 

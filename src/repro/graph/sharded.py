@@ -1,32 +1,46 @@
-"""Partitioned (sharded) GCN inference across a fork/process pool.
+"""Partitioned (sharded) GCN inference with per-layer boundary exchange.
 
 :class:`ShardedInference` runs the same sparse-matmul chain as
-:class:`~repro.core.inference.FastInference`, but per shard of a
-level-aware edge-cut partition (:mod:`repro.graph.partition`): each
-shard's local graph is its owned nodes plus a ``depth``-hop halo, so the
-chain over the local sub-CSRs reproduces the whole-graph embeddings of the
-owned rows *bit-identically* at float64 — the sub-CSRs are sliced from the
-same cached global CSR (duplicate summation already done, per-row column
-order preserved by the sorted local id map), and every dense step is
-row-independent.
+:class:`~repro.core.inference.FastInference`, but partitioned: each shard
+of a locality-aware edge cut (:mod:`repro.graph.partition`) computes
+layer embeddings for its *owned* rows only, reading the cut frontier's
+rows from its peers between layers.  The exchange schedule — who ships
+which activation rows to whom each round — is compiled once per
+partition into a :class:`~repro.graph.exchange.BoundaryPlan`; with a
+thin cut, per-shard work is ``owned + frontier`` rows instead of the
+near-whole-graph halo the precomputed-halo model re-ran per shard.
 
-The multi-core path mirrors :class:`~repro.atpg.ppsfp.PpsfpEngine`: a
-supervised fork pool from the execution fabric (:mod:`repro.exec`) whose
-workers hold the (dtype-cast) weights and global adjacency, the attribute
-matrix passed once per call through a fabric-owned shared-memory segment,
-and the fabric's supervision ladder — failed shards are retried with a
-pool rebuild, then graded in-process (bit-identical, since both paths run
-the same chain function) once retries are exhausted.
+Every path is bit-identical at float64 to the single-shard engine: the
+local adjacency rows are the global CSR rows (duplicate summation done
+once, globally; per-row column order preserved by the sorted local
+universe), dense steps are row-independent, and exchanged rows are exact
+copies of the owner's computed rows.
+
+Three transports, one kernel (:func:`~repro.graph.exchange.
+run_shard_round`):
+
+* **inprocess** — per-shard local buffers, frontier rows landed by
+  direct ``send``/``recv`` index copies;
+* **forkpool** — two parent-owned shared-memory activation slabs
+  ping-ponged between layers; each round's tasks read the previous
+  layer's slab and write disjoint owned rows into the next, so retries
+  are idempotent and the slab swap is the exchange;
+* **socket** — activation frames shipped *by value* over the
+  coordinator's CRC framing: each task carries the shard's local input
+  rows and returns its owned output rows, so remote workers never need
+  the submitting host's ``/dev/shm`` and requeued/stale-generation tasks
+  are safe to re-run.
+
+Failed rounds follow the fabric's supervision ladder — retry with pool
+rebuild, then per-task in-process rescue (bit-identical, same kernel).
 """
 
 from __future__ import annotations
 
 import pickle
 import time
-from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.config import ExecutionConfig
 from repro.core.graphdata import GraphData
@@ -36,11 +50,21 @@ from repro.exec import (
     ExecPolicy,
     Executor,
     ShardTask,
+    SharedSegment,
     attached_ndarray,
     make_executor,
-    owned_ndarray,
 )
-from repro.graph.partition import GraphPartition, PartitionConfig, partition_graph
+from repro.graph.exchange import (
+    BoundaryPlan,
+    compile_boundary_plan,
+    exchange_obs,
+    run_shard_round,
+)
+from repro.graph.partition import (
+    GraphPartition,
+    PartitionConfig,
+    partition_graph,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.resilience.retry import RetryPolicy
@@ -75,139 +99,87 @@ def _obs():
 
 
 # --------------------------------------------------------------------- #
-# The per-shard compute chain (shared by every execution path)
-# --------------------------------------------------------------------- #
-def _slice_shard(
-    pred: sp.csr_matrix, succ: sp.csr_matrix, nodes: np.ndarray
-) -> tuple[sp.csr_matrix, sp.csr_matrix]:
-    """Local sub-CSRs for one shard's node universe.
-
-    Slicing the cached whole-graph CSR keeps entry values (duplicates
-    already summed once, globally) and per-row column order exactly as the
-    single-shard engine sees them — the root of bit-identity.
-    """
-    return pred[nodes][:, nodes], succ[nodes][:, nodes]
-
-
-def _shard_chain(
-    weights: GCNWeights,
-    dtype: np.dtype,
-    pred_sub: sp.csr_matrix,
-    succ_sub: sp.csr_matrix,
-    attributes: np.ndarray,
-    local_owned: np.ndarray,
-    with_head: bool,
-) -> np.ndarray:
-    """Run the GCN chain on one shard; return the owned rows.
-
-    Identical operation sequence to ``FastInference.embed``/``logits`` —
-    any change there must land here too, or the equivalence suite fails.
-    """
-    embeddings = attributes
-    if dtype != np.float64:
-        pred_sub = pred_sub.astype(dtype)
-        succ_sub = succ_sub.astype(dtype)
-        embeddings = embeddings.astype(dtype)
-    for d in range(weights.depth):
-        aggregated = (
-            embeddings
-            + weights.w_pr * (pred_sub @ embeddings)
-            + weights.w_su * (succ_sub @ embeddings)
-        )
-        embeddings = row_stable_matmul(aggregated, weights.encoder_weights[d])
-        bias = weights.encoder_biases[d]
-        if bias is not None:
-            embeddings += bias
-        np.maximum(embeddings, 0.0, out=embeddings)
-    if not with_head:
-        return embeddings[local_owned]
-    h = embeddings
-    last = len(weights.fc_weights) - 1
-    for i, (weight, bias) in enumerate(
-        zip(weights.fc_weights, weights.fc_biases)
-    ):
-        h = row_stable_matmul(h, weight)
-        if bias is not None:
-            h += bias
-        if i < last:
-            np.maximum(h, 0.0, out=h)
-    return h[local_owned]
-
-
-# --------------------------------------------------------------------- #
 # Worker-process side
 # --------------------------------------------------------------------- #
 _WORKER_STATE: tuple | None = None
 
 
-def _shard_worker_init(payload: bytes) -> None:
-    """Build per-process state once (fork initializer): cast weights and
-    the global adjacency CSRs, shared by every shard this worker grades."""
+def _exchange_worker_init(payload: bytes) -> None:
+    """Build per-process state once (fork/socket initializer): the
+    dtype-cast weights and every shard's compiled exchange structures, so
+    any worker can run any shard's round (retries may land anywhere)."""
     global _WORKER_STATE
-    weights, dtype_name, pred, succ = pickle.loads(payload)
-    dtype = np.dtype(dtype_name)
-    _WORKER_STATE = (weights.astype(dtype), dtype, pred, succ)
+    weights, dtype_name, shards = pickle.loads(payload)
+    _WORKER_STATE = (weights, np.dtype(dtype_name), shards)
 
 
-def _shard_worker_logits(
-    shm_name: str,
-    shape: tuple[int, int],
-    attr_dtype: str,
-    nodes: np.ndarray,
-    local_owned: np.ndarray,
-    with_head: bool,
-) -> np.ndarray:
-    """Grade one shard against the shared attribute matrix."""
+def _worker_state() -> tuple:
     if _WORKER_STATE is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("sharded-inference worker used before init")
-    weights, dtype, pred, succ = _WORKER_STATE
-    with attached_ndarray(shm_name, shape, attr_dtype) as attributes:
-        pred_sub, succ_sub = _slice_shard(pred, succ, nodes)
-        # Copy out of the shared segment before compute so the buffer can
-        # be released promptly.
-        attrs = np.array(attributes[nodes])
-    return _shard_chain(
-        weights, dtype, pred_sub, succ_sub, attrs, local_owned, with_head
+    return _WORKER_STATE
+
+
+def _exchange_worker_round(
+    shard_index: int,
+    layer: int,
+    with_head: bool,
+    in_name: str,
+    out_name: str,
+    slab_shape: tuple[int, int],
+    dtype_name: str,
+    w_in: int,
+    w_out: int,
+) -> tuple[int, int]:
+    """One forkpool exchange round: read the shard's universe rows from
+    the input slab, compute the layer, write owned rows to the output
+    slab.  Owned sets are disjoint, so concurrent (and retried) writes
+    never conflict; the returned shape is a CRC-verified completion
+    marker."""
+    weights, _, shards = _worker_state()
+    sh = shards[shard_index]
+    with attached_ndarray(in_name, slab_shape, dtype_name) as prev, \
+            attached_ndarray(out_name, slab_shape, dtype_name) as nxt:
+        local_prev = np.ascontiguousarray(prev[sh.universe, :w_in])
+        result = run_shard_round(weights, sh, local_prev, layer, with_head)
+        nxt[sh.owned, :w_out] = result
+    return result.shape
+
+
+def _exchange_round_by_value(
+    shard_index: int,
+    layer: int,
+    with_head: bool,
+    local_prev: np.ndarray,
+) -> np.ndarray:
+    """One socket exchange round: the activation frame travels in the
+    task args, the owned rows travel back in the result — stateless per
+    round, so network requeues and duplicate deliveries are harmless."""
+    weights, _, shards = _worker_state()
+    return run_shard_round(
+        weights, shards[shard_index], local_prev, layer, with_head
     )
 
 
 # --------------------------------------------------------------------- #
-@dataclass
-class _ShardSlices:
-    """One shard's precomputed local matrices (in-process path cache)."""
-
-    owned: np.ndarray
-    nodes: np.ndarray
-    local_owned: np.ndarray
-    pred_sub: sp.csr_matrix
-    succ_sub: sp.csr_matrix
-
-
 class _Plan:
-    """Partition + sub-CSR cache for one (graph, shard-count) binding."""
+    """Partition + boundary-exchange cache for one (graph, shards) pair."""
 
-    def __init__(self, graph: GraphData, n_shards: int, halo_hops: int):
+    def __init__(self, graph: GraphData, n_shards: int, dtype: np.dtype):
         self.graph = graph
         self.n_shards = n_shards
         self.partition: GraphPartition = partition_graph(
-            graph, PartitionConfig(n_shards=n_shards, halo_hops=halo_hops)
+            graph, PartitionConfig(n_shards=n_shards)
         )
-        pred = graph.pred.to_scipy()
-        succ = graph.succ.to_scipy()
-        self.pred = pred
-        self.succ = succ
-        self.shards = []
-        for shard in self.partition.shards:
-            pred_sub, succ_sub = _slice_shard(pred, succ, shard.nodes)
-            self.shards.append(
-                _ShardSlices(
-                    owned=shard.owned,
-                    nodes=shard.nodes,
-                    local_owned=shard.local_owned,
-                    pred_sub=pred_sub,
-                    succ_sub=succ_sub,
-                )
-            )
+        self.exchange: BoundaryPlan = compile_boundary_plan(
+            graph.pred.to_scipy(),
+            graph.succ.to_scipy(),
+            self.partition.owner,
+            self.partition.n_shards,
+        )
+        if dtype != np.float64:
+            for sh in self.exchange.shards:
+                sh.pred_rows = sh.pred_rows.astype(dtype)
+                sh.succ_rows = sh.succ_rows.astype(dtype)
 
 
 class ShardedInference:
@@ -216,9 +188,15 @@ class ShardedInference:
     Drop-in for :class:`~repro.core.inference.FastInference` (same
     ``logits`` / ``predict`` / ``predict_proba`` / ``embed`` surface),
     parameterised by an :class:`~repro.config.ExecutionConfig` for dtype,
-    worker and shard counts.  The partition and per-shard sub-matrices are
-    cached per graph, so repeated scoring of one design (the serve path)
-    pays the partitioning cost once.
+    worker and shard counts.  The partition and exchange plan are cached
+    per graph, so repeated scoring of one design (the serve path) pays
+    the partitioning cost once.
+
+    The exchange depth is always the model's layer count — one round per
+    aggregation layer, derived from ``weights.depth`` rather than any
+    partitioner default.  ``halo_hops`` is kept as an explicit override
+    knob for API compatibility and validated against the depth (a halo
+    shallower than the model is inexact in any execution model).
     """
 
     def __init__(
@@ -231,7 +209,7 @@ class ShardedInference:
         self.execution = execution or ExecutionConfig()
         self.dtype = self.execution.numpy_dtype()
         self.weights = weights.astype(self.dtype)
-        #: halo depth; must cover every aggregation layer for exactness
+        #: exchange depth; must cover every aggregation layer for exactness
         self.halo_hops = weights.depth if halo_hops is None else halo_hops
         if self.halo_hops < weights.depth:
             raise ValueError(
@@ -245,10 +223,12 @@ class ShardedInference:
         #: grade failed shards in-process (bit-identical) after retries
         self.serial_fallback: bool = True
         #: injectable for fault-injection tests (must stay picklable)
-        self.worker_fn = _shard_worker_logits
+        self.worker_fn = _exchange_worker_round
+        #: socket-transport counterpart (activation frames by value)
+        self.socket_worker_fn = _exchange_round_by_value
         self._plan: _Plan | None = None
         self._executor: Executor | None = None
-        self._pool_graph: GraphData | None = None
+        self._pool_plan: _Plan | None = None
         self._sleep = time.sleep
 
     @classmethod
@@ -265,7 +245,7 @@ class ShardedInference:
         if self._executor is not None:
             self._executor.close()
             self._executor = None
-            self._pool_graph = None
+            self._pool_plan = None
 
     def __enter__(self) -> "ShardedInference":
         return self
@@ -281,7 +261,7 @@ class ShardedInference:
 
     # ------------------------------------------------------------------ #
     def plan_for(self, graph: GraphData) -> _Plan:
-        """The cached partition/sub-matrix plan for ``graph``."""
+        """The cached partition/exchange plan for ``graph``."""
         n_shards = self.execution.resolved_shards(max(1, graph.num_nodes))
         plan = self._plan
         if (
@@ -289,7 +269,7 @@ class ShardedInference:
             or plan.graph is not graph
             or plan.n_shards != n_shards
         ):
-            plan = _Plan(graph, n_shards, self.halo_hops)
+            plan = _Plan(graph, n_shards, self.dtype)
             self._plan = plan
         return plan
 
@@ -333,6 +313,28 @@ class ShardedInference:
         return proba
 
     # ------------------------------------------------------------------ #
+    def _layer_widths(self, graph: GraphData) -> list[int]:
+        """Activation width entering each round (index 0: attributes)."""
+        return [graph.attributes.shape[1]] + [
+            w.shape[1] for w in self.weights.encoder_weights
+        ]
+
+    def _cast_attributes(self, graph: GraphData) -> np.ndarray:
+        attrs = graph.attributes
+        if attrs.dtype != self.dtype:
+            attrs = attrs.astype(self.dtype)
+        return attrs
+
+    def _record_exchange(self, plan: _Plan, widths: list[int]) -> None:
+        rounds_c, rows_c, bytes_c, fraction_g = exchange_obs()
+        depth = self.weights.depth
+        rounds_c.inc(depth)
+        rows = plan.exchange.exchange_rows
+        rows_c.inc(rows * depth)
+        itemsize = np.dtype(self.dtype).itemsize
+        bytes_c.inc(sum(rows * widths[d] * itemsize for d in range(depth)))
+        fraction_g.set(plan.exchange.exchange_fraction)
+
     def _run(self, graph: GraphData, with_head: bool) -> np.ndarray:
         n_cols = (
             self.weights.fc_weights[-1].shape[1]
@@ -347,47 +349,92 @@ class ShardedInference:
             "inference.sharded",
             graph=graph.name,
             nodes=graph.num_nodes,
-            shards=plan.n_shards,
+            shards=plan.partition.n_shards,
         ):
             resolved = self.execution.resolve_exec_backend(default="forkpool")
             use_pool = (
                 plan.partition.n_shards > 1
+                and self.weights.depth > 0
                 and self.execution.resolved_workers() > 1
                 and resolved != "inprocess"
             )
-            if use_pool:
-                self._pool_run(graph, plan, with_head, out, resolved)
+            if use_pool and resolved == "socket":
+                self._socket_run(graph, plan, with_head, out)
+            elif use_pool:
+                self._shm_run(graph, plan, with_head, out)
             else:
-                for i, s in enumerate(plan.shards):
-                    out[s.owned] = self._shard_in_process(
-                        graph, s, with_head, index=i
-                    )
+                self._inprocess_run(graph, plan, with_head, out)
+            self._record_exchange(plan, self._layer_widths(graph))
         return out
 
-    def _shard_in_process(
-        self, graph: GraphData, s: _ShardSlices, with_head: bool, index: int
-    ) -> np.ndarray:
-        with span("inference.shard", shard=index, nodes=len(s.nodes)):
-            return _shard_chain(
-                self.weights,
-                self.dtype,
-                s.pred_sub,
-                s.succ_sub,
-                graph.attributes[s.nodes],
-                s.local_owned,
-                with_head,
-            )
+    # ------------------------------------------------------------------ #
+    # In-process transport: per-shard buffers + direct send/recv copies
+    # ------------------------------------------------------------------ #
+    def _head_only(self, attrs: np.ndarray, with_head: bool) -> np.ndarray:
+        """Depth-0 degenerate model: the (row-local) head, unsharded."""
+        h = attrs
+        if not with_head:
+            return h
+        last = len(self.weights.fc_weights) - 1
+        for i, (weight, bias) in enumerate(
+            zip(self.weights.fc_weights, self.weights.fc_biases)
+        ):
+            h = row_stable_matmul(h, weight)
+            if bias is not None:
+                h += bias
+            if i < last:
+                np.maximum(h, 0.0, out=h)
+        return h
+
+    def _inprocess_run(
+        self, graph: GraphData, plan: _Plan, with_head: bool, out: np.ndarray
+    ) -> None:
+        attrs = self._cast_attributes(graph)
+        depth = self.weights.depth
+        if depth == 0:
+            out[:] = self._head_only(attrs, with_head)
+            return
+        shards = plan.exchange.shards
+        current = [np.ascontiguousarray(attrs[sh.universe]) for sh in shards]
+        results: list[np.ndarray] = []
+        for d in range(depth):
+            results = []
+            for i, sh in enumerate(shards):
+                with span("inference.shard", shard=i, layer=d,
+                          nodes=sh.n_local):
+                    results.append(
+                        run_shard_round(
+                            self.weights, sh, current[i], d, with_head
+                        )
+                    )
+            if d == depth - 1:
+                break
+            # Exchange: each shard keeps its owned rows and lands every
+            # peer's shipped frontier rows via the compiled index lists.
+            for i, sh in enumerate(shards):
+                nxt = np.empty(
+                    (sh.n_local, results[i].shape[1]), dtype=self.dtype
+                )
+                nxt[sh.owned_pos] = results[i]
+                current[i] = nxt
+            for i, sh in enumerate(shards):
+                for src, positions in sh.recv.items():
+                    current[i][positions] = results[src][shards[src].send[i]]
+        for i, sh in enumerate(shards):
+            out[sh.owned] = results[i]
 
     # ------------------------------------------------------------------ #
-    def _make_executor(self, plan: _Plan, backend: str = "forkpool") -> Executor:
+    # Pool transports
+    # ------------------------------------------------------------------ #
+    def _make_executor(self, plan: _Plan, backend: str) -> Executor:
         payload = pickle.dumps(
-            (self.weights, self.dtype.name, plan.pred, plan.succ)
+            (self.weights, self.dtype.name, plan.exchange.shards)
         )
         return make_executor(
             backend,
             name="inference",
             max_workers=max(1, self.execution.resolved_workers()),
-            initializer=_shard_worker_init,
+            initializer=_exchange_worker_init,
             initargs=(payload,),
             sleep=self._sleep,
             profile=self.execution.profile,
@@ -400,50 +447,142 @@ class ShardedInference:
             serial_fallback=self.serial_fallback,
         )
 
-    def _pool_run(
-        self,
-        graph: GraphData,
-        plan: _Plan,
-        with_head: bool,
-        out: np.ndarray,
-        backend: str = "forkpool",
-    ) -> None:
-        # The worker initializer bakes in this plan's global CSRs, so a new
-        # graph (or a different resolved backend) needs a new pool.
+    def _ensure_executor(self, plan: _Plan, backend: str) -> Executor:
+        # The worker initializer bakes in this plan's exchange structures,
+        # so a new plan (or a different resolved backend) needs a new pool.
         if self._executor is not None and (
-            self._pool_graph is not plan.graph or self._executor.kind != backend
+            self._pool_plan is not plan or self._executor.kind != backend
         ):
             self.close()
         if self._executor is None:
             self._executor = self._make_executor(plan, backend)
-            self._pool_graph = plan.graph
-        attributes = np.ascontiguousarray(graph.attributes)
+            self._pool_plan = plan
+        return self._executor
+
+    def _rounds(self, with_head: bool) -> list[tuple[int, bool]]:
+        """(layer, run-head-this-round) schedule; head fuses into the
+        last encoder round because it is row-local."""
+        depth = self.weights.depth
+        return [(d, with_head and d == depth - 1) for d in range(depth)]
+
+    def _shm_run(
+        self, graph: GraphData, plan: _Plan, with_head: bool, out: np.ndarray
+    ) -> None:
+        """Forkpool transport: two shared activation slabs, ping-ponged.
+
+        Round ``d`` reads slab ``d % 2`` and writes slab ``(d+1) % 2``;
+        each round is a barrier (all shards complete before the next
+        starts), so the slab swap *is* the boundary exchange.
+        """
+        executor = self._ensure_executor(plan, "forkpool")
+        shards = plan.exchange.shards
+        widths = self._layer_widths(graph)
+        n = graph.num_nodes
+        n_cols = out.shape[1]
+        max_width = max(widths + [n_cols])
+        slab_shape = (n, max_width)
         *_, failure_counter = _obs()
-        with owned_ndarray(attributes) as segment:
+        slabs = (
+            SharedSegment.zeros(slab_shape, self.dtype),
+            SharedSegment.zeros(slab_shape, self.dtype),
+        )
+        try:
+            slabs[0].array[:, : widths[0]] = graph.attributes
+            rounds: list[list[ShardTask]] = []
+            for d, head_round in self._rounds(with_head):
+                src, dst = slabs[d % 2], slabs[(d + 1) % 2]
+                w_in = widths[d]
+                w_out = n_cols if head_round else widths[d + 1]
+                rounds.append(
+                    [
+                        ShardTask(
+                            key=f"shard{i}:layer{d}",
+                            fn=self.worker_fn,
+                            args=(
+                                i,
+                                d,
+                                head_round,
+                                src.name,
+                                dst.name,
+                                slab_shape,
+                                self.dtype.name,
+                                w_in,
+                                w_out,
+                            ),
+                            fallback=self._slab_fallback(
+                                shards[i], d, head_round, src, dst, w_in,
+                                w_out,
+                            ),
+                        )
+                        for i in range(len(shards))
+                    ]
+                )
+            executor.submit_rounds(
+                rounds, policy=self._exec_policy(), sleep=self._sleep
+            )
+            if executor.last_submit_failures:
+                failure_counter.inc(executor.last_submit_failures)
+            final = slabs[self.weights.depth % 2].array
+            out[:] = final[:, :n_cols]
+        finally:
+            slabs[0].close_unlink()
+            slabs[1].close_unlink()
+
+    def _slab_fallback(
+        self, sh, layer: int, head_round: bool, src: SharedSegment,
+        dst: SharedSegment, w_in: int, w_out: int,
+    ):
+        def fallback():
+            local_prev = np.ascontiguousarray(src.array[sh.universe, :w_in])
+            result = run_shard_round(
+                self.weights, sh, local_prev, layer, head_round
+            )
+            dst.array[sh.owned, :w_out] = result
+            return result.shape
+
+        return fallback
+
+    def _socket_run(
+        self, graph: GraphData, plan: _Plan, with_head: bool, out: np.ndarray
+    ) -> None:
+        """Socket transport: activation frames by value, one task per
+        shard per round — no shared memory, so the fleet's workers can
+        live on any host and every retry/requeue is idempotent."""
+        executor = self._ensure_executor(plan, "socket")
+        shards = plan.exchange.shards
+        *_, failure_counter = _obs()
+        previous = np.ascontiguousarray(self._cast_attributes(graph))
+        depth = self.weights.depth
+        for d, head_round in self._rounds(with_head):
+            frames = [
+                np.ascontiguousarray(previous[sh.universe]) for sh in shards
+            ]
             tasks = [
                 ShardTask(
-                    key=f"shard{i}",
-                    fn=self.worker_fn,
-                    args=(
-                        segment.name,
-                        attributes.shape,
-                        attributes.dtype.name,
-                        s.nodes,
-                        s.local_owned,
-                        with_head,
-                    ),
+                    key=f"shard{i}:layer{d}",
+                    fn=self.socket_worker_fn,
+                    args=(i, d, head_round, frames[i]),
                     fallback=(
-                        lambda s=s, i=i: self._shard_in_process(
-                            graph, s, with_head, index=i
+                        lambda i=i, d=d, head_round=head_round,
+                        frame=frames[i]: run_shard_round(
+                            self.weights, shards[i], frame, d, head_round
                         )
                     ),
                 )
-                for i, s in enumerate(plan.shards)
+                for i in range(len(shards))
             ]
-            results = self._executor.submit(
+            results = executor.submit(
                 tasks, policy=self._exec_policy(), sleep=self._sleep
             )
-        if self._executor.last_submit_failures:
-            failure_counter.inc(self._executor.last_submit_failures)
-        for i, s in enumerate(plan.shards):
-            out[s.owned] = results[i]
+            if executor.last_submit_failures:
+                failure_counter.inc(executor.last_submit_failures)
+            if d == depth - 1:
+                for i, sh in enumerate(shards):
+                    out[sh.owned] = results[i]
+            else:
+                nxt = np.empty(
+                    (graph.num_nodes, results[0].shape[1]), dtype=self.dtype
+                )
+                for i, sh in enumerate(shards):
+                    nxt[sh.owned] = results[i]
+                previous = nxt

@@ -12,7 +12,7 @@ from repro.core.inference import FastInference
 from repro.core.model import GCN, GCNConfig
 from repro.core.trainer import TrainConfig, Trainer
 from repro.graph import ShardedInference
-from repro.graph.sharded import _shard_worker_logits
+from repro.graph.sharded import _exchange_round_by_value, _exchange_worker_round
 
 
 @pytest.fixture(scope="module")
@@ -163,7 +163,8 @@ class TestPoolResilience:
             ExecutionConfig(shards=1, workers=1),
         )
         try:
-            assert engine.worker_fn is _shard_worker_logits
+            assert engine.worker_fn is _exchange_worker_round
+            assert engine.socket_worker_fn is _exchange_round_by_value
         finally:
             engine.close()
 
