@@ -3,8 +3,10 @@
 PYTHON ?= python
 # Extra flags for bench-sharded, e.g. "--force-pool --gate-exchange 0.10"
 BENCH_SHARDED_FLAGS ?=
+# Extra flags for bench-serve, e.g. "--gate-speedup 3.0 --gate-p99 0.5"
+BENCH_SERVE_FLAGS ?=
 
-.PHONY: install test lint bench bench-full bench-faultsim bench-sharded bench-obs bench-check obs-report examples report serve-smoke faultsim-smoke clean-cache
+.PHONY: install test lint bench bench-full bench-faultsim bench-sharded bench-serve bench-obs bench-check obs-report examples report serve-smoke faultsim-smoke clean-cache
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +35,9 @@ bench-faultsim:
 
 bench-sharded:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sharded_inference.py $(BENCH_SHARDED_FLAGS)
+
+bench-serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py $(BENCH_SERVE_FLAGS)
 
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_overhead.py

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Serving quickstart: score netlists against a live daemon over ``/v1``.
+
+Everything goes through the stable :mod:`repro.api` facade — the daemon
+is embedded in-process here (no subprocess, no free port juggling) and
+:class:`~repro.api.ServeClient` is the *only* HTTP surface touched, as
+the boundary lint requires:
+
+1. start a scoring daemon on an ephemeral port with a freshly trained
+   model checkpoint;
+2. connect a typed client (waits for ``/healthz``);
+3. score one design via ``POST /v1/score``;
+4. score a whole set in one ``POST /v1/score:batch`` call — the server
+   coalesces them into a single block-diagonal sparse-matmul pass, and
+   each response records whether it was served batched;
+5. read the batch-occupancy histogram back from ``/metrics``.
+
+Runs in well under a minute on a laptop:
+
+    python examples/serve_client.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.api import (
+    GCN,
+    GCNConfig,
+    NetlistScoreServer,
+    ServeClient,
+    ServeConfig,
+    generate_design,
+    save_gcn,
+)
+
+
+def main() -> None:
+    # 1. A small model checkpoint to serve (a real flow would point the
+    #    daemon at a trained one via `repro serve --model ...`; see
+    #    examples/quickstart.py for training).
+    model = GCN(GCNConfig(hidden_dims=(8,), fc_dims=(8,)))
+    with tempfile.TemporaryDirectory() as tmp:
+        model_path = save_gcn(model, Path(tmp) / "model.npz")
+        server = NetlistScoreServer(
+            config=ServeConfig(port=0, workers=2), model_path=model_path
+        )
+        server.start()
+        try:
+            host, port = server.address
+
+            # 2. Typed client; `connect` polls /healthz so a just-started
+            #    server never races the first request.
+            client = ServeClient.connect(host, port, deadline_ms=30_000)
+            health = client.health()
+            print(f"serving model level: {health['model']['level']}")
+
+            # 3. One design through POST /v1/score.
+            design = generate_design(400, seed=7)
+            scored = client.score(design, design="quickstart", request_id="qs-1")
+            print(
+                f"{scored.design}: {scored.n_positive} difficult-to-observe "
+                f"/ {scored.num_nodes} nodes "
+                f"(predictor={scored.predictor_level}, "
+                f"latency={scored.latency_ms:.1f}ms)"
+            )
+
+            # 4. A whole set in one call: the server merges these into
+            #    block-diagonal batches (answers are bit-identical to
+            #    scoring each alone — batching changes cost, not labels).
+            designs = [generate_design(200, seed=s) for s in range(8)]
+            batch = client.score_many(designs, design="sweep")
+            print(
+                f"scored {len(batch)} designs; "
+                f"{sum(1 for b in batch if b.batched)} served from a "
+                f"coalesced batch"
+            )
+            for item in batch[:3]:
+                print(
+                    f"  {item.design}: {item.n_positive}/{item.num_nodes} "
+                    f"flagged (batched={item.batched})"
+                )
+
+            # 5. Batch occupancy straight from the metrics endpoint.
+            occupancy = [
+                line
+                for line in client.metrics().splitlines()
+                if line.startswith("repro_serve_batch_size_bucket")
+            ]
+            print("batch-size histogram:")
+            for line in occupancy:
+                print(f"  {line}")
+        finally:
+            server.close()
+
+
+if __name__ == "__main__":
+    main()

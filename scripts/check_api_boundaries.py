@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Lint: public-API boundaries and deprecated-kwarg hygiene.
 
-Five rules, all AST-based (comments and strings never false-positive):
+Six rules, all AST-based (comments and strings never false-positive):
 
 1. **Examples are facade-only.** Files under ``examples/`` may import from
    the ``repro`` namespace only via ``repro.api`` (``from repro.api import
@@ -43,6 +43,17 @@ Five rules, all AST-based (comments and strings never false-positive):
    label sets silently diverge).  Computed names — the
    ``repro_fleet_*`` re-registration in :mod:`repro.obs.remote` — are
    validated at runtime by the registry itself.
+
+6. **Scripts and examples talk to serve through ServeClient.** Files
+   under ``examples/`` and ``scripts/`` may not import ``urllib`` or
+   ``http`` (``http.client``) — hand-rolled HTTP against the scoring
+   daemon bypasses the versioned ``/v1`` contract, the 429 retry
+   policy, and deadline propagation that
+   :class:`repro.serve.client.ServeClient` exists to own.  The one
+   exemption is ``scripts/check_metrics_scrape.py``, whose entire job
+   is validating the raw Prometheus exposition bytes.  (Raw ``socket``
+   probes of protocol corners — idle keep-alive, the deprecated alias —
+   remain allowed: the lint targets request plumbing, not wire tests.)
 
 Exit status: 0 when clean, 1 with one ``path:line`` diagnostic per
 violation otherwise.
@@ -231,6 +242,28 @@ def metric_name_violations() -> list[str]:
     return violations
 
 
+#: modules whose import marks hand-rolled HTTP in user-facing code
+_HTTP_MODULES = ("urllib", "http")
+SCRIPTS = ROOT / "scripts"
+#: validates the raw Prometheus exposition format — raw HTTP is the point
+_HTTP_EXEMPT = {SCRIPTS / "check_metrics_scrape.py"}
+
+
+def http_import_violations(path: Path) -> list[tuple[int, str]]:
+    """Hand-rolled HTTP imports in a script/example file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    bad = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in _HTTP_MODULES:
+                    bad.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            if node.module.split(".")[0] in _HTTP_MODULES:
+                bad.append((node.lineno, f"from {node.module} import ..."))
+    return bad
+
+
 def main() -> int:
     violations: list[str] = []
     for path in sorted(EXAMPLES.glob("*.py")):
@@ -238,6 +271,15 @@ def main() -> int:
             violations.append(
                 f"{path.relative_to(ROOT)}:{lineno}: {what} "
                 "(examples must import through repro.api)"
+            )
+    for path in sorted([*EXAMPLES.glob("*.py"), *SCRIPTS.glob("*.py")]):
+        if path in _HTTP_EXEMPT:
+            continue
+        for lineno, what in http_import_violations(path):
+            violations.append(
+                f"{path.relative_to(ROOT)}:{lineno}: {what} "
+                "(scripts/examples must talk to serve via "
+                "repro.api.ServeClient)"
             )
     for path in sorted(PACKAGE.rglob("*.py")):
         if path in _SHIM_MODULES:
@@ -269,7 +311,8 @@ def main() -> int:
     print(
         "examples are facade-only; no deprecated execution kwargs in "
         "src/repro; process pools and raw sockets confined to repro.exec; "
-        "metric families repro_-prefixed, lazily registered, singly owned"
+        "metric families repro_-prefixed, lazily registered, singly owned; "
+        "scripts/examples speak to serve only via ServeClient"
     )
     return 0
 

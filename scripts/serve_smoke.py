@@ -1,17 +1,26 @@
 #!/usr/bin/env python
 """End-to-end smoke test of the serving daemon (``make serve-smoke``).
 
-Exercises the full robustness surface against a real subprocess:
+Exercises the full robustness surface against a real subprocess, speaking
+the versioned API exclusively through :class:`repro.api.ServeClient` (the
+only raw sockets here probe protocol corners the client deliberately
+cannot produce — an idle keep-alive connection and the deprecated
+unversioned alias):
 
 1. start ``repro serve`` with a valid model on an ephemeral port;
-2. score a generated netlist (200, non-degraded);
-3. reject malformed input (400) and a structurally broken netlist (422);
-4. overload the queue (at least one 429 with ``Retry-After``; every
+2. score a generated netlist (200, non-degraded) over ``/v1/score``;
+3. score a set through ``/v1/score:batch`` and check the answers match
+   solo scoring exactly (batching must not change labels);
+4. reject malformed input (400) and a structurally broken netlist (422),
+   both carrying the exit-code taxonomy;
+5. overload the queue (at least one 429 with ``Retry-After``; every
    accepted request answered);
-5. expire a deadline (504);
-6. hot-reload a corrupt checkpoint (422 + rollback; predictions unchanged)
-   then a valid one (200);
-7. SIGTERM under load: the in-flight request completes, exit status 0.
+6. expire a deadline (504);
+7. hot-reload a corrupt checkpoint (422 + rollback; predictions
+   unchanged) then a valid one (200);
+8. confirm the legacy ``/score`` alias still answers with a
+   ``Deprecation`` header;
+9. SIGTERM under load: the in-flight request completes, exit status 0.
 
 Exits non-zero with a one-line FAIL message on the first violated check.
 """
@@ -19,7 +28,6 @@ Exits non-zero with a one-line FAIL message on the first violated check.
 from __future__ import annotations
 
 import io
-import json
 import os
 import signal
 import socket
@@ -27,13 +35,12 @@ import subprocess
 import sys
 import threading
 import time
-import urllib.error
-import urllib.request
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.api import ServeClient, ServeClientError  # noqa: E402
 from repro.circuit import generate_design  # noqa: E402
 from repro.circuit.bench import write_bench  # noqa: E402
 from repro.core.model import GCN, GCNConfig  # noqa: E402
@@ -51,25 +58,8 @@ def check(condition: bool, message: str) -> None:
     print(f"ok: {message}")
 
 
-def request(base: str, path: str, payload=None, timeout: float = 60):
-    data = None if payload is None else json.dumps(payload).encode()
-    req = urllib.request.Request(base + path, data=data)
-    try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return resp.status, dict(resp.headers), json.loads(resp.read())
-    except urllib.error.HTTPError as exc:
-        return exc.code, dict(exc.headers), json.loads(exc.read())
-
-
-def scrape_metrics(base: str) -> tuple[str, dict[str, float]]:
-    """GET /metrics; returns (raw text, {sample-line-key: value})."""
-    with urllib.request.urlopen(base + "/metrics", timeout=60) as resp:
-        ctype = resp.headers.get("Content-Type", "")
-        check(
-            ctype.startswith("text/plain") and "version=0.0.4" in ctype,
-            f"/metrics content type is Prometheus text ({ctype!r})",
-        )
-        text = resp.read().decode()
+def parse_metrics(text: str) -> dict[str, float]:
+    """{sample-line-key: value} from Prometheus exposition text."""
     values = {}
     for line in text.splitlines():
         if line.startswith("#") or not line.strip():
@@ -79,7 +69,7 @@ def scrape_metrics(base: str) -> tuple[str, dict[str, float]]:
             values[key] = float(value)
         except ValueError:
             pass
-    return text, values
+    return values
 
 
 def wait_for_banner(proc) -> str:
@@ -118,7 +108,7 @@ def main() -> None:
             "--workers",
             "1",
             "--queue-capacity",
-            "1",
+            "8",
             "--debug",
         ],
         stdout=subprocess.PIPE,
@@ -130,83 +120,118 @@ def main() -> None:
     try:
         base = wait_for_banner(proc)
         check(base.startswith("http://"), f"server started on {base}")
+        host, _, port = base.partition("//")[2].rpartition(":")
+        # max_retries=0: the overload section below must *see* the 429s
+        # the typed client would otherwise absorb.
+        client = ServeClient.connect(host, int(port), max_retries=0)
 
-        # --- basic scoring -------------------------------------------- #
-        status, _, body = request(base, "/score", {"netlist": bench, "design": "smoke"})
-        check(status == 200, f"score returns 200 (got {status})")
-        check(body["degraded"] is False, "model-backed score is not degraded")
+        # --- basic scoring over /v1 ----------------------------------- #
+        scored = client.score(bench, design="smoke", request_id="smoke-1")
+        check(scored.degraded is False, "model-backed score is not degraded")
         check(
-            len(body["predictions"]) == body["num_nodes"],
+            len(scored.labels) == scored.num_nodes,
             "one prediction per node",
         )
-        baseline = body["predictions"]
+        check(scored.request_id == "smoke-1", "request_id echoed in the response")
+        baseline = scored.labels.tolist()
 
-        # --- metrics: families exist, counters reflect the one score --- #
-        text, before = scrape_metrics(base)
+        # --- batch endpoint matches solo scoring ---------------------- #
+        batch = client.score_many([bench] * 4, design="smoke-batch")
         check(
-            before.get('repro_serve_requests_total{event="accepted"}') == 1.0,
-            "accepted counter is 1 after one score",
+            all(item.labels.tolist() == baseline for item in batch),
+            "score:batch answers identical to solo scoring",
         )
         check(
-            before.get("repro_serve_request_latency_seconds_count") == 1.0,
-            "latency histogram observed the score",
+            any(item.batched for item in batch),
+            "score:batch members served from a coalesced pass",
+        )
+
+        # --- metrics: families exist, counters moved ------------------- #
+        text = client.metrics()
+        before = parse_metrics(text)
+        check(
+            before.get('repro_serve_requests_total{event="accepted"}') == 5.0,
+            "accepted counter is 5 after one solo + four batch members",
+        )
+        check(
+            before.get("repro_serve_request_latency_seconds_count", 0) >= 2.0,
+            "latency histogram observed the scores",
         )
         check(
             "repro_serve_queue_depth" in before,
             "queue depth gauge is exported",
         )
         check(
+            before.get("repro_serve_batch_size_count", 0) >= 1.0,
+            "batch-size histogram observed the coalesced pass",
+        )
+        check(
             "# TYPE repro_serve_requests_total counter" in text,
             "/metrics carries TYPE metadata",
         )
 
-        # --- admission control ---------------------------------------- #
-        status, _, body = request(base, "/score", {"netlist": "a = FROB(b)\n"})
-        check(
-            (status, body["error"]["code"]) == (400, "netlist_parse_error"),
-            "malformed netlist rejected with 400 + typed body",
-        )
-        status, _, body = request(base, "/score", {"netlist": "INPUT(a)\nb = NOT(a)\n"})
-        check(
-            (status, body["error"]["code"]) == (422, "netlist_invalid"),
-            "structurally invalid netlist rejected with 422",
-        )
+        # --- admission control + exit-code taxonomy ------------------- #
+        try:
+            client.score("a = FROB(b)\n")
+            fail("malformed netlist was not rejected")
+        except ServeClientError as exc:
+            check(
+                (exc.status, exc.code, exc.exit_code)
+                == (400, "netlist_parse_error", 3),
+                "malformed netlist rejected with 400 + typed body + exit code 3",
+            )
+        try:
+            client.score("INPUT(a)\nb = NOT(a)\n")
+            fail("structurally invalid netlist was not rejected")
+        except ServeClientError as exc:
+            check(
+                (exc.status, exc.code) == (422, "netlist_invalid"),
+                "structurally invalid netlist rejected with 422",
+            )
 
         # --- backpressure --------------------------------------------- #
-        results: list[tuple] = []
-        slow = {"netlist": bench, "debug_sleep_ms": 1000}
+        # batchable=False keeps these on the solo lane: the coalescer
+        # would otherwise drain the queue into one merged pass and absorb
+        # the overload this section exists to produce.
+        outcomes: list[object] = []
 
         def fire():
-            results.append(request(base, "/score", dict(slow)))
+            try:
+                outcomes.append(
+                    client.score(bench, debug_sleep_ms=1000, batchable=False)
+                )
+            except ServeClientError as exc:
+                outcomes.append(exc)
 
-        threads = [threading.Thread(target=fire) for _ in range(6)]
+        threads = [threading.Thread(target=fire) for _ in range(12)]
         for t in threads:
             t.start()
         for t in threads:
             t.join(timeout=90)
-        statuses = sorted(s for s, _, _ in results)
-        check(len(results) == 6, "every overload request got an answer")
-        check(429 in statuses, f"queue overload produced a 429 (got {statuses})")
+        check(len(outcomes) == 12, "every overload request got an answer")
+        rejected = [o for o in outcomes if isinstance(o, ServeClientError)]
         check(
-            set(statuses) <= {200, 429},
-            f"overload answers are only 200/429 (got {statuses})",
+            all(o.status == 429 for o in rejected) and rejected,
+            f"queue overload produced only 429s "
+            f"({len(rejected)} rejected of {len(outcomes)})",
         )
-        retry_after = next(h.get("Retry-After") for s, h, _ in results if s == 429)
-        check(retry_after is not None, "429 carries a Retry-After header")
+        check(
+            all(o.headers.get("Retry-After") is not None for o in rejected),
+            "every 429 carries a Retry-After header",
+        )
 
         # --- deadlines ------------------------------------------------ #
-        status, _, body = request(
-            base,
-            "/score",
-            {"netlist": bench, "debug_sleep_ms": 3000, "deadline_ms": 150},
-        )
-        check(
-            (status, body["error"]["code"]) == (504, "deadline_exceeded"),
-            "expired deadline returns 504",
-        )
+        try:
+            client.score(bench, debug_sleep_ms=3000, deadline_ms=150)
+            fail("expired deadline did not 504")
+        except ServeClientError as exc:
+            check(
+                (exc.status, exc.code) == (504, "deadline_exceeded"),
+                "expired deadline returns 504",
+            )
 
         # --- metrics moved under load --------------------------------- #
-        _, after = scrape_metrics(base)
+        after = parse_metrics(client.metrics())
         accepted = 'repro_serve_requests_total{event="accepted"}'
         overload = 'repro_serve_requests_total{event="rejected_overload"}'
         expired = 'repro_serve_requests_total{event="expired"}'
@@ -217,39 +242,58 @@ def main() -> None:
         )
         check(after[overload] >= 1.0, "overload rejections counted")
         check(after[expired] >= 1.0, "expired deadline counted")
-        check(
-            after["repro_serve_request_latency_seconds_count"]
-            > before["repro_serve_request_latency_seconds_count"],
-            "latency histogram accumulated samples under load",
-        )
 
         # --- hot reload + rollback ------------------------------------ #
-        status, _, body = request(base, "/reload", {"path": str(corrupt)})
+        try:
+            client.reload(corrupt)
+            fail("corrupt reload was not rejected")
+        except ServeClientError as exc:
+            check(
+                (exc.status, exc.code) == (422, "checkpoint_corrupt"),
+                "corrupt reload rejected with 422",
+            )
+            check(
+                exc.body.get("rollback", {}).get("last_good") == str(model),
+                "rollback reports the last-good model",
+            )
+        scored = client.score(bench)
         check(
-            (status, body["error"]["code"]) == (422, "checkpoint_corrupt"),
-            "corrupt reload rejected with 422",
-        )
-        check(
-            body["rollback"]["last_good"] == str(model),
-            "rollback reports the last-good model",
-        )
-        status, _, body = request(base, "/score", {"netlist": bench})
-        check(
-            body["predictions"] == baseline and body["degraded"] is False,
+            scored.labels.tolist() == baseline and scored.degraded is False,
             "predictions identical after rolled-back reload",
         )
-        status, _, body = request(base, "/reload", {"path": str(model)})
+        body = client.reload(model)
         check(
-            status == 200 and body["model"]["level"] == "gcn",
+            body["model"]["level"] == "gcn",
             "valid reload swaps the model",
         )
 
+        # --- deprecated alias still answers, flagged ------------------ #
+        # Raw socket on purpose: the typed client never speaks /score.
+        legacy = socket.create_connection((host, int(port)), timeout=30)
+        legacy.sendall(
+            b"POST /score HTTP/1.1\r\nHost: smoke\r\n"
+            b"Content-Length: 0\r\nConnection: close\r\n\r\n"
+        )
+        head = legacy.recv(65536).decode("utf-8", "replace")
+        legacy.close()
+        check(
+            head.startswith("HTTP/1.1 400"),
+            "legacy /score alias still answers (400 on an empty body)",
+        )
+        check(
+            "deprecation: true" in head.lower(),
+            "legacy /score answers carry a Deprecation header",
+        )
+        check(
+            'rel="successor-version"' in head,
+            "legacy /score points at its /v1 successor",
+        )
+
         # --- SIGTERM drain under load --------------------------------- #
-        # An idle HTTP/1.1 keep-alive connection (urllib always sends
-        # Connection: close, so `request` can't produce one): its handler
-        # thread blocks reading a next request that never comes, and the
-        # drain join must not wait on it forever.
-        host, _, port = base.partition("//")[2].rpartition(":")
+        # An idle HTTP/1.1 keep-alive connection (the client closes per
+        # request, so it can't produce one): its handler thread blocks
+        # reading a next request that never comes, and the drain join
+        # must not wait on it forever.
         idle = socket.create_connection((host, int(port)), timeout=30)
         idle.sendall(b"GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\n")
         idle.recv(65536)  # consume the response; stay connected, go idle
@@ -257,9 +301,10 @@ def main() -> None:
         inflight: dict = {}
 
         def slow_score():
-            inflight["result"] = request(
-                base, "/score", {"netlist": bench, "debug_sleep_ms": 1500}
-            )
+            try:
+                inflight["result"] = client.score(bench, debug_sleep_ms=1500)
+            except ServeClientError as exc:
+                inflight["result"] = exc
 
         t = threading.Thread(target=slow_score)
         t.start()
@@ -268,11 +313,14 @@ def main() -> None:
         t.join(timeout=60)
         check("result" in inflight, "in-flight request answered during drain")
         check(
-            inflight["result"][0] == 200,
-            f"in-flight request completed with 200 (got {inflight['result'][0]})",
+            not isinstance(inflight["result"], ServeClientError),
+            f"in-flight request completed cleanly (got {inflight['result']!r})",
         )
         code = proc.wait(timeout=60)
-        check(code == 0, f"SIGTERM drain exits 0 despite idle keep-alive client (got {code})")
+        check(
+            code == 0,
+            f"SIGTERM drain exits 0 despite idle keep-alive client (got {code})",
+        )
         idle.close()
     finally:
         if proc.poll() is None:

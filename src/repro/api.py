@@ -138,6 +138,12 @@ __all__ = [
     "ScoreResult",
     "TrainResult",
     "FaultSimSummary",
+    # serving (the only supported way to run / call a scoring daemon)
+    "ServeClient",
+    "ServeClientError",
+    "ServeScore",
+    "ServeConfig",
+    "NetlistScoreServer",
     # execution
     "ExecutionConfig",
     "ConfigError",
@@ -448,3 +454,9 @@ def simulate_faults(
         n_patterns=n_patterns,
         undetected=undetected,
     )
+
+
+# Imported last: repro.serve.client reuses ScoreResult (defined above) via
+# a deferred import, so this edge must come after the class exists.
+from repro.serve import NetlistScoreServer, ServeConfig  # noqa: E402
+from repro.serve.client import ServeClient, ServeClientError, ServeScore  # noqa: E402

@@ -243,8 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[log_flags],
         help="run the online netlist-scoring daemon",
         description="Long-running HTTP service scoring .bench netlists with "
-        "the best available predictor (POST /score, /reload; GET /healthz, "
-        "/readyz, /metrics — Prometheus text exposition).  SIGTERM drains "
+        "the best available predictor (POST /v1/score, /v1/score:batch, "
+        "/reload; GET /healthz, /readyz, /metrics — Prometheus text "
+        "exposition; /score remains as a deprecated alias).  Small "
+        "concurrent requests coalesce into block-diagonal batches; "
+        "oversized designs route to the sharded engine.  SIGTERM drains "
         "gracefully.",
         epilog=_EXIT_CODES_HELP,
     )
@@ -261,6 +264,30 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--queue-capacity", type=int, default=16)
     srv.add_argument(
         "--deadline-ms", type=int, default=30_000, help="default per-request deadline"
+    )
+    srv.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="disable cross-request coalescing (one scoring pass per request)",
+    )
+    srv.add_argument(
+        "--batch-max-requests",
+        type=int,
+        default=16,
+        help="netlists per coalesced block-diagonal batch",
+    )
+    srv.add_argument(
+        "--batch-max-nodes",
+        type=int,
+        default=200_000,
+        help="total node budget per batch; larger designs score solo "
+        "(and route to sharded inference past the auto threshold)",
+    )
+    srv.add_argument(
+        "--batch-linger-ms",
+        type=int,
+        default=5,
+        help="max wait for the queue to fill a batch",
     )
     srv.add_argument(
         "--debug",
@@ -709,6 +736,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_capacity=args.queue_capacity,
         default_deadline_ms=args.deadline_ms,
+        batching=not args.no_batching,
+        batch_max_requests=args.batch_max_requests,
+        batch_max_nodes=args.batch_max_nodes,
+        batch_linger_ms=args.batch_linger_ms,
         debug=args.debug,
     )
     return serve(config=config, model_path=args.model, announce=print)

@@ -55,6 +55,8 @@ from repro.exec.policy import (
 )
 from repro.exec.shm import (
     SharedSegment,
+    WeightStore,
+    attach_manifest,
     attached_ndarray,
     leaked_segment_names,
     owned_ndarray,
@@ -80,6 +82,8 @@ __all__ = [
     "RemoteTaskError",
     "ShardTask",
     "SharedSegment",
+    "WeightStore",
+    "attach_manifest",
     "attached_ndarray",
     "coordinator_address",
     "ensure_exec_metrics",

@@ -5,24 +5,35 @@ enough to score million-gate netlists interactively (Section 5, Figure 9);
 this package is the layer that makes that claim *operable*: a long-running
 daemon that accepts ``.bench`` netlists over HTTP and returns per-node
 difficult-to-observe predictions, staying correct and available under
-malformed inputs, overload, and model failure.
+malformed inputs, overload, and model failure — and throughput-scalable
+via cross-request batching (many small netlists, one block-diagonal
+sparse-matmul pass).
 
 Structure:
 
 * :mod:`~repro.serve.config` — :class:`ServeConfig`, validated limits;
 * :mod:`~repro.serve.protocol` — error-code mapping (typed exception →
-  HTTP status + structured JSON body);
+  HTTP status + structured JSON body with the CLI exit-code taxonomy);
 * :mod:`~repro.serve.admission` — request gate: size/schema checks,
   ``.bench`` parsing, structural validation, graph construction;
+* :mod:`~repro.serve.batch` — the coalescing layer: block-diagonal
+  merging with bit-identical per-request row slices, plus the
+  size/linger/deadline flush policy;
 * :mod:`~repro.serve.models` — :class:`ModelManager`: hot reload with
-  validation + rollback, per-model circuit breaker, heuristic degrade;
+  validation + rollback, per-model circuit breaker, heuristic degrade,
+  shared-memory weight store;
 * :mod:`~repro.serve.service` — :class:`ScoringService`: bounded queue,
-  crash-isolated worker threads, per-request deadlines, drain;
-* :mod:`~repro.serve.http` — the HTTP surface (``/score``, ``/reload``,
-  ``/healthz``, ``/readyz``) and the SIGTERM-draining ``serve()`` runner.
+  crash-isolated batching workers, per-request deadlines, drain;
+* :mod:`~repro.serve.http` — the HTTP surface (``/v1/score``,
+  ``/v1/score:batch``, the deprecated ``/score`` alias, ``/reload``,
+  ``/healthz``, ``/readyz``) and the SIGTERM-draining ``serve()`` runner;
+* :mod:`~repro.serve.client` — :class:`ServeClient`, the typed ``/v1``
+  client every script/example must use instead of hand-rolled HTTP.
 """
 
-from repro.serve.admission import ScoreRequest, admit
+from repro.serve.admission import ScoreRequest, admit, admit_batch
+from repro.serve.batch import BatchPolicy, MergedBatch, merge_graphs
+from repro.serve.client import ServeClient, ServeClientError, ServeScore
 from repro.serve.config import ServeConfig
 from repro.serve.http import NetlistScoreServer, serve
 from repro.serve.models import ModelManager
@@ -34,6 +45,7 @@ from repro.serve.protocol import (
     PayloadTooLargeError,
     RequestError,
     error_payload,
+    exit_code_for,
     status_for,
 )
 from repro.serve.service import Job, ScoringService
@@ -42,6 +54,13 @@ __all__ = [
     "ServeConfig",
     "ScoreRequest",
     "admit",
+    "admit_batch",
+    "BatchPolicy",
+    "MergedBatch",
+    "merge_graphs",
+    "ServeClient",
+    "ServeClientError",
+    "ServeScore",
     "ModelManager",
     "Job",
     "ScoringService",
@@ -54,5 +73,6 @@ __all__ = [
     "DeadlineExceededError",
     "DrainingError",
     "error_payload",
+    "exit_code_for",
     "status_for",
 ]

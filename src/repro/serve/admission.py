@@ -7,6 +7,16 @@ validate_netlist` in strict mode), and graph construction.  Each failure
 raises a typed error that :mod:`~repro.serve.protocol` maps to a 4xx —
 malformed input must never cost a worker thread or crash the daemon.
 
+The request envelope is the ``/v1/score`` contract (the unversioned
+``/score`` alias accepts the same body): ``netlist`` plus the optional
+``request_id`` (echoed in the response and in error bodies),
+``deadline_ms``, ``batchable`` (opt-out hint for the coalescing lane),
+``design``, ``return_predictions`` and — debug servers only —
+``debug_sleep_ms``.  ``admit_batch`` validates the ``/v1/score:batch``
+envelope (``{"requests": [...]}``) item by item, returning per-item
+requests *or* typed errors so one malformed netlist cannot reject its
+neighbours.
+
 Admission runs in the HTTP handler thread (linear-time parsing and SCOAP
 attribute construction), but handler threads are spawned per connection
 without bound — so the HTTP layer holds a slot of the server's
@@ -26,9 +36,21 @@ from repro.core.graphdata import GraphData
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import MalformedRequestError, PayloadTooLargeError
 
-__all__ = ["ScoreRequest", "admit"]
+__all__ = ["ScoreRequest", "admit", "admit_payload", "admit_batch"]
 
-_ALLOWED_KEYS = {"netlist", "design", "deadline_ms", "return_predictions", "debug_sleep_ms"}
+_ALLOWED_KEYS = {
+    "netlist",
+    "design",
+    "request_id",
+    "deadline_ms",
+    "batchable",
+    "return_predictions",
+    "debug_sleep_ms",
+}
+
+#: request_id length cap — ids are echoed into logs, metrics exemplars
+#: and error bodies, so an unbounded id is an amplification vector
+_MAX_REQUEST_ID = 128
 
 
 @dataclass
@@ -38,6 +60,8 @@ class ScoreRequest:
     graph: GraphData
     design: str
     deadline_s: float  #: relative deadline in seconds (absolute set on submit)
+    request_id: str = ""  #: client correlation id, echoed in responses
+    batchable: bool = True  #: may the coalescer merge this request?
     return_predictions: bool = True
     debug_sleep_s: float = 0.0  #: fault-injection aid, honoured only in debug
     warnings: list[str] = field(default_factory=list)
@@ -48,7 +72,7 @@ def _schema_error(message: str) -> MalformedRequestError:
 
 
 def admit(raw: bytes, config: ServeConfig) -> ScoreRequest:
-    """Validate a raw ``/score`` body and build the request's graph.
+    """Validate a raw score body and build the request's graph.
 
     Raises (all mapped to 4xx by the protocol layer):
 
@@ -66,6 +90,11 @@ def admit(raw: bytes, config: ServeConfig) -> ScoreRequest:
         payload = json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise _schema_error(f"body is not valid JSON ({exc})") from exc
+    return admit_payload(payload, config)
+
+
+def admit_payload(payload, config: ServeConfig) -> ScoreRequest:
+    """Validate one decoded score envelope (shared by solo and batch)."""
     if not isinstance(payload, dict):
         raise _schema_error("body must be a JSON object")
     unknown = sorted(set(payload) - _ALLOWED_KEYS)
@@ -80,12 +109,24 @@ def admit(raw: bytes, config: ServeConfig) -> ScoreRequest:
     if not isinstance(design, str):
         raise _schema_error('"design" must be a string')
 
+    request_id = payload.get("request_id", "")
+    if not isinstance(request_id, str):
+        raise _schema_error('"request_id" must be a string')
+    if len(request_id) > _MAX_REQUEST_ID:
+        raise _schema_error(
+            f'"request_id" longer than {_MAX_REQUEST_ID} characters'
+        )
+
     deadline_ms = payload.get("deadline_ms", config.default_deadline_ms)
     if not isinstance(deadline_ms, int) or isinstance(deadline_ms, bool):
         raise _schema_error('"deadline_ms" must be an integer')
     if deadline_ms < 1:
         raise _schema_error('"deadline_ms" must be >= 1')
     deadline_ms = min(deadline_ms, config.max_deadline_ms)
+
+    batchable = payload.get("batchable", True)
+    if not isinstance(batchable, bool):
+        raise _schema_error('"batchable" must be a boolean')
 
     return_predictions = payload.get("return_predictions", True)
     if not isinstance(return_predictions, bool):
@@ -110,7 +151,50 @@ def admit(raw: bytes, config: ServeConfig) -> ScoreRequest:
         graph=graph,
         design=design,
         deadline_s=deadline_ms / 1000.0,
+        request_id=request_id,
+        batchable=batchable,
         return_predictions=return_predictions,
         debug_sleep_s=max(0.0, float(debug_sleep_ms)) / 1000.0,
         warnings=list(report.warnings),
     )
+
+
+def admit_batch(
+    raw: bytes, config: ServeConfig
+) -> list[tuple[int, "ScoreRequest | BaseException"]]:
+    """Validate a ``/v1/score:batch`` body item by item.
+
+    Returns ``(index, admitted-or-error)`` per item in submission order:
+    a malformed member becomes its own typed error entry while its
+    neighbours still score.  The envelope itself (non-object body,
+    missing/empty/oversized ``requests`` array) raises, because there is
+    nothing per-item to answer.
+    """
+    if len(raw) > config.max_body_bytes:
+        raise PayloadTooLargeError(
+            f"request body is {len(raw)} bytes; limit is {config.max_body_bytes}"
+        )
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _schema_error(f"body is not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise _schema_error("body must be a JSON object")
+    unknown = sorted(set(payload) - {"requests"})
+    if unknown:
+        raise _schema_error(f"unknown keys {unknown}")
+    items = payload.get("requests")
+    if not isinstance(items, list) or not items:
+        raise _schema_error('"requests" must be a non-empty array of score envelopes')
+    if len(items) > config.batch_max_requests:
+        raise PayloadTooLargeError(
+            f"batch of {len(items)} requests exceeds the per-call limit of "
+            f"{config.batch_max_requests}"
+        )
+    admitted: list[tuple[int, ScoreRequest | BaseException]] = []
+    for index, item in enumerate(items):
+        try:
+            admitted.append((index, admit_payload(item, config)))
+        except Exception as exc:  # typed by the protocol layer per item
+            admitted.append((index, exc))
+    return admitted

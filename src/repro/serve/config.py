@@ -36,6 +36,24 @@ class ServeConfig:
     breaker_reset_s: float = 30.0  #: open-state cooldown before a probe call
     drain_timeout_s: float = 30.0  #: max wait for in-flight work on SIGTERM
     debug: bool = False  #: honour ``debug_sleep_ms`` in requests (smoke tests)
+    # ------------------------------------------------------------------ #
+    # Cross-request batching (the coalescing layer; see serve.batch)
+    # ------------------------------------------------------------------ #
+    batching: bool = True  #: coalesce queued requests into one scoring pass
+    batch_max_requests: int = 16  #: netlists per block-diagonal batch
+    batch_max_nodes: int = 200_000  #: total node budget per batch
+    batch_linger_ms: int = 5  #: max wait for the queue to fill a batch
+    batch_safety_ms: int = 50  #: flush margin before the earliest deadline
+    #: requests above this node count never enter the batch lane — they
+    #: are scored solo, where ``ExecutionConfig`` routing sends graphs
+    #: past the sharded-auto threshold to ``ShardedInference``; 0 derives
+    #: half the batch node budget
+    batch_solo_threshold: int = 0
+
+    @property
+    def batch_solo_nodes(self) -> int:
+        """Node count at which a request bypasses the batch lane."""
+        return self.batch_solo_threshold or max(1, self.batch_max_nodes // 2)
 
     @property
     def admission_capacity(self) -> int:
@@ -74,5 +92,15 @@ class ServeConfig:
             problems.append("breaker_threshold must be >= 1")
         if self.drain_timeout_s < 0:
             problems.append("drain_timeout_s must be >= 0")
+        if self.batch_max_requests < 1:
+            problems.append("batch_max_requests must be >= 1")
+        if self.batch_max_nodes < 1:
+            problems.append("batch_max_nodes must be >= 1")
+        if self.batch_linger_ms < 0:
+            problems.append("batch_linger_ms must be >= 0")
+        if self.batch_safety_ms < 0:
+            problems.append("batch_safety_ms must be >= 0")
+        if self.batch_solo_threshold < 0:
+            problems.append("batch_solo_threshold must be >= 0 (0 = auto)")
         if problems:
             raise ConfigError("invalid serve config: " + "; ".join(problems))

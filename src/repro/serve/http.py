@@ -1,16 +1,23 @@
 """HTTP surface of the scoring daemon.
 
-Endpoints:
+Endpoints (the versioned ``/v1`` paths are the contract; see
+``docs/architecture.md``):
 
-==========  ======  ====================================================
-``/score``  POST    admit + queue + wait; per-node predictions as JSON
-``/reload`` POST    validate-then-swap a model checkpoint (rollback safe)
-``/healthz`` GET    liveness: always 200 while the process serves
-``/readyz``  GET    readiness: 200 only when accepting scoring traffic
-==========  ======  ====================================================
+===================  ======  ===========================================
+``/v1/score``        POST    admit + queue + wait; per-node predictions
+``/v1/score:batch``  POST    many netlists in one call, coalesced into
+                             block-diagonal batches; per-item results
+``/score``           POST    deprecated alias of ``/v1/score`` — same
+                             body, answers with a ``Deprecation`` header
+``/reload``          POST    validate-then-swap a model checkpoint
+``/healthz``         GET     liveness: always 200 while the process serves
+``/readyz``          GET     readiness: 200 only when accepting traffic
+``/metrics``         GET     Prometheus exposition
+===================  ======  ===========================================
 
 Every error response carries the structured body from
-:func:`~repro.serve.protocol.error_payload`; a traceback never reaches a
+:func:`~repro.serve.protocol.error_payload` (machine-readable ``code``
+plus the CLI's 2/3/4 ``exit_code`` taxonomy); a traceback never reaches a
 client.  ``serve()`` is the blocking runner behind ``repro serve``: it
 installs a SIGTERM/SIGINT handler that drains (stop accepting, finish
 in-flight work, flush responses) and exits 0.
@@ -26,7 +33,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs import logs
 from repro.obs.metrics import MetricsRegistry, get_registry
-from repro.serve.admission import admit
+from repro.serve.admission import ScoreRequest, admit, admit_batch
 from repro.serve.config import ServeConfig
 from repro.serve.models import ModelManager
 from repro.serve.protocol import (
@@ -72,6 +79,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_deprecated_route", False):
+            # RFC 8594-style signalling on the unversioned alias; the body
+            # and behaviour stay identical to /v1/score until removal.
+            self.send_header("Deprecation", "true")
+            self.send_header("Link", '</v1/score>; rel="successor-version"')
         for key, value in (headers or {}).items():
             self.send_header(key, value)
         # Shed persistent connections when draining (so server_close() never
@@ -132,10 +144,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": {"code": "not_found", "message": self.path}})
 
     def do_POST(self) -> None:
+        self._deprecated_route = self.path == "/score"
         try:
             with logs.request_context():
-                if self.path == "/score":
+                if self.path in ("/v1/score", "/score"):
                     self._score()
+                elif self.path == "/v1/score:batch":
+                    self._score_batch()
                 elif self.path == "/reload":
                     self._reload()
                 else:
@@ -147,31 +162,20 @@ class _Handler(BaseHTTPRequestHandler):
         except BaseException as exc:  # never leak a traceback to the wire
             self._send_error(exc)
 
-    def _score(self) -> None:
-        service = self.app.service
-        if service.draining:
-            raise DrainingError("server is draining; not accepting new work")
-        # Admission (JSON decode, .bench parse, validation, graph build) is
-        # real CPU work running on an unbounded per-connection thread — the
-        # gate bounds it the same way the queue bounds inference.
+    def _acquire_admission(self) -> None:
+        """Take an admission slot or answer 429; caller must release."""
         if not self.app.admission_gate.acquire(blocking=False):
-            service.note_admission_reject()
+            self.app.service.note_admission_reject()
             raise OverloadedError(
                 f"admission gate saturated "
                 f"({self.app.config.admission_capacity} concurrent requests)",
                 retry_after_s=self.app.config.retry_after_s,
             )
-        admitted = time.monotonic()
-        try:
-            request = admit(self._read_body(), self.app.config)
-        finally:
-            self.app.admission_gate.release()
-        start = time.monotonic()
-        labels, info = service.score(request)
-        latency_ms = (time.monotonic() - start) * 1000.0
-        # Observed before the response is written, so a scrape racing the
-        # client never sees a 200 whose latency sample is missing.
-        self.app.request_latency.observe(time.monotonic() - admitted)
+
+    @staticmethod
+    def _score_payload(
+        request: ScoreRequest, labels, info: dict, latency_ms: float
+    ) -> dict:
         labels_list = [int(x) for x in labels]
         payload = {
             "design": request.design,
@@ -180,15 +184,98 @@ class _Handler(BaseHTTPRequestHandler):
             "positive_count": sum(labels_list),
             "degraded": bool(info.get("degraded", False)),
             "predictor_level": info.get("predictor_level"),
+            "batched": bool(info.get("batched", False)),
             "latency_ms": round(latency_ms, 3),
         }
+        if request.request_id:
+            payload["request_id"] = request.request_id
         if "reason" in info:
             payload["degraded_reason"] = info["reason"]
         if request.warnings:
             payload["warnings"] = request.warnings
         if request.return_predictions:
             payload["predictions"] = labels_list
-        self._send(200, payload)
+        return payload
+
+    def _score(self) -> None:
+        service = self.app.service
+        if service.draining:
+            raise DrainingError("server is draining; not accepting new work")
+        # Admission (JSON decode, .bench parse, validation, graph build) is
+        # real CPU work running on an unbounded per-connection thread — the
+        # gate bounds it the same way the queue bounds inference.
+        self._acquire_admission()
+        admitted = time.monotonic()
+        try:
+            request = admit(self._read_body(), self.app.config)
+        finally:
+            self.app.admission_gate.release()
+        start = time.monotonic()
+        try:
+            labels, info = service.score(request)
+        except Exception as exc:
+            # Echo the correlation id on post-admission failures too.
+            if request.request_id:
+                self._send_error(exc, request_id=request.request_id)
+                return
+            raise
+        latency_ms = (time.monotonic() - start) * 1000.0
+        # Observed before the response is written, so a scrape racing the
+        # client never sees a 200 whose latency sample is missing.
+        self.app.request_latency.observe(time.monotonic() - admitted)
+        self._send(200, self._score_payload(request, labels, info, latency_ms))
+
+    def _score_batch(self) -> None:
+        """``/v1/score:batch``: submit every member, then wait on each.
+
+        Submitting the whole set before the first wait is what hands the
+        coalescer a full queue to merge; per-item failures (malformed
+        netlist, deadline, queue overflow) become per-item error entries
+        so one bad member never rejects its neighbours.
+        """
+        service = self.app.service
+        if service.draining:
+            raise DrainingError("server is draining; not accepting new work")
+        self._acquire_admission()
+        admitted = time.monotonic()
+        try:
+            items = admit_batch(self._read_body(), self.app.config)
+        finally:
+            self.app.admission_gate.release()
+        pending = []  # (index, request, job-or-None, error-or-None)
+        for index, item in items:
+            if isinstance(item, BaseException):
+                pending.append((index, None, None, item))
+                continue
+            try:
+                pending.append((index, item, service.submit(item), None))
+            except Exception as exc:
+                pending.append((index, item, None, exc))
+        results = []
+        ok = 0
+        for index, request, job, error in pending:
+            if error is None:
+                start = time.monotonic()
+                try:
+                    labels, info = service.wait_for(job)
+                except Exception as exc:
+                    error = exc
+                else:
+                    latency_ms = (time.monotonic() - start) * 1000.0
+                    entry = self._score_payload(request, labels, info, latency_ms)
+                    entry["index"] = index
+                    results.append(entry)
+                    ok += 1
+                    continue
+            status, _ = status_for(error)
+            entry = error_payload(error)
+            entry["index"] = index
+            entry["status"] = status
+            if request is not None and request.request_id:
+                entry["request_id"] = request.request_id
+            results.append(entry)
+        self.app.request_latency.observe(time.monotonic() - admitted)
+        self._send(200, {"results": results, "count": len(results), "ok": ok})
 
     def _reload(self) -> None:
         raw = self._read_body()
@@ -240,7 +327,7 @@ class NetlistScoreServer:
         self.service = ScoringService(self.manager, self.config, registry=self.registry)
         self.request_latency = self.registry.histogram(
             "repro_serve_request_latency_seconds",
-            "wall time of /score requests, admission through response",
+            "wall time of scoring requests, admission through response",
         )
         self.admission_gate = threading.BoundedSemaphore(
             self.config.admission_capacity
@@ -314,6 +401,7 @@ class NetlistScoreServer:
         self._httpd.server_close()  # join handler threads, flush responses
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        self.manager.close()  # release the shared-memory weight segments
         self._drain_clean = clean  # published before the event: see wait_drained
         self._drained.set()
         return clean
@@ -337,6 +425,7 @@ class NetlistScoreServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        self.manager.close()
 
 
 def serve(

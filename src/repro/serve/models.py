@@ -12,6 +12,15 @@ every successful swap) fronts inference.  Any model failure degrades that
 request to the SCOAP :class:`~repro.resilience.degrade.HeuristicPredictor`
 with a ``degraded`` flag; once the breaker opens, the model is not even
 attempted until the reset timeout elapses.
+
+Hot GCN weights live in a :class:`~repro.exec.shm.WeightStore`: each
+swap publishes the layer matrices into shared-memory segments and binds
+inference to zero-copy views over them, so every scoring worker —
+including one respawned after a crash — attaches to the same physical
+pages instead of re-loading or re-copying the checkpoint, and an external
+process can attach via the manifest in :meth:`ModelManager.describe`.
+The store is best-effort: where shared memory is unavailable the manager
+falls back to plain in-heap arrays and keeps serving.
 """
 
 from __future__ import annotations
@@ -23,10 +32,13 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import logs
 from repro.resilience.degrade import HeuristicPredictor, LoadedPredictor, load_predictor
 from repro.resilience.retry import CircuitBreaker, CircuitOpenError
 
 __all__ = ["ModelManager"]
+
+_log = logs.get_logger("serve")
 
 #: predictor levels considered fully healthy (not flagged degraded)
 _HEALTHY_LEVELS = frozenset({"cascade", "gcn"})
@@ -58,10 +70,57 @@ def _load_strict(path: str | Path) -> LoadedPredictor:
     )
 
 
+def _weights_arrays(weights) -> dict[str, np.ndarray]:
+    """Flatten a :class:`~repro.core.model.GCNWeights` into named arrays."""
+    arrays: dict[str, np.ndarray] = {}
+    for prefix, matrices in (
+        ("encoder_weights", weights.encoder_weights),
+        ("encoder_biases", weights.encoder_biases),
+        ("fc_weights", weights.fc_weights),
+        ("fc_biases", weights.fc_biases),
+    ):
+        for i, matrix in enumerate(matrices):
+            if matrix is not None:  # None biases stay None on rebuild
+                arrays[f"{prefix}.{i}"] = matrix
+    return arrays
+
+
+def _weights_from_views(weights, views: dict[str, np.ndarray]):
+    """Rebuild a weight snapshot over shared-memory ``views``.
+
+    Layer count and ``None`` bias positions come from the original
+    snapshot; every actual matrix is replaced by its shared view, so the
+    rebuilt snapshot owns no weight memory of its own.
+    """
+    import dataclasses
+
+    def pick(prefix: str, originals) -> list:
+        return [
+            None if original is None else views[f"{prefix}.{i}"]
+            for i, original in enumerate(originals)
+        ]
+
+    return dataclasses.replace(
+        weights,
+        encoder_weights=pick("encoder_weights", weights.encoder_weights),
+        encoder_biases=pick("encoder_biases", weights.encoder_biases),
+        fc_weights=pick("fc_weights", weights.fc_weights),
+        fc_biases=pick("fc_biases", weights.fc_biases),
+    )
+
+
 def _predict_fn(
-    loaded: LoadedPredictor, execution: "ExecutionConfig | None" = None
+    loaded: LoadedPredictor,
+    execution: "ExecutionConfig | None" = None,
+    store=None,
 ) -> Callable[[object], np.ndarray]:
-    """Bind the deployment inference path for ``loaded`` at swap time."""
+    """Bind the deployment inference path for ``loaded`` at swap time.
+
+    With a :class:`~repro.exec.shm.WeightStore`, a single GCN's layer
+    matrices are published into shared memory and the engine binds to
+    zero-copy views; publication failure falls back to in-heap arrays
+    (the store is an optimisation, never a dependency).
+    """
     if loaded.level == "gcn":
         # Single GCNs score through the paper's sparse-matrix fast path,
         # which also carries the NumericalError non-finite guard; the
@@ -70,9 +129,20 @@ def _predict_fn(
         # snapshot, so hot reloads don't re-copy matrices per swap.
         from repro.core.inference import FastInference
 
-        return FastInference(
-            loaded.predictor.layer_weights(), execution=execution
-        ).predict
+        weights = loaded.predictor.layer_weights()
+        if store is not None:
+            try:
+                views = store.publish(
+                    _weights_arrays(weights),
+                    scalars={"w_pr": weights.w_pr, "w_su": weights.w_su},
+                )
+                weights = _weights_from_views(weights, views)
+            except Exception as exc:  # pragma: no cover - no /dev/shm
+                _log.warning(
+                    "weight store unavailable; serving from heap",
+                    extra={"error": repr(exc)},
+                )
+        return FastInference(weights, execution=execution).predict
     return loaded.predictor.predict
 
 
@@ -95,6 +165,7 @@ class ModelManager:
         execution: "ExecutionConfig | None" = None,
     ) -> None:
         from repro.config import ExecutionConfig
+        from repro.exec.shm import WeightStore
 
         self._lock = threading.Lock()
         #: how GCN scoring executes (backend/dtype/workers); environment
@@ -107,6 +178,8 @@ class ModelManager:
         self._reloads = 0
         self._rollbacks = 0
         self._model_failures = 0
+        #: shared-memory home of the hot GCN weights (see module docstring)
+        self.weight_store = WeightStore(label="serve-model")
         if model_path is None:
             self._current = LoadedPredictor(
                 predictor=self._heuristic,
@@ -115,7 +188,7 @@ class ModelManager:
             )
         else:
             self._current = load_predictor(model_path, heuristic=self._heuristic)
-        self._fn = _predict_fn(self._current, self.execution)
+        self._fn = _predict_fn(self._current, self.execution, self.weight_store)
         self._breaker = self._fresh_breaker()
         self._last_good: Path | None = (
             self._current.path if self._current.level in _HEALTHY_LEVELS else None
@@ -141,6 +214,9 @@ class ModelManager:
                 "reloads": self._reloads,
                 "rollbacks": self._rollbacks,
                 "model_failures": self._model_failures,
+                # Attach recipe for external readers; empty when the model
+                # is not a shm-published single GCN.
+                "weights_shm": self.weight_store.manifest(),
             }
 
     def reload(self, path: str | Path) -> dict:
@@ -157,7 +233,11 @@ class ModelManager:
             with self._lock:
                 self._rollbacks += 1
             raise
-        fn = _predict_fn(candidate, self.execution)
+        # Publishing the candidate's weights creates the new shm
+        # generation and unlinks the old one; in-flight scoring keeps its
+        # mappings (an unlinked segment's pages live until the last view
+        # goes), so the swap is never observable half-done.
+        fn = _predict_fn(candidate, self.execution, self.weight_store)
         with self._lock:
             self._current = candidate
             self._fn = fn
@@ -194,3 +274,11 @@ class ModelManager:
             reason = f"model failure ({type(exc).__name__}: {exc})"
         info.update(predictor_level="heuristic", degraded=True, reason=reason)
         return self._heuristic.predict(graph), info
+
+    def close(self) -> None:
+        """Unlink the shared-memory weight segments (idempotent).
+
+        Serve teardown calls this; the shm module's atexit registry and
+        orphan sweep are the backstops for uncontrolled exits.
+        """
+        self.weight_store.close()

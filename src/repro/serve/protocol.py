@@ -2,10 +2,14 @@
 
 One table maps every failure the service can hit to a status code and a
 stable machine-readable ``code`` string, so clients can branch on
-``body["error"]["code"]`` instead of parsing messages.  The serving-local
-exceptions defined here all derive from :class:`~repro.resilience.errors.
-ReproError`, keeping the library's contract that user-reportable failures
-share one hierarchy.
+``body["error"]["code"]`` instead of parsing messages.  Since the ``/v1``
+envelope, every error body also carries ``exit_code`` — the same 2/3/4
+config/input/runtime taxonomy the CLI exits with — so a pipeline that
+shells out through :class:`~repro.serve.client.ServeClient` can propagate
+one failure vocabulary end to end.  The serving-local exceptions defined
+here all derive from :class:`~repro.resilience.errors.ReproError`,
+keeping the library's contract that user-reportable failures share one
+hierarchy.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ __all__ = [
     "DeadlineExceededError",
     "DrainingError",
     "status_for",
+    "exit_code_for",
     "error_payload",
     "encode_json",
 ]
@@ -93,11 +98,30 @@ def status_for(exc: BaseException) -> tuple[int, str]:
     return 500, "internal_error"
 
 
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI's 2/3/4 config/input/runtime taxonomy for ``exc``.
+
+    Serving-local request errors are classified here (a malformed or
+    oversized request is the client's *input*; overload, deadline, and
+    draining are *runtime* conditions); everything else defers to
+    :func:`repro.cli.exit_code_for` so the wire and the shell never
+    disagree about the same exception.
+    """
+    from repro.cli import exit_code_for as cli_exit_code_for
+
+    if isinstance(exc, (MalformedRequestError, PayloadTooLargeError)):
+        return 3  # EXIT_INPUT
+    if isinstance(exc, RequestError):
+        return 4  # EXIT_RUNTIME
+    return cli_exit_code_for(exc)
+
+
 def error_payload(exc: BaseException, **extra) -> dict:
-    """Structured error body: ``{"error": {"code", "type", "message"}, ...}``.
+    """Structured error body: ``{"error": {code, type, message, exit_code}}``.
 
     Keyword extras become top-level siblings of ``error`` (e.g. the
-    ``rollback`` provenance on a failed reload).
+    ``rollback`` provenance on a failed reload, or the echoed
+    ``request_id`` on a /v1 failure).
     """
     _, code = status_for(exc)
     payload = {
@@ -105,6 +129,7 @@ def error_payload(exc: BaseException, **extra) -> dict:
             "code": code,
             "type": type(exc).__name__,
             "message": str(exc),
+            "exit_code": exit_code_for(exc),
         }
     }
     payload.update(extra)

@@ -1,4 +1,4 @@
-"""The scoring engine: bounded queue, worker threads, deadlines, drain.
+"""The scoring engine: bounded queue, batching workers, deadlines, drain.
 
 Separated from the HTTP surface so every availability property is testable
 without sockets:
@@ -7,17 +7,32 @@ without sockets:
   :class:`~repro.serve.protocol.OverloadedError` (HTTP 429) at submit
   time.  Once a job is accepted it is *never* dropped: it either completes
   or is answered with a typed error.
+* **Batching** — workers drain the queue through the coalescing layer
+  (:mod:`~repro.serve.batch`): small batchable requests merge into one
+  block-diagonal scoring pass under a size/linger/deadline flush policy;
+  oversized or ``batchable: false`` requests take the solo lane, where
+  :class:`~repro.config.ExecutionConfig` routing engages
+  :class:`~repro.graph.sharded.ShardedInference` past the sharded-auto
+  threshold.  Batched results are bit-identical to solo scoring at
+  float64 and a failed batched pass is rescued member-by-member, so
+  batching changes latency shape only, never answers.
 * **Deadlines** — each job carries an absolute monotonic deadline.  The
   submitting thread waits at most that long; a job whose deadline passes
   while still queued is cancelled (the worker skips it) and the caller
   gets :class:`~repro.serve.protocol.DeadlineExceededError` (HTTP 504)
-  instead of hanging.
-* **Crash isolation** — a worker wraps each job; an exception fails that
-  job only.  Even a ``BaseException`` escaping (thread death) fails the
-  in-hand job and the pool respawns the thread before the next submit.
+  instead of hanging.  The coalescer participates: a forming batch
+  flushes before any member's deadline minus the safety margin.
+* **Crash isolation** — a worker wraps each batch; an exception fails
+  those jobs only.  Even a ``BaseException`` escaping (thread death)
+  fails the in-hand jobs and the pool respawns the thread before the
+  next submit.
 * **Drain** — ``drain()`` stops admissions, waits for the queue plus
   in-flight work to finish, then stops the workers; SIGTERM handling in
   :mod:`~repro.serve.http` builds on it.
+
+Queue-depth and in-flight gauges count **netlists, not batches** — a
+worker holding a 12-request batch reports 12 in flight — so ``/metrics``
+dashboards stay comparable with the pre-batching era.
 """
 
 from __future__ import annotations
@@ -26,9 +41,12 @@ import queue
 import threading
 import time
 
+import numpy as np
+
 from repro.obs import logs
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.admission import ScoreRequest
+from repro.serve.batch import BatchPolicy, merge_graphs
 from repro.serve.config import ServeConfig
 from repro.serve.models import ModelManager
 from repro.serve.protocol import (
@@ -71,9 +89,17 @@ class Job:
     cannot both claim the job.
     """
 
-    def __init__(self, request: ScoreRequest, deadline: float) -> None:
+    def __init__(
+        self,
+        request: ScoreRequest,
+        deadline: float,
+        batchable: bool = False,
+        enqueued_at: float = 0.0,
+    ) -> None:
         self.request = request
         self.deadline = deadline  #: absolute, on the service clock
+        self.batchable = batchable  #: may enter the coalescing lane
+        self.enqueued_at = enqueued_at  #: submit time, for linger metrics
         self.result = None
         self.info: dict = {}
         self.error: BaseException | None = None
@@ -158,11 +184,26 @@ class ScoringService:
             "repro_serve_worker_restarts_total",
             "worker threads respawned after dying",
         )
+        self._batch_size = self.registry.histogram(
+            "repro_serve_batch_size",
+            "netlists per coalesced scoring pass (1 = solo)",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self._batch_linger = self.registry.histogram(
+            "repro_serve_batch_linger_seconds",
+            "submit-to-scoring-start wait per netlist",
+            buckets=(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0),
+        )
+        self._batch_fallbacks = self.registry.counter(
+            "repro_serve_batch_fallbacks_total",
+            "batches rescued member-by-member after a batched pass failed",
+        )
         self.registry.gauge(
-            "repro_serve_queue_depth", "jobs waiting in the scoring queue"
+            "repro_serve_queue_depth", "netlists waiting in the scoring queue"
         ).set_function(self.queue_depth)
         self.registry.gauge(
-            "repro_serve_in_flight", "jobs currently running on a worker"
+            "repro_serve_in_flight",
+            "netlists claimed by workers (batch members count individually)",
         ).set_function(self.in_flight)
         self.registry.gauge(
             "repro_serve_workers_alive", "live worker threads"
@@ -217,39 +258,121 @@ class ScoringService:
                     self._worker_restarts.inc()
                     break
 
-    def _worker_main(self) -> None:
-        while not self._stop.is_set():
-            try:
-                job = self._queue.get(timeout=0.05)
-            except queue.Empty:
+    def _dequeue(self, timeout: float) -> Job | None:
+        """Pop one job and move its accounting from queued to in-flight."""
+        try:
+            job = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        with self._lock:
+            self._queued -= 1
+            self._in_flight += 1
+        return job
+
+    def _collect_batch(self, first: Job) -> tuple[list[Job], Job | None]:
+        """Coalesce queue work behind ``first`` under the flush policy.
+
+        Returns ``(batch, carry)`` where ``carry`` is a job that was
+        popped but does not belong in this batch (unbatchable, or over
+        budget) — already accounted as in-flight, it is processed by the
+        next loop iteration instead of being re-queued behind newer work.
+        """
+        if not (self.config.batching and first.batchable):
+            return [first], None
+        policy = BatchPolicy(self.config)
+        policy.open(first, self._clock())
+        batch = [first]
+        while not policy.full() and not self._stop.is_set():
+            if self._draining.is_set() and self._queue.empty():
+                break  # no more traffic is coming; lingering only delays drain
+            remaining = policy.remaining(self._clock())
+            if remaining <= 0:
+                break
+            job = self._dequeue(timeout=min(remaining, 0.05))
+            if job is None:
                 continue
-            with self._lock:
-                self._queued -= 1
-                self._in_flight += 1
+            if not job.batchable or not policy.admits(job):
+                return batch, job
+            policy.add(job)
+            batch.append(job)
+        return batch, None
+
+    def _worker_main(self) -> None:
+        carry: Job | None = None
+        while not self._stop.is_set():
+            if carry is not None:
+                job, carry = carry, None
+            else:
+                job = self._dequeue(timeout=0.05)
+                if job is None:
+                    continue
+            batch, carry = self._collect_batch(job)
             try:
-                self._run_job(job)
+                self._run_batch(batch)
             except BaseException as exc:
-                # Thread-killing exceptions (injected SystemExit, MemoryError)
-                # must still answer the job; the thread dies after spawning
-                # its own replacement.
-                if job.state == _RUNNING:
-                    job.fail(exc)
+                # Thread-killing exceptions (injected SystemExit,
+                # MemoryError) must still answer every claimed job — the
+                # in-hand batch and any carry — before the thread dies
+                # and spawns its own replacement.
+                for member in batch:
+                    if member.state in (_RUNNING, _PENDING):
+                        member.fail(exc)
+                if carry is not None:
+                    carry.fail(exc)
+                    batch.append(carry)  # for the in-flight accounting below
+                    carry = None
                 self._replace_worker(threading.current_thread())
                 raise
             finally:
                 with self._idle:
-                    self._in_flight -= 1
+                    self._in_flight -= len(batch)
                     if self._in_flight == 0 and self._queue.empty():
                         self._idle.notify_all()
-                self._queue.task_done()
+                for _ in batch:
+                    self._queue.task_done()
 
-    def _run_job(self, job: Job) -> None:
-        if not job.try_start(self._clock()):
-            if job.cancel():
+    def _run_batch(self, jobs: list[Job]) -> None:
+        """Score one coalesced batch (or a solo job, ``len == 1``)."""
+        now = self._clock()
+        live = []
+        for job in jobs:
+            if job.try_start(now):
+                live.append(job)
+            elif job.cancel():
                 # Sat in the queue past its deadline with no waiter left.
                 with self._lock:
                     self._stat_counters["expired"].inc()
+        if not live:
             return
+        self._batch_size.observe(len(live))
+        for job in live:
+            self._batch_linger.observe(max(0.0, now - job.enqueued_at))
+        if len(live) == 1:
+            self._score_solo(live[0])
+            return
+        if any(job.request.debug_sleep_s for job in live):
+            self._sleep(max(job.request.debug_sleep_s for job in live))
+        merged = merge_graphs([job.request.graph for job in live])
+        try:
+            labels, info = self.manager.predict(merged.graph)
+            parts = merged.split(np.asarray(labels))
+        except Exception:
+            # One poisoned member must not fail its batch peers: rescue
+            # every job through the solo path (bit-identical by
+            # construction, so the answers cannot change — only cost).
+            self._batch_fallbacks.inc()
+            for job in live:
+                self._score_solo(job)
+            return
+        with self._lock:
+            self._stat_counters["completed"].inc(len(live))
+            if info.get("degraded"):
+                self._stat_counters["degraded"].inc(len(live))
+        for job, part in zip(live, parts):
+            job.finish(part, dict(info, batched=True, batch_size=len(live)))
+
+    def _score_solo(self, job: Job) -> None:
+        """Score one already-claimed job through the solo lane."""
         try:
             if job.request.debug_sleep_s:
                 self._sleep(job.request.debug_sleep_s)
@@ -278,7 +401,20 @@ class ScoringService:
                 self._stat_counters["rejected_draining"].inc()
             raise DrainingError("server is draining; not accepting new work")
         self.ensure_workers()
-        job = Job(request, deadline=self._clock() + request.deadline_s)
+        now = self._clock()
+        job = Job(
+            request,
+            deadline=now + request.deadline_s,
+            # Routing decision: oversized designs and explicit opt-outs
+            # take the solo lane (ExecutionConfig sends the largest on to
+            # ShardedInference); everything else may coalesce.
+            batchable=(
+                self.config.batching
+                and request.batchable
+                and request.graph.num_nodes <= self.config.batch_solo_nodes
+            ),
+            enqueued_at=now,
+        )
         # The enqueue and its accounting happen under one lock acquisition
         # (put_nowait never blocks), so a snapshot can never see an accepted
         # job missing from queue_depth or vice versa.
@@ -303,7 +439,16 @@ class ScoringService:
         a worker already started cannot be cancelled — its (too late)
         result is discarded but the 504 is still returned on time.
         """
-        job = self.submit(request)
+        return self.wait_for(self.submit(request))
+
+    def wait_for(self, job: Job) -> tuple[object, dict]:
+        """Wait out one submitted job; returns ``(labels, info)`` or raises.
+
+        Split from :meth:`score` so ``/v1/score:batch`` can submit every
+        member first — giving the coalescer the whole set to merge — and
+        only then wait on each in turn.
+        """
+        request = job.request
         remaining = job.deadline - self._clock()
         if not job.wait(timeout=max(0.0, remaining)):
             job.cancel()

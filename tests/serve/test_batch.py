@@ -1,0 +1,364 @@
+"""Coalescing layer: block-diagonal merge, flush policy, bit-identity.
+
+The load-bearing promise of the batching lane is that it changes latency
+shape only, never answers: a coalesced pass must be **bit-identical** to
+scoring each member solo at float64.  The hypothesis suite here asserts
+exactly that over mixed-size netlist sets, at both the kernel level
+(:func:`merge_graphs` + :class:`FastInference`) and the service level
+(jobs flowing through :class:`ScoringService` workers).
+"""
+
+from __future__ import annotations
+
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import generate_design
+from repro.core.graphdata import GraphData
+from repro.core.inference import FastInference
+from repro.core.model import GCN, GCNConfig
+from repro.nn.sparse import COOMatrix
+from repro.serve.admission import ScoreRequest
+from repro.serve.batch import BatchPolicy, merge_graphs
+from repro.serve.config import ServeConfig
+from repro.serve.models import ModelManager
+from repro.serve.service import ScoringService
+
+TINY = GCNConfig(hidden_dims=(8,), fc_dims=(8,))
+
+
+def _graph(gates: int, seed: int) -> GraphData:
+    return GraphData.from_netlist(generate_design(gates, seed=seed))
+
+
+def _random_coo(rng, rows: int, cols: int, nnz: int) -> COOMatrix:
+    return COOMatrix(
+        (rows, cols),
+        rng.normal(size=nnz),
+        rng.integers(0, rows, size=nnz),
+        rng.integers(0, cols, size=nnz),
+    )
+
+
+# --------------------------------------------------------------------- #
+# COOMatrix.block_diag
+# --------------------------------------------------------------------- #
+class TestBlockDiag:
+    def test_matches_scipy_reference(self, rng):
+        blocks = [
+            _random_coo(rng, 5, 4, 7),
+            _random_coo(rng, 3, 6, 5),
+            _random_coo(rng, 8, 8, 12),
+        ]
+        merged = COOMatrix.block_diag(blocks).to_scipy()
+        reference = sp.block_diag(
+            [b.to_scipy() for b in blocks], format="csr"
+        )
+        assert merged.shape == reference.shape
+        np.testing.assert_array_equal(merged.indptr, reference.indptr)
+        np.testing.assert_array_equal(merged.indices, reference.indices)
+        np.testing.assert_array_equal(merged.data, reference.data)
+
+    def test_coo_view_consistent_with_csr_cache(self, rng):
+        """Rebuilding from the COO triples reproduces the pre-seeded CSR."""
+        merged = COOMatrix.block_diag(
+            [_random_coo(rng, 4, 4, 6), _random_coo(rng, 5, 3, 4)]
+        )
+        rebuilt = COOMatrix(
+            merged.shape, merged.values, merged.rows, merged.cols
+        ).to_scipy()
+        cached = merged.to_scipy()
+        np.testing.assert_array_equal(rebuilt.toarray(), cached.toarray())
+        np.testing.assert_array_equal(rebuilt.indptr, cached.indptr)
+        np.testing.assert_array_equal(rebuilt.indices, cached.indices)
+        np.testing.assert_array_equal(rebuilt.data, cached.data)
+
+    def test_single_block_is_identity(self, rng):
+        block = _random_coo(rng, 6, 5, 9)
+        merged = COOMatrix.block_diag([block])
+        assert merged.shape == block.shape
+        np.testing.assert_array_equal(merged.to_dense(), block.to_dense())
+
+    def test_rectangular_offsets(self):
+        a = COOMatrix((2, 3), [1.0], [1], [2])
+        b = COOMatrix((3, 2), [2.0], [0], [1])
+        merged = COOMatrix.block_diag([a, b])
+        assert merged.shape == (5, 5)
+        dense = merged.to_dense()
+        assert dense[1, 2] == 1.0
+        assert dense[2, 4] == 2.0  # offset by a's (2, 3)
+        assert merged.nnz == 2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="at least one block"):
+            COOMatrix.block_diag([])
+
+    def test_no_cross_block_entries(self, rng):
+        blocks = [_random_coo(rng, 4, 4, 10), _random_coo(rng, 3, 3, 6)]
+        dense = COOMatrix.block_diag(blocks).to_dense()
+        assert not dense[:4, 4:].any()
+        assert not dense[4:, :4].any()
+
+
+# --------------------------------------------------------------------- #
+# merge_graphs / MergedBatch
+# --------------------------------------------------------------------- #
+class TestMergeGraphs:
+    def test_slices_partition_the_node_axis(self):
+        graphs = [_graph(20, 1), _graph(35, 2), _graph(15, 3)]
+        merged = merge_graphs(graphs)
+        assert merged.size == 3
+        total = sum(g.num_nodes for g in graphs)
+        assert merged.graph.num_nodes == total
+        edges = [(s.start, s.stop) for s in merged.slices]
+        assert edges[0][0] == 0 and edges[-1][1] == total
+        for (_, stop), (start, _) in zip(edges, edges[1:]):
+            assert stop == start
+
+    def test_attributes_stacked_in_order(self):
+        graphs = [_graph(18, 4), _graph(24, 5)]
+        merged = merge_graphs(graphs)
+        for graph, rows in zip(graphs, merged.slices):
+            np.testing.assert_array_equal(
+                merged.graph.attributes[rows], graph.attributes
+            )
+
+    def test_split_undoes_the_merge(self):
+        graphs = [_graph(12, 6), _graph(20, 7)]
+        merged = merge_graphs(graphs)
+        stacked = np.arange(merged.graph.num_nodes)
+        parts = merged.split(stacked)
+        assert [len(p) for p in parts] == [g.num_nodes for g in graphs]
+        np.testing.assert_array_equal(np.concatenate(parts), stacked)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="at least one graph"):
+            merge_graphs([])
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity: batched == solo at float64
+# --------------------------------------------------------------------- #
+class TestBatchedBitIdentity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(8, 60), min_size=2, max_size=5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_logits_bit_identical_over_mixed_sizes(self, sizes, seed):
+        graphs = [_graph(g, seed + i) for i, g in enumerate(sizes)]
+        config = GCNConfig(hidden_dims=(8,), fc_dims=(8,), seed=seed % 97)
+        engine = FastInference(GCN(config).layer_weights())
+        solo = [engine.logits(g) for g in graphs]
+        merged = merge_graphs(graphs)
+        batched = merged.split(engine.logits(merged.graph))
+        for one, many in zip(solo, batched):
+            # Exact equality, not allclose: the block-diagonal structure
+            # must leave every float64 operation untouched.
+            np.testing.assert_array_equal(one, many)
+
+    def test_labels_bit_identical_through_the_manager(self, model_file):
+        manager = ModelManager(model_file)
+        graphs = [_graph(25, 11), _graph(40, 12), _graph(10, 13)]
+        solo = [manager.predict(g)[0] for g in graphs]
+        merged = merge_graphs(graphs)
+        batched = merged.split(manager.predict(merged.graph)[0])
+        for one, many in zip(solo, batched):
+            np.testing.assert_array_equal(one, many)
+        manager.close()
+
+
+def _request(gates: int, seed: int, deadline_s: float = 30.0) -> ScoreRequest:
+    return ScoreRequest(
+        graph=_graph(gates, seed),
+        design=f"d{seed}",
+        deadline_s=deadline_s,
+        return_predictions=False,
+    )
+
+
+class TestServiceEquivalence:
+    def test_coalesced_service_answers_match_solo_service(self, model_file):
+        manager = ModelManager(model_file)
+        requests = [_request(20 + 5 * i, 100 + i) for i in range(6)]
+        solo_labels = [manager.predict(r.graph)[0] for r in requests]
+
+        # A generous linger so the burst below coalesces into one pass.
+        service = ScoringService(
+            manager,
+            ServeConfig(
+                workers=1,
+                queue_capacity=16,
+                batch_linger_ms=250,
+                batch_max_requests=8,
+            ),
+        )
+        try:
+            jobs = [service.submit(r) for r in requests]
+            results = [service.wait_for(job) for job in jobs]
+        finally:
+            service.stop()
+            manager.close()
+        for (labels, _), expected in zip(results, solo_labels):
+            np.testing.assert_array_equal(labels, expected)
+        # The burst really exercised the batch lane (not six solo passes).
+        assert any(info.get("batched") for _, info in results)
+        sizes = [info.get("batch_size", 1) for _, info in results]
+        assert max(sizes) >= 2
+
+    def test_failed_batch_rescued_member_by_member(self, model_file):
+        """A poisoned batched pass falls back to solo scoring per member."""
+        manager = ModelManager(model_file)
+        solo_predict = manager.predict
+        limit = 60  # any merged graph is bigger than each member
+
+        def poisoned(graph):
+            if graph.num_nodes > limit:
+                raise RuntimeError("batched pass poisoned")
+            return solo_predict(graph)
+
+        manager.predict = poisoned
+        requests = [_request(15, 200 + i) for i in range(4)]
+        expected = [solo_predict(r.graph)[0] for r in requests]
+        service = ScoringService(
+            manager,
+            ServeConfig(
+                workers=1,
+                queue_capacity=8,
+                batch_linger_ms=250,
+                batch_max_requests=8,
+            ),
+        )
+        try:
+            jobs = [service.submit(r) for r in requests]
+            results = [service.wait_for(job) for job in jobs]
+        finally:
+            service.stop()
+            manager.close()
+        for (labels, info), want in zip(results, expected):
+            np.testing.assert_array_equal(labels, want)
+            assert not info.get("batched")
+        rendered = service.registry.render_prometheus()
+        assert "repro_serve_batch_fallbacks_total 1" in rendered
+        assert service.snapshot()["completed"] == 4
+
+
+# --------------------------------------------------------------------- #
+# BatchPolicy: pure arithmetic, fake clock, no threads
+# --------------------------------------------------------------------- #
+def _job(nodes: int, deadline: float) -> SimpleNamespace:
+    return SimpleNamespace(
+        request=SimpleNamespace(graph=SimpleNamespace(num_nodes=nodes)),
+        deadline=deadline,
+    )
+
+
+class TestBatchPolicy:
+    CONFIG = ServeConfig(
+        batch_max_requests=4,
+        batch_max_nodes=100,
+        batch_linger_ms=10,
+        batch_safety_ms=50,
+    )
+
+    def test_open_sets_linger_flush(self):
+        policy = BatchPolicy(self.CONFIG)
+        policy.open(_job(10, deadline=100.0), now=1.0)
+        assert policy.flush_at == pytest.approx(1.0 + 0.010)
+        assert policy.remaining(1.0) == pytest.approx(0.010)
+
+    def test_near_deadline_caps_flush_below_linger(self):
+        """A near-deadline request is never parked for the full linger."""
+        policy = BatchPolicy(self.CONFIG)
+        policy.open(_job(10, deadline=1.055), now=1.0)
+        # deadline minus the 50 ms safety margin beats the 10 ms linger
+        assert policy.flush_at == pytest.approx(1.005)
+
+    def test_urgent_member_tightens_flush(self):
+        policy = BatchPolicy(self.CONFIG)
+        policy.open(_job(10, deadline=100.0), now=1.0)
+        policy.add(_job(10, deadline=1.052))
+        assert policy.flush_at == pytest.approx(1.002)
+
+    def test_admits_respects_request_budget(self):
+        policy = BatchPolicy(self.CONFIG)
+        policy.open(_job(1, deadline=100.0), now=0.0)
+        for _ in range(3):
+            assert policy.admits(_job(1, deadline=100.0))
+            policy.add(_job(1, deadline=100.0))
+        assert policy.full()
+        assert not policy.admits(_job(1, deadline=100.0))
+
+    def test_admits_respects_node_budget(self):
+        policy = BatchPolicy(self.CONFIG)
+        policy.open(_job(60, deadline=100.0), now=0.0)
+        assert policy.admits(_job(40, deadline=100.0))
+        assert not policy.admits(_job(41, deadline=100.0))
+        policy.add(_job(40, deadline=100.0))
+        assert policy.full()
+
+    def test_expired_member_flushes_immediately(self):
+        policy = BatchPolicy(self.CONFIG)
+        policy.open(_job(10, deadline=1.01), now=1.0)
+        assert policy.remaining(1.0) <= 0.0
+
+
+class TestDeadlineLinger:
+    def test_near_deadline_request_not_held_for_linger(self, model_file):
+        """End to end: a 300 ms-deadline request through a service whose
+        linger window is 5 s must be answered well before the linger —
+        the flush policy caps the wait at deadline minus safety."""
+        manager = ModelManager(model_file)
+        service = ScoringService(
+            manager,
+            ServeConfig(
+                workers=1,
+                queue_capacity=4,
+                batch_linger_ms=5_000,
+                batch_max_requests=8,
+            ),
+        )
+        try:
+            start = time.monotonic()
+            labels, _ = service.score(_request(20, 300, deadline_s=0.3))
+            elapsed = time.monotonic() - start
+        finally:
+            service.stop()
+            manager.close()
+        assert len(labels) == _graph(20, 300).num_nodes
+        assert elapsed < 1.5  # far below the 5 s linger window
+
+
+# --------------------------------------------------------------------- #
+# Batch-era metrics: gauges and counters stay per-netlist
+# --------------------------------------------------------------------- #
+class TestBatchMetrics:
+    def test_histograms_record_batch_shape(self, model_file):
+        manager = ModelManager(model_file)
+        service = ScoringService(
+            manager,
+            ServeConfig(
+                workers=1,
+                queue_capacity=16,
+                batch_linger_ms=250,
+                batch_max_requests=8,
+            ),
+        )
+        try:
+            jobs = [service.submit(_request(15, 300 + i)) for i in range(5)]
+            for job in jobs:
+                service.wait_for(job)
+        finally:
+            service.stop()
+            manager.close()
+        rendered = service.registry.render_prometheus()
+        assert "repro_serve_batch_size_bucket" in rendered
+        assert "repro_serve_batch_linger_seconds_bucket" in rendered
+        # Lifecycle counters count netlists, not coalesced passes.
+        assert service.snapshot()["completed"] == 5

@@ -1,0 +1,227 @@
+"""ServeClient: connect, typed results, 429 retry, structured failures."""
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.circuit import generate_design
+from repro.serve import NetlistScoreServer, ServeConfig
+from repro.serve.client import ServeClient, ServeClientError
+
+
+@pytest.fixture
+def server():
+    created = []
+
+    def make(**kwargs) -> NetlistScoreServer:
+        config = kwargs.pop(
+            "config",
+            ServeConfig(port=0, workers=1, queue_capacity=8, debug=True),
+        )
+        srv = NetlistScoreServer(config=config, **kwargs)
+        srv.start()
+        created.append(srv)
+        return srv
+
+    yield make
+    for srv in created:
+        srv.close()
+
+
+def _client(srv, **kwargs) -> ServeClient:
+    host, port = srv.address
+    return ServeClient(f"http://{host}:{port}", **kwargs)
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestConnect:
+    def test_connect_returns_healthy_client(self, server):
+        srv = server()
+        host, port = srv.address
+        client = ServeClient.connect(host, port, wait_s=5.0)
+        assert client.health()["status"] == "ok"
+
+    def test_connect_times_out_on_dead_port(self):
+        with pytest.raises(ServeClientError, match="not healthy"):
+            ServeClient.connect("127.0.0.1", _free_port(), wait_s=0.3)
+
+
+class TestScore:
+    def test_score_bench_text(self, server, bench_text):
+        srv = server()
+        score = _client(srv).score(bench_text, design="c17")
+        assert score.design == "c17"
+        assert score.num_nodes == len(score.labels)
+        assert score.positive_count == score.n_positive
+        assert score.degraded is True  # no model configured
+        assert score.latency_ms >= 0.0
+
+    def test_score_accepts_netlist_object(self, server):
+        srv = server()
+        score = _client(srv).score(generate_design(40, seed=3))
+        assert score.num_nodes > 0
+
+    def test_request_id_round_trips(self, server, bench_text):
+        srv = server()
+        score = _client(srv).score(bench_text, request_id="cid-7")
+        assert score.request_id == "cid-7"
+
+    def test_predictions_elided_on_request(self, server, bench_text):
+        srv = server()
+        score = _client(srv).score(bench_text, return_predictions=False)
+        assert len(score.labels) == 0
+        assert score.num_nodes > 0
+
+    def test_failure_raises_typed_error(self, server):
+        srv = server()
+        with pytest.raises(ServeClientError) as excinfo:
+            _client(srv).score("not a netlist at all")
+        error = excinfo.value
+        assert error.status == 400
+        assert error.code == "netlist_parse_error"
+        assert error.exit_code == 3
+        assert error.body["error"]["type"]
+
+    def test_metrics_text(self, server, bench_text):
+        srv = server()
+        client = _client(srv)
+        client.score(bench_text)
+        assert "repro_serve_requests_total" in client.metrics()
+
+
+class TestScoreMany:
+    def test_results_in_submission_order(self, server, bench_text):
+        srv = server()
+        scores = _client(srv).score_many([bench_text] * 3, design="batch")
+        assert [s.design for s in scores] == [
+            "batch[0]",
+            "batch[1]",
+            "batch[2]",
+        ]
+
+    def test_strict_raises_on_first_failure(self, server, bench_text):
+        srv = server()
+        with pytest.raises(ServeClientError) as excinfo:
+            _client(srv).score_many([bench_text, "broken(", bench_text])
+        assert excinfo.value.code == "netlist_parse_error"
+
+    def test_lenient_salvages_good_members(self, server, bench_text):
+        srv = server()
+        results = _client(srv).score_many(
+            [bench_text, "broken(", bench_text], strict=False
+        )
+        assert len(results) == 3
+        assert not isinstance(results[0], ServeClientError)
+        assert isinstance(results[1], ServeClientError)
+        assert results[1].status == 400
+        assert not isinstance(results[2], ServeClientError)
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Answers 429 (with Retry-After) a configured number of times."""
+
+    remaining_429 = 2
+    retry_after = "0"
+    attempts: list[str] = []
+
+    def log_message(self, *args):
+        pass
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        self.rfile.read(length)
+        cls = type(self)
+        cls.attempts.append(self.path)
+        if cls.remaining_429 > 0:
+            cls.remaining_429 -= 1
+            body = json.dumps(
+                {"error": {"code": "overloaded", "exit_code": 4}}
+            ).encode()
+            self.send_response(429)
+            self.send_header("Retry-After", cls.retry_after)
+        else:
+            body = json.dumps(
+                {"design": "ok", "num_nodes": 1, "positive_count": 0}
+            ).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+@pytest.fixture
+def flaky_server():
+    servers = []
+
+    def make(remaining_429: int, retry_after: str = "0"):
+        handler = type(
+            "Handler",
+            (_FlakyHandler,),
+            {
+                "remaining_429": remaining_429,
+                "retry_after": retry_after,
+                "attempts": [],
+            },
+        )
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        servers.append(httpd)
+        return httpd, handler
+
+    yield make
+    for httpd in servers:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+class TestRetryOn429:
+    def test_retries_until_success(self, flaky_server):
+        httpd, handler = flaky_server(remaining_429=2)
+        host, port = httpd.server_address[:2]
+        client = ServeClient(f"http://{host}:{port}", max_retries=3)
+        score = client.score("dummy")
+        assert score.design == "ok"
+        assert len(handler.attempts) == 3  # two 429s, then the 200
+
+    def test_gives_up_after_max_retries(self, flaky_server):
+        httpd, handler = flaky_server(remaining_429=10)
+        host, port = httpd.server_address[:2]
+        client = ServeClient(f"http://{host}:{port}", max_retries=2)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.score("dummy")
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "overloaded"
+        assert len(handler.attempts) == 3  # initial call + 2 retries
+
+    def test_retry_after_header_is_honoured(self, flaky_server):
+        import time
+
+        httpd, _ = flaky_server(remaining_429=1, retry_after="0.2")
+        host, port = httpd.server_address[:2]
+        client = ServeClient(f"http://{host}:{port}", max_retries=3)
+        start = time.monotonic()
+        client.score("dummy")
+        assert time.monotonic() - start >= 0.2
+
+    def test_deadline_bounds_retry_loop(self, flaky_server):
+        """A Retry-After pause that would overshoot the request deadline
+        is not taken: the client fails fast with the 429 instead."""
+        httpd, handler = flaky_server(remaining_429=10, retry_after="5")
+        host, port = httpd.server_address[:2]
+        client = ServeClient(f"http://{host}:{port}", max_retries=3)
+        import time
+
+        start = time.monotonic()
+        with pytest.raises(ServeClientError) as excinfo:
+            client.score("dummy", deadline_ms=300)
+        assert excinfo.value.status == 429
+        assert time.monotonic() - start < 2.0
